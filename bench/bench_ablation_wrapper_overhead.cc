@@ -1,0 +1,153 @@
+// §6 ablation: wrapper-function overhead. The paper concludes "the
+// overhead of wrapper functions is negligible in our experiments", with
+// one exception — deviceQuery-style attribute queries, where one CUDA call
+// fans out into many clGetDeviceInfo calls (§6.3). This bench measures
+// both: a launch/memcpy storm through each binding, and the
+// cudaGetDeviceProperties fan-out.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace bridgecl::bench {
+namespace {
+
+using simgpu::Device;
+using simgpu::Dim3;
+using simgpu::TitanProfile;
+
+constexpr char kCuNoop[] =
+    "__global__ void noop(int* p) { if (threadIdx.x == 0) p[0] += 1; }";
+constexpr char kClNoop[] =
+    "__kernel void noop(__global int* p) {"
+    "  if (get_local_id(0) == 0) p[0] += 1;"
+    "}";
+
+/// Launch + small-memcpy storm through a CudaApi. Returns simulated us.
+double CudaStorm(mcuda::CudaApi& cu, int launches) {
+  if (!cu.RegisterModule(kCuNoop).ok()) return -1;
+  auto p = cu.Malloc(64);
+  if (!p.ok()) return -1;
+  int v = 0;
+  // Warm-up launch: under the wrapper binding the deferred clBuildProgram
+  // fires on the first call (§3.4) and must stay out of the timed window,
+  // as the paper excludes OpenCL build time.
+  {
+    std::vector<mcuda::LaunchArg> args = {mcuda::LaunchArg::Ptr(*p)};
+    if (!cu.LaunchKernel("noop", Dim3(1), Dim3(32), 0, args).ok()) return -1;
+  }
+  double t0 = cu.NowUs();
+  for (int i = 0; i < launches; ++i) {
+    std::vector<mcuda::LaunchArg> args = {mcuda::LaunchArg::Ptr(*p)};
+    if (!cu.LaunchKernel("noop", Dim3(1), Dim3(32), 0, args).ok()) return -1;
+    if (!cu.Memcpy(&v, *p, 4, mcuda::MemcpyKind::kDeviceToHost).ok())
+      return -1;
+  }
+  return cu.NowUs() - t0;
+}
+
+/// The same storm through an OpenClApi.
+double ClStorm(mocl::OpenClApi& cl, int launches) {
+  auto prog = cl.CreateProgramWithSource(kClNoop);
+  if (!prog.ok() || !cl.BuildProgram(*prog).ok()) return -1;
+  auto kernel = cl.CreateKernel(*prog, "noop");
+  auto buf = cl.CreateBuffer(mocl::MemFlags::kReadWrite, 64, nullptr);
+  if (!kernel.ok() || !buf.ok()) return -1;
+  int v = 0;
+  double t0 = cl.NowUs();
+  for (int i = 0; i < launches; ++i) {
+    if (!cl.SetKernelArg(*kernel, 0, sizeof(mocl::ClMem), &*buf).ok())
+      return -1;
+    size_t gws = 32, lws = 32;
+    if (!cl.EnqueueNDRangeKernel(*kernel, 1, &gws, &lws).ok()) return -1;
+    if (!cl.EnqueueReadBuffer(*buf, 0, 4, &v).ok()) return -1;
+  }
+  return cl.NowUs() - t0;
+}
+
+void BM_LaunchStormNativeCuda(benchmark::State& state) {
+  for (auto _ : state) {
+    Device dev(TitanProfile());
+    auto cu = mcuda::CreateNativeCudaApi(dev);
+    state.SetIterationTime(CudaStorm(*cu, 64) * 1e-6);
+  }
+}
+BENCHMARK(BM_LaunchStormNativeCuda)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LaunchStormCudaOnCl(benchmark::State& state) {
+  for (auto _ : state) {
+    Device dev(TitanProfile());
+    auto cl = mocl::CreateNativeClApi(dev);
+    auto cu = cu2cl::CreateCudaOnClApi(*cl);
+    state.SetIterationTime(CudaStorm(*cu, 64) * 1e-6);
+  }
+}
+BENCHMARK(BM_LaunchStormCudaOnCl)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bridgecl::bench
+
+int main(int argc, char** argv) {
+  using namespace bridgecl;
+  using namespace bridgecl::bench;
+  PrintHeader(
+      "Ablation (S6): wrapper-function overhead. Expected: negligible for "
+      "launch/copy paths; large for deviceQuery-style attribute fan-out.");
+
+  const int launches = 64;
+  {
+    printf("Launch + memcpy storm (%d iterations):\n", launches);
+    Device d1(TitanProfile());
+    auto native_cu = mcuda::CreateNativeCudaApi(d1);
+    double native = CudaStorm(*native_cu, launches);
+    Device d2(TitanProfile());
+    auto cl = mocl::CreateNativeClApi(d2);
+    auto wrapped_cu = cu2cl::CreateCudaOnClApi(*cl);
+    double wrapped = CudaStorm(*wrapped_cu, launches) ;
+    printf("  CUDA native        : %9.1f us\n", native);
+    printf("  CUDA on OpenCL     : %9.1f us  (overhead %+.1f%%)\n", wrapped,
+           100.0 * (wrapped - native) / native);
+
+    Device d3(TitanProfile());
+    auto native_cl = mocl::CreateNativeClApi(d3);
+    double cl_native = ClStorm(*native_cl, launches);
+    Device d4(TitanProfile());
+    auto cuda = mcuda::CreateNativeCudaApi(d4);
+    auto wrapped_cl = cl2cu::CreateClOnCudaApi(*cuda);
+    double cl_wrapped = ClStorm(*wrapped_cl, launches);
+    printf("  OpenCL native      : %9.1f us\n", cl_native);
+    printf("  OpenCL on CUDA     : %9.1f us  (overhead %+.1f%%)\n",
+           cl_wrapped, 100.0 * (cl_wrapped - cl_native) / cl_native);
+  }
+  {
+    printf("\ncudaGetDeviceProperties x 64 (the S6.3 deviceQuery case):\n");
+    Device d1(TitanProfile());
+    auto native_cu = mcuda::CreateNativeCudaApi(d1);
+    double t0 = native_cu->NowUs();
+    for (int i = 0; i < 64; ++i)
+      if (!native_cu->GetDeviceProperties().ok()) return 1;
+    double native = native_cu->NowUs() - t0;
+    Device d2(TitanProfile());
+    auto cl = mocl::CreateNativeClApi(d2);
+    auto wrapped_cu = cu2cl::CreateCudaOnClApi(*cl);
+    double t1 = wrapped_cu->NowUs();
+    for (int i = 0; i < 64; ++i)
+      if (!wrapped_cu->GetDeviceProperties().ok()) return 1;
+    double wrapped = wrapped_cu->NowUs() - t1;
+    printf("  CUDA native        : %9.1f us\n", native);
+    printf("  CUDA on OpenCL     : %9.1f us  (%.1fx slower: one wrapper "
+           "call -> many clGetDeviceInfo calls)\n",
+           wrapped, wrapped / native);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table 3 reproduction: reasons of translation failures in the NVIDIA
+// Toolkit samples (CUDA→OpenCL). Runs the translatability classifier on
+// the 56-sample failure corpus and prints the category → applications
+// table, plus the 25/81 success ratio of §6.3.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "apps/failure_catalog.h"
+#include "bench/bench_util.h"
+
+namespace bridgecl::bench {
+namespace {
+
+using apps::CatalogEntry;
+using apps::FailureCatalog;
+using translator::ClassifyCudaApplication;
+using translator::FailureCategory;
+using translator::FailureCategoryName;
+
+void BM_ClassifyCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const CatalogEntry& e : FailureCatalog())
+      benchmark::DoNotOptimize(ClassifyCudaApplication(e.source));
+  }
+}
+BENCHMARK(BM_ClassifyCorpus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bridgecl::bench
+
+int main(int argc, char** argv) {
+  using namespace bridgecl;
+  using namespace bridgecl::bench;
+  PrintHeader(
+      "Table 3: reasons of translation failures in NVIDIA Toolkit samples "
+      "(CUDA -> OpenCL); classification is detected, not hard-coded");
+
+  std::map<translator::FailureCategory, std::vector<std::string>> rows;
+  int misclassified = 0;
+  for (const apps::CatalogEntry& e : apps::FailureCatalog()) {
+    auto c = translator::ClassifyCudaApplication(e.source);
+    if (c.translatable) {
+      printf("  !! %s unexpectedly classified as translatable\n",
+             e.name.c_str());
+      ++misclassified;
+      continue;
+    }
+    for (auto cat : c.Categories()) rows[cat].push_back(e.name);
+  }
+  for (const auto& [cat, names] : rows) {
+    printf("\n%-38s (%zu)\n  ", translator::FailureCategoryName(cat),
+           names.size());
+    int col = 0;
+    for (const std::string& n : names) {
+      if (col + n.size() > 70) {
+        printf("\n  ");
+        col = 0;
+      }
+      printf("%s ", n.c_str());
+      col += static_cast<int>(n.size()) + 1;
+    }
+    printf("\n");
+  }
+  printf("\n%d/%d Toolkit samples translate successfully (paper: 25/81); "
+         "%zu fail; %d misclassified.\n",
+         apps::ToolkitTranslatableCount(), apps::ToolkitTotalCount(),
+         apps::FailureCatalog().size(), misclassified);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return misclassified == 0 ? 0 : 1;
+}

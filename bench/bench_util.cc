@@ -1,0 +1,77 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace bridgecl::bench {
+
+using simgpu::Device;
+using simgpu::HD7970Profile;
+using simgpu::TitanProfile;
+
+const char* ConfigName(Config c) {
+  switch (c) {
+    case Config::kClNativeTitan: return "OpenCL (native, Titan)";
+    case Config::kClOnCudaTitan: return "OpenCL->CUDA wrapper (Titan)";
+    case Config::kCudaNativeTitan: return "CUDA (native, Titan)";
+    case Config::kCudaOnClTitan: return "CUDA->OpenCL wrapper (Titan)";
+    case Config::kCudaOnClAmd: return "CUDA->OpenCL wrapper (HD7970)";
+    case Config::kClNativeAmd: return "OpenCL (native, HD7970)";
+  }
+  return "?";
+}
+
+Measurement RunApp(apps::App& app, Config config) {
+  Measurement m;
+  const simgpu::DeviceProfile& profile =
+      (config == Config::kCudaOnClAmd || config == Config::kClNativeAmd)
+          ? HD7970Profile()
+          : TitanProfile();
+  Device device(profile);
+  Status st;
+  double build_us = 0;
+  switch (config) {
+    case Config::kClNativeTitan:
+    case Config::kClNativeAmd: {
+      auto cl = mocl::CreateNativeClApi(device);
+      st = app.RunCl(*cl, &m.checksum);
+      build_us = cl->BuildTimeUs();
+      break;
+    }
+    case Config::kClOnCudaTitan: {
+      auto cuda = mcuda::CreateNativeCudaApi(device);
+      auto cl = cl2cu::CreateClOnCudaApi(*cuda);
+      st = app.RunCl(*cl, &m.checksum);
+      build_us = cl->BuildTimeUs();
+      break;
+    }
+    case Config::kCudaNativeTitan: {
+      auto cuda = mcuda::CreateNativeCudaApi(device);
+      st = app.RunCuda(*cuda, &m.checksum);
+      break;
+    }
+    case Config::kCudaOnClTitan:
+    case Config::kCudaOnClAmd: {
+      auto cl = mocl::CreateNativeClApi(device);
+      auto cuda = cu2cl::CreateCudaOnClApi(*cl);
+      st = app.RunCuda(*cuda, &m.checksum);
+      build_us = cl->BuildTimeUs();
+      break;
+    }
+  }
+  m.ok = st.ok();
+  m.error = st.ok() ? "" : st.ToString();
+  m.time_us = device.now_us() - build_us;
+  m.shared_bank_words = device.stats().shared_bank_words;
+  return m;
+}
+
+void PrintHeader(const std::string& title) {
+  printf("\n%s\n", std::string(76, '=').c_str());
+  printf("%s\n", title.c_str());
+  printf("%s\n", std::string(76, '=').c_str());
+  printf("%s\n", simgpu::SystemConfigurationTable().c_str());
+}
+
+}  // namespace bridgecl::bench

@@ -1,0 +1,46 @@
+// Shared measurement harness for the paper-reproduction benchmarks. Every
+// bench binary measures *simulated device time* (deterministic, from the
+// simgpu clock), excluding run-time program-build cost as the paper does
+// for OpenCL (§6.2: "the build time of OpenCL should be excluded for a
+// fair comparison").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "apps/app.h"
+#include "cl2cu/cl_on_cuda.h"
+#include "cu2cl/cuda_on_cl.h"
+#include "mcuda/cuda_api.h"
+#include "mocl/cl_api.h"
+#include "simgpu/device.h"
+
+namespace bridgecl::bench {
+
+/// One measured configuration of (host API, binding, device profile).
+enum class Config {
+  kClNativeTitan,    // original OpenCL on the NVIDIA profile
+  kClOnCudaTitan,    // OpenCL app through the OpenCL→CUDA wrapper (Fig 7)
+  kCudaNativeTitan,  // original CUDA
+  kCudaOnClTitan,    // CUDA app through the CUDA→OpenCL wrapper (Fig 8)
+  kCudaOnClAmd,      // the same, on the AMD profile (portability, Fig 8a)
+  kClNativeAmd,
+};
+
+const char* ConfigName(Config c);
+
+struct Measurement {
+  bool ok = false;
+  std::string error;
+  double time_us = 0;     // simulated, excluding program build
+  double checksum = 0;
+  uint64_t shared_bank_words = 0;  // §6.2 diagnostics
+};
+
+/// Run `app` once under `config` on a fresh simulated device.
+Measurement RunApp(apps::App& app, Config config);
+
+/// Prints the bench banner with the simulated Table 2 configuration.
+void PrintHeader(const std::string& title);
+
+}  // namespace bridgecl::bench

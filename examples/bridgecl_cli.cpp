@@ -1,0 +1,164 @@
+// bridgecl: the translator as a command-line tool.
+//
+//   bridgecl --to=cuda   kernel.cl          # OpenCL C -> CUDA device code
+//   bridgecl --to=opencl kernel.cu          # CUDA -> OpenCL device code
+//   bridgecl --host      main.cu            # split + rewrite a mixed file
+//   bridgecl --host -o out/ main.cu         # write main.cu.cl + main.cu.cpp
+//   bridgecl --classify  main.cu            # Table 3-style triage
+//   bridgecl --to=opencl --emulate-atomics kernel.cu
+//
+// Reads from stdin when no file is given. Prints translated source on
+// stdout; diagnostics on stderr.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "translator/classifier.h"
+#include "translator/host_rewriter.h"
+#include "translator/translate.h"
+
+using namespace bridgecl;
+
+namespace {
+
+int Usage() {
+  fprintf(stderr,
+          "usage: bridgecl [--to=cuda|opencl] [--host] [--classify]\n"
+          "                [--emulate-atomics] [file]\n");
+  return 2;
+}
+
+std::string ReadAll(std::istream& in) {
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kNone, kToCuda, kToOpenCl, kHost, kClassify };
+  Mode mode = Mode::kNone;
+  translator::TranslateOptions opts;
+  std::string file;
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--to=cuda") {
+      mode = Mode::kToCuda;
+    } else if (arg == "--to=opencl") {
+      mode = Mode::kToOpenCl;
+    } else if (arg == "--host") {
+      mode = Mode::kHost;
+    } else if (arg == "--classify") {
+      mode = Mode::kClassify;
+    } else if (arg == "--emulate-atomics") {
+      opts.allow_atomic_emulation = true;
+    } else if (arg == "-o") {
+      if (i + 1 >= argc) return Usage();
+      out_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      file = arg;
+    }
+  }
+  if (mode == Mode::kNone) return Usage();
+
+  std::string source;
+  if (file.empty()) {
+    source = ReadAll(std::cin);
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    source = ReadAll(in);
+  }
+
+  DiagnosticEngine diags;
+  switch (mode) {
+    case Mode::kToCuda: {
+      auto r = translator::TranslateOpenClToCuda(source, diags, opts);
+      if (!r.ok()) {
+        fprintf(stderr, "%s\n%s", r.status().ToString().c_str(),
+                diags.ToString().c_str());
+        return 1;
+      }
+      fputs(r->source.c_str(), stdout);
+      return 0;
+    }
+    case Mode::kToOpenCl: {
+      auto r = translator::TranslateCudaToOpenCl(source, diags, opts);
+      if (!r.ok()) {
+        fprintf(stderr, "%s\n%s", r.status().ToString().c_str(),
+                diags.ToString().c_str());
+        return 1;
+      }
+      fputs(r->source.c_str(), stdout);
+      return 0;
+    }
+    case Mode::kHost: {
+      auto r = translator::RewriteCudaHostCode(source, diags, opts);
+      if (!r.ok()) {
+        fprintf(stderr, "%s\n%s", r.status().ToString().c_str(),
+                diags.ToString().c_str());
+        return 1;
+      }
+      std::string stem = file.empty() ? "out" : file;
+      // Strip any directory component for the output names.
+      size_t slash = stem.find_last_of('/');
+      if (slash != std::string::npos) stem = stem.substr(slash + 1);
+      if (!out_dir.empty()) {
+        // Figure 3's file pair: <stem>.cl (device) + <stem>.cpp (host).
+        std::string base = out_dir + "/" + stem;
+        std::ofstream dev(base + ".cl");
+        std::ofstream host(base + ".cpp");
+        if (!dev || !host) {
+          fprintf(stderr, "cannot write into %s\n", out_dir.c_str());
+          return 1;
+        }
+        dev << r->device_source;
+        host << r->host_source;
+        printf("wrote %s.cl and %s.cpp\n", base.c_str(), base.c_str());
+        return 0;
+      }
+      printf("/* ===== %s.cl (device) ===== */\n%s\n", stem.c_str(),
+             r->device_source.c_str());
+      printf("/* ===== %s.cpp (host) ===== */\n%s\n", stem.c_str(),
+             r->host_source.c_str());
+      return 0;
+    }
+    case Mode::kClassify: {
+      auto c = translator::ClassifyCudaApplication(source, opts);
+      if (c.translatable) {
+        printf("translatable to OpenCL (%zu kernels)\n",
+               c.translation.kernels.size());
+        for (const auto& k : c.translation.kernels)
+          printf("  kernel %s: %d params%s, %zu textures, %zu symbols\n",
+                 k.name.c_str(), k.original_param_count,
+                 k.has_dynamic_shared ? " + dynamic shared" : "",
+                 k.texture_params.size(), k.symbol_params.size());
+        return 0;
+      }
+      printf("NOT translatable to OpenCL:\n");
+      for (const auto& issue : c.issues)
+        printf("  [%s] %s\n",
+               translator::FailureCategoryName(issue.category),
+               issue.evidence.c_str());
+      return 1;
+    }
+    case Mode::kNone:
+      break;
+  }
+  return Usage();
+}

@@ -1,0 +1,77 @@
+// Porting report: triage a directory's worth of CUDA applications for
+// OpenCL portability, the way the paper triaged the 81 Toolkit samples
+// (Table 3). Demonstrates the classifier and the static host rewriter on
+// the built-in failure corpus plus a mixed host/device example.
+//
+//   build/examples/porting_report
+#include <cstdio>
+#include <map>
+
+#include "apps/failure_catalog.h"
+#include "translator/classifier.h"
+#include "translator/host_rewriter.h"
+
+using namespace bridgecl;
+
+namespace {
+
+constexpr char kPortableApp[] = R"(
+__constant__ float gain[4];
+
+__global__ void amplify(float* samples, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) samples[i] *= gain[i % 4];
+}
+
+int main() {
+  float* d_samples;
+  int n = 1 << 16;
+  cudaMalloc((void**)&d_samples, n * sizeof(float));
+  float g[4] = {0.5f, 1.0f, 1.5f, 2.0f};
+  cudaMemcpyToSymbol(gain, g, sizeof(g));
+  amplify<<<n / 256, 256>>>(d_samples, n);
+  cudaDeviceSynchronize();
+  return 0;
+}
+)";
+
+}  // namespace
+
+int main() {
+  printf("== BridgeCL porting report ==\n\n");
+
+  // 1. Triage the corpus.
+  std::map<translator::FailureCategory, int> counts;
+  int portable = 0, blocked = 0;
+  for (const apps::CatalogEntry& e : apps::FailureCatalog()) {
+    auto c = translator::ClassifyCudaApplication(e.source);
+    if (c.translatable) {
+      ++portable;
+    } else {
+      ++blocked;
+      for (auto cat : c.Categories()) ++counts[cat];
+    }
+  }
+  printf("Corpus triage (%zu applications):\n",
+         apps::FailureCatalog().size());
+  printf("  portable to OpenCL : %d\n", portable);
+  printf("  blocked            : %d\n", blocked);
+  for (const auto& [cat, n] : counts)
+    printf("    %-38s %d\n", translator::FailureCategoryName(cat), n);
+
+  // 2. A portable app: show the full static translation (Figure 3's file
+  // split + host rewriting + device translation).
+  printf("\nPortable example — static translation of a mixed .cu file:\n");
+  DiagnosticEngine diags;
+  auto r = translator::RewriteCudaHostCode(kPortableApp, diags);
+  if (!r.ok()) {
+    fprintf(stderr, "rewrite failed: %s\n%s", r.status().ToString().c_str(),
+            diags.ToString().c_str());
+    return 1;
+  }
+  printf("\n----- main.cu.cl (translated device code) -----\n%s",
+         r->device_source.c_str());
+  printf("\n----- main.cu.cpp (rewritten host code) -----\n%s\n",
+         r->host_source.c_str());
+  return 0;
+}

@@ -1,0 +1,328 @@
+#include "apps/failure_catalog.h"
+
+#include "support/strings.h"
+
+namespace bridgecl::apps {
+namespace {
+
+using translator::FailureCategory;
+
+constexpr FailureCategory kNoFn = FailureCategory::kNoCorrespondingFunctions;
+constexpr FailureCategory kLibs = FailureCategory::kUnsupportedLibraries;
+constexpr FailureCategory kLang =
+    FailureCategory::kUnsupportedLanguageExtensions;
+constexpr FailureCategory kGl = FailureCategory::kOpenGlBinding;
+constexpr FailureCategory kPtx = FailureCategory::kUseOfPtx;
+constexpr FailureCategory kUva = FailureCategory::kUseOfUva;
+
+// ---- per-category source templates (feature-bearing, minimal) ----
+
+std::string ClockSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void timed(int* out, long long* cycles) {\n"
+      "  long long start = clock64();\n"
+      "  out[threadIdx.x] = threadIdx.x * 2;\n"
+      "  cycles[threadIdx.x] = clock64() - start;\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string AssertSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void checked(int* data, int n) {\n"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+      "  assert(i < n);\n"
+      "  data[i] = i;\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string AtomicIntrinsicsSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void testAtomics(unsigned int* data) {\n"
+      "  atomicInc(&data[0], 17u);\n"
+      "  atomicDec(&data[1], 137u);\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string VoteSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void vote(int* in, int* out) {\n"
+      "  out[threadIdx.x] = __all(in[threadIdx.x] > 0) +\n"
+      "                     __any(in[threadIdx.x] > 8);\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string ShflSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void stencil_shfl(float* d) {\n"
+      "  float v = d[threadIdx.x];\n"
+      "  d[threadIdx.x] = v + __shfl_down(v, 1) + __shfl_up(v, 1);\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string LibSource(const std::string& app, const std::string& lib) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void postprocess(float* d, int n) {\n"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+      "  if (i < n) d[i] *= 0.5f;\n"
+      "}\n"
+      "int main() {\n"
+      "  /* uses %s */\n"
+      "  %s;\n"
+      "  return 0;\n"
+      "}\n",
+      app.c_str(), lib.c_str(), lib.c_str());
+}
+
+std::string TemplateKernelSource(const std::string& app) {
+  // Templated *kernels* (not just device helpers) cannot be expressed in
+  // OpenCL 1.2 and the host cannot name a specialization to launch.
+  return StrFormat(
+      "/* %s */\n"
+      "template <class T>\n"
+      "__global__ void process(T* data, T v) {\n"
+      "  data[threadIdx.x] = data[threadIdx.x] + v;\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string DeviceClassSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "class Filter {\n"
+      " public:\n"
+      "  __device__ float apply(float v) { return v * 0.5f; }\n"
+      "};\n"
+      "__global__ void run(float* d) {\n"
+      "  Filter f;\n"
+      "  d[threadIdx.x] = f.apply(d[threadIdx.x]);\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string FunctionPointerSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__device__ float op_add(float a, float b) { return a + b; }\n"
+      "__device__ float apply(float (*fn)(float, float), float a,\n"
+      "                       float b) {\n"
+      "  return fn(a, b);\n"
+      "}\n"
+      "__global__ void run(float* d) {\n"
+      "  d[threadIdx.x] = apply(op_add, d[threadIdx.x], 1.0f);\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string PrintfSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void talky(int* d) {\n"
+      "  printf(\"thread %%d sees %%d\\n\", threadIdx.x, d[threadIdx.x]);\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string NewDeleteSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void alloc_kernel(int* out) {\n"
+      "  /* device-side allocation */\n"
+      "  int* p = new int[4];\n"
+      "  p[0] = threadIdx.x;\n"
+      "  out[threadIdx.x] = p[0];\n"
+      "  delete p;\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string GlSource(const std::string& app, bool with_cpp = false) {
+  std::string cpp_part =
+      with_cpp ? "class Body { public: __device__ float m() { return 1.0f; }"
+                 " };\n"
+               : "";
+  return StrFormat(
+      "/* %s */\n"
+      "%s"
+      "__global__ void render(float* vbo, int n) {\n"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+      "  if (i < n) vbo[i] += 0.1f;\n"
+      "}\n"
+      "int main() {\n"
+      "  glutInit(0, 0);\n"
+      "  unsigned int vbo = 0;\n"
+      "  glBindBuffer(0x8892, vbo);\n"
+      "  cudaGraphicsGLRegisterBuffer(0, vbo, 0);\n"
+      "  glDrawArrays(0, 0, 0);\n"
+      "  return 0;\n"
+      "}\n",
+      app.c_str(), cpp_part.c_str());
+}
+
+std::string PtxSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "int main() {\n"
+      "  CUmodule module;\n"
+      "  cuModuleLoad(&module, \"kernel.ptx\");\n"
+      "  return 0;\n"
+      "}\n",
+      app.c_str());
+}
+
+std::string InlinePtxSource(const std::string& app) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void laneid(unsigned int* out) {\n"
+      "  unsigned int lane;\n"
+      "  /* asm volatile(\"mov.u32 %%0, %%laneid;\" : \"=r\"(lane)); */\n"
+      "  asm volatile(\"mov.u32 ...\");\n"
+      "  out[threadIdx.x] = lane;\n"
+      "}\n"
+      "int main() { return 0; }\n",
+      app.c_str());
+}
+
+std::string UvaSource(const std::string& app, const std::string& api) {
+  return StrFormat(
+      "/* %s */\n"
+      "__global__ void touch(float* p, int n) {\n"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+      "  if (i < n) p[i] += 1.0f;\n"
+      "}\n"
+      "int main() {\n"
+      "  void* host;\n"
+      "  %s;\n"
+      "  return 0;\n"
+      "}\n",
+      app.c_str(), api.c_str());
+}
+
+std::vector<CatalogEntry> BuildCatalog() {
+  std::vector<CatalogEntry> out;
+  auto add = [&](std::string name, std::vector<FailureCategory> cats,
+                 std::string src) {
+    out.push_back({std::move(name), std::move(cats), std::move(src)});
+  };
+
+  // ---- No corresponding functions (Table 3 row 1) ----
+  add("clock", {kNoFn}, ClockSource("clock"));
+  add("concurrentKernels", {kNoFn}, ClockSource("concurrentKernels"));
+  add("simpleAssert", {kNoFn}, AssertSource("simpleAssert"));
+  add("simpleAtomicIntrinsics", {kNoFn},
+      AtomicIntrinsicsSource("simpleAtomicIntrinsics"));
+  add("simpleVoteIntrinsics", {kNoFn}, VoteSource("simpleVoteIntrinsics"));
+  add("FDTD3d", {kNoFn}, ShflSource("FDTD3d"));
+
+  // ---- Unsupported libraries (row 2) ----
+  add("convolutionFFT2D", {kLibs},
+      LibSource("convolutionFFT2D", "cufftExecC2C(plan, 0, 0, 1)"));
+  add("lineOfSight", {kLibs},
+      LibSource("lineOfSight", "thrust::inclusive_scan(h.begin(), h.end(), "
+                               "h.begin())"));
+  add("marchingCubes", {kLibs},
+      LibSource("marchingCubes", "thrust::exclusive_scan(v.begin(), "
+                                 "v.end(), v.begin())"));
+  add("particles", {kLibs, kGl}, [] {
+        // particles fails for two reasons (§6.3): libraries AND OpenGL.
+        std::string s = GlSource("particles");
+        return ReplaceAll(s, "int main() {",
+                          "int main() {\n  thrust::sort_by_key(k.begin(), "
+                          "k.end(), v.begin());");
+      }());
+  add("radixSortThrust", {kLibs},
+      LibSource("radixSortThrust", "thrust::sort(keys.begin(), keys.end())"));
+
+  // ---- Unsupported language extensions (row 3) ----
+  add("alignedTypes", {kLang}, TemplateKernelSource("alignedTypes"));
+  add("convolutionTexture", {kLang},
+      TemplateKernelSource("convolutionTexture"));
+  add("dct8x8", {kLang}, DeviceClassSource("dct8x8"));
+  add("dxtc", {kLang}, DeviceClassSource("dxtc"));
+  add("eigenvalues", {kLang}, TemplateKernelSource("eigenvalues"));
+  add("Interval", {kLang}, DeviceClassSource("Interval"));
+  add("mergeSort", {kLang}, TemplateKernelSource("mergeSort"));
+  add("MonteCarlo", {kLang}, DeviceClassSource("MonteCarlo"));
+  add("MonteCarloMultiGPU", {kLang},
+      DeviceClassSource("MonteCarloMultiGPU"));
+  add("FunctionPointers", {kLang},
+      FunctionPointerSource("FunctionPointers"));
+  add("transpose", {kLang}, TemplateKernelSource("transpose"));
+  add("newdelete", {kLang}, NewDeleteSource("newdelete"));
+  add("reduction", {kLang}, TemplateKernelSource("reduction"));
+  add("simplePrintf", {kLang}, PrintfSource("simplePrintf"));
+  add("simpleTemplates", {kLang}, TemplateKernelSource("simpleTemplates"));
+  add("threadFenceReduction", {kLang},
+      TemplateKernelSource("threadFenceReduction"));
+  add("HSOpticalFlow", {kLang}, TemplateKernelSource("HSOpticalFlow"));
+  add("simpleCubemapTexture", {kLang},
+      DeviceClassSource("simpleCubemapTexture"));
+
+  // ---- OpenGL binding (row 4) ----
+  for (const char* app :
+       {"bilateralFilter", "boxFilter", "fluidsGL", "imageDenoising",
+        "oceanFFT", "postProcessGL", "recursiveGaussian", "simpleGL",
+        "simpleTexture3D", "SobelFilter", "bicubicTexture", "volumeRender",
+        "volumeFiltering"}) {
+    add(app, {kGl}, GlSource(app));
+  }
+  // Mandelbrot/nbody/smokeParticles fail for two reasons: OpenGL + C++
+  // device features (§6.3).
+  add("Mandelbrot", {kLang, kGl}, GlSource("Mandelbrot", true));
+  add("nbody", {kLang, kGl}, GlSource("nbody", true));
+  add("smokeParticles", {kLang, kGl}, GlSource("smokeParticles", true));
+
+  // ---- Use of PTX (row 5) ----
+  add("matrixMulDrv", {kPtx}, PtxSource("matrixMulDrv"));
+  add("inlinePTX", {kPtx}, InlinePtxSource("inlinePTX"));
+  add("ptxjit", {kPtx}, PtxSource("ptxjit"));
+  add("matrixMulDynlinkJIT", {kPtx}, PtxSource("matrixMulDynlinkJIT"));
+  add("simpleTextureDrv", {kPtx}, PtxSource("simpleTextureDrv"));
+  add("threadMigration", {kPtx}, PtxSource("threadMigration"));
+  add("vectorAddDrv", {kPtx}, PtxSource("vectorAddDrv"));
+
+  // ---- Use of unified virtual address space (row 6) ----
+  add("simpleMultiCopy", {kUva},
+      UvaSource("simpleMultiCopy", "cudaHostAlloc(&host, 1024, 0)"));
+  add("simpleP2P", {kUva},
+      UvaSource("simpleP2P", "cudaDeviceEnablePeerAccess(1, 0)"));
+  add("simpleStreams", {kUva},
+      UvaSource("simpleStreams", "cudaHostRegister(host, 1024, 0)"));
+  add("simpleZeroCopy", {kUva},
+      UvaSource("simpleZeroCopy",
+                "cudaHostGetDevicePointer(&host, host, 0)"));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& FailureCatalog() {
+  static const std::vector<CatalogEntry>* catalog =
+      new std::vector<CatalogEntry>(BuildCatalog());
+  return *catalog;
+}
+
+int ToolkitTranslatableCount() { return 25; }  // paper: 25 of 81
+int ToolkitTotalCount() { return 81; }
+
+}  // namespace bridgecl::apps

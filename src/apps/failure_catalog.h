@@ -1,0 +1,32 @@
+// The paper's Table 3 corpus: the 56 NVIDIA CUDA Toolkit 4.2 samples whose
+// CUDA→OpenCL translation fails, each represented by a compact CUDA source
+// exhibiting exactly the blocking feature(s) the paper attributes to it.
+// The classifier (translator/classifier.h) detects the features from the
+// source; nothing here is a hard-coded verdict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "translator/classifier.h"
+
+namespace bridgecl::apps {
+
+struct CatalogEntry {
+  std::string name;
+  /// The paper's Table 3 categorization for this sample.
+  std::vector<translator::FailureCategory> expected_categories;
+  /// CUDA source exhibiting the blocking feature(s).
+  std::string source;
+};
+
+/// All 56 failing samples, in Table 3 order.
+const std::vector<CatalogEntry>& FailureCatalog();
+
+/// The translatable Toolkit samples (the paper translated 25 of 81; our
+/// ToolkitApps() covers a representative subset). Used by the Table 3
+/// bench to report totals.
+int ToolkitTranslatableCount();
+int ToolkitTotalCount();
+
+}  // namespace bridgecl::apps

@@ -1,0 +1,380 @@
+// SNU NPB 1.0.3-style applications: CG, EP, FT, IS, LU, MG, SP. SNU NPB
+// is OpenCL-only (the paper's Fig 7b evaluates the OpenCL→CUDA direction
+// on it). FT keeps the original's double-precision data flowing through
+// __local memory — the source of the 2-way bank conflicts in the 32-bit
+// shared-memory mode that made the translated CUDA version ~1.75x faster
+// (§6.2: "the resulting CUDA application takes only 57% of the execution
+// time of the original OpenCL application").
+#include <cmath>
+
+#include "apps/dual.h"
+
+namespace bridgecl::apps {
+namespace {
+
+using simgpu::Dim3;
+
+// ===========================================================================
+// CG: sparse matrix-vector product + dot products.
+// ===========================================================================
+constexpr char kCgCl[] = R"(
+__kernel void spmv(__global int* rowstr, __global int* colidx,
+                   __global double* a, __global double* p,
+                   __global double* q, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  double sum = 0.0;
+  for (int k = rowstr[i]; k < rowstr[i + 1]; k++) {
+    sum += a[k] * p[colidx[k]];
+  }
+  q[i] = sum;
+}
+__kernel void axpy(__global double* x, __global double* y, double alpha,
+                   int n) {
+  int i = get_global_id(0);
+  if (i < n) y[i] = y[i] + alpha * x[i];
+}
+)";
+
+Status CgDriver(DualDev& dev, double* checksum) {
+  const int n = 256, nz_per_row = 4;
+  InputGen gen(2121);
+  std::vector<int> rowstr(n + 1), colidx(n * nz_per_row);
+  std::vector<double> a(n * nz_per_row), p(n);
+  for (int i = 0; i <= n; ++i) rowstr[i] = i * nz_per_row;
+  for (int i = 0; i < n * nz_per_row; ++i) {
+    colidx[i] = gen.NextInt(0, n);
+    a[i] = gen.NextFloat(-1, 1);
+  }
+  for (int i = 0; i < n; ++i) p[i] = gen.NextFloat(0, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_rowstr, dev.Upload(rowstr));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_colidx, dev.Upload(colidx));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_a, dev.Upload(a));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_p, dev.Upload(p));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_q, dev.Alloc(n * 8));
+  for (int iter = 0; iter < 2; ++iter) {
+    BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+        "spmv", Dim3(n / 64), Dim3(64),
+        {dev.BufArg(d_rowstr), dev.BufArg(d_colidx), dev.BufArg(d_a),
+         dev.BufArg(d_p), dev.BufArg(d_q), Arg::I32(n)}));
+    BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+        "axpy", Dim3(n / 64), Dim3(64),
+        {dev.BufArg(d_q), dev.BufArg(d_p), Arg::F64(0.5), Arg::I32(n)}));
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(auto out, dev.Download<double>(d_p, n));
+  *checksum = Checksum(out);
+  return OkStatus();
+}
+
+// ===========================================================================
+// EP: embarrassingly parallel random-number tallies.
+// ===========================================================================
+constexpr char kEpCl[] = R"(
+__kernel void ep(__global double* sums, __global int* counts, int pairs) {
+  int i = get_global_id(0);
+  uint seed = (uint)i * 2654435761u + 12345u;
+  double sx = 0.0;
+  double sy = 0.0;
+  int hits = 0;
+  for (int p = 0; p < pairs; p++) {
+    seed = seed * 1664525u + 1013904223u;
+    double x = (double)(seed >> 8) / 16777216.0 * 2.0 - 1.0;
+    seed = seed * 1664525u + 1013904223u;
+    double y = (double)(seed >> 8) / 16777216.0 * 2.0 - 1.0;
+    double t = x * x + y * y;
+    if (t <= 1.0) {
+      double f = sqrt(-2.0 * log(t + 1e-12) / (t + 1e-12));
+      sx += x * f;
+      sy += y * f;
+      hits++;
+    }
+  }
+  sums[i * 2] = sx;
+  sums[i * 2 + 1] = sy;
+  counts[i] = hits;
+}
+)";
+
+Status EpDriver(DualDev& dev, double* checksum) {
+  const int n = 128, pairs = 32;
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_sums, dev.Alloc(n * 16));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_counts, dev.Alloc(n * 4));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "ep", Dim3(n / 32), Dim3(32),
+      {dev.BufArg(d_sums), dev.BufArg(d_counts), Arg::I32(pairs)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto sums, dev.Download<double>(d_sums, n * 2));
+  BRIDGECL_ASSIGN_OR_RETURN(auto counts, dev.Download<int>(d_counts, n));
+  *checksum = Checksum(sums) + Checksum(counts);
+  return OkStatus();
+}
+
+// ===========================================================================
+// FT: Fourier-transform butterflies staged through __local memory. The
+// kernels move double2 complex elements in and out of local memory — the
+// §6.2 bank-conflict pattern. Three kernels (cffts1/2/3) as the original.
+// ===========================================================================
+constexpr char kFtCl[] = R"(
+__kernel void cffts1(__global double2* x, __global double2* y, int stages) {
+  __local double2 tile[64];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tile[l] = x[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 0; s < stages; s++) {
+    int peer = l ^ (1 << (s % 6));
+    double2 a = tile[l];
+    double2 b = tile[peer];
+    double2 r;
+    r.x = a.x + b.x * 0.5;
+    r.y = a.y - b.y * 0.5;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    tile[l] = r;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  y[g] = tile[l];
+}
+__kernel void cffts2(__global double2* x, __global double2* y, int stages) {
+  __local double2 tile[64];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tile[l] = x[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 0; s < stages; s++) {
+    int peer = l ^ (1 << ((s + 1) % 6));
+    double2 a = tile[l];
+    double2 b = tile[peer];
+    double2 r;
+    r.x = a.x * 0.5 + b.x;
+    r.y = a.y * 0.5 - b.y;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    tile[l] = r;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  y[g] = tile[l];
+}
+__kernel void cffts3(__global double2* x, __global double2* y, int stages) {
+  __local double2 tile[64];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tile[l] = x[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 0; s < stages; s++) {
+    int peer = l ^ (1 << ((s + 2) % 6));
+    double2 a = tile[l];
+    double2 b = tile[peer];
+    double2 r;
+    r.x = a.x - b.x * 0.25;
+    r.y = a.y + b.y * 0.25;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    tile[l] = r;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  y[g] = tile[l];
+}
+)";
+
+Status FtDriver(DualDev& dev, double* checksum) {
+  const int n = 1024;  // complex elements
+  const int stages = 24;
+  InputGen gen(2323);
+  std::vector<double> init(n * 2);
+  for (auto& v : init) v = gen.NextFloat(-1, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_x, dev.Upload(init));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_y, dev.Alloc(n * 16));
+  const char* kernels[3] = {"cffts1", "cffts2", "cffts3"};
+  for (int pass = 0; pass < 3; ++pass) {
+    BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+        kernels[pass], Dim3(n / 64), Dim3(64),
+        {dev.BufArg(d_x), dev.BufArg(d_y), Arg::I32(stages)}));
+    std::swap(d_x, d_y);
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(auto out, dev.Download<double>(d_x, n * 2));
+  *checksum = Checksum(out);
+  return OkStatus();
+}
+
+// ===========================================================================
+// IS: integer bucket ranking with atomics.
+// ===========================================================================
+constexpr char kIsCl[] = R"(
+__kernel void rank_count(__global int* keys, __global int* buckets, int n,
+                         int nbuckets) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  atomic_add(&buckets[keys[i] % nbuckets], 1);
+}
+__kernel void rank_assign(__global int* keys, __global int* offsets,
+                          __global int* rank, int n, int nbuckets) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  int b = keys[i] % nbuckets;
+  rank[i] = atomic_add(&offsets[b], 1);
+}
+)";
+
+Status IsDriver(DualDev& dev, double* checksum) {
+  const int n = 1024, nbuckets = 32;
+  InputGen gen(2424);
+  auto keys = gen.Ints(n, 0, 1 << 16);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_keys, dev.Upload(keys));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_buckets,
+                            dev.Upload(std::vector<int>(nbuckets, 0)));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "rank_count", Dim3(n / 64), Dim3(64),
+      {dev.BufArg(d_keys), dev.BufArg(d_buckets), Arg::I32(n),
+       Arg::I32(nbuckets)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto counts,
+                            dev.Download<int>(d_buckets, nbuckets));
+  std::vector<int> offsets(nbuckets);
+  int acc = 0;
+  for (int b = 0; b < nbuckets; ++b) {
+    offsets[b] = acc;
+    acc += counts[b];
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_offsets, dev.Upload(offsets));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_rank, dev.Alloc(n * 4));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "rank_assign", Dim3(n / 64), Dim3(64),
+      {dev.BufArg(d_keys), dev.BufArg(d_offsets), dev.BufArg(d_rank),
+       Arg::I32(n), Arg::I32(nbuckets)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto rank, dev.Download<int>(d_rank, n));
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += double(rank[i] % 31) * ((i % 5) + 1);
+  *checksum = sum;
+  return OkStatus();
+}
+
+// ===========================================================================
+// LU: SSOR-style sweep (forward relaxation step).
+// ===========================================================================
+constexpr char kLuCl[] = R"(
+__kernel void ssor_sweep(__global double* u, __global double* rsd, int nx,
+                         double omega) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i >= nx || j >= nx) return;
+  int idx = j * nx + i;
+  double left = i > 0 ? u[idx - 1] : 0.0;
+  double up = j > 0 ? u[idx - nx] : 0.0;
+  rsd[idx] = (1.0 - omega) * u[idx] + omega * 0.25 * (left + up + 1.0);
+}
+)";
+
+Status LuDriver(DualDev& dev, double* checksum) {
+  const int nx = 32;
+  InputGen gen(2525);
+  std::vector<double> u(nx * nx);
+  for (auto& v : u) v = gen.NextFloat(0, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_u, dev.Upload(u));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_rsd, dev.Alloc(nx * nx * 8));
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+        "ssor_sweep", Dim3(nx / 16, nx / 16), Dim3(16, 16),
+        {dev.BufArg(d_u), dev.BufArg(d_rsd), Arg::I32(nx),
+         Arg::F64(1.2)}));
+    std::swap(d_u, d_rsd);
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(auto out, dev.Download<double>(d_u, nx * nx));
+  *checksum = Checksum(out);
+  return OkStatus();
+}
+
+// ===========================================================================
+// MG: multigrid restriction + prolongation stencils.
+// ===========================================================================
+constexpr char kMgCl[] = R"(
+__kernel void restrict_grid(__global double* fine, __global double* coarse,
+                            int cn) {
+  int i = get_global_id(0);
+  if (i >= cn) return;
+  int fi = i * 2;
+  coarse[i] = 0.25 * fine[fi] + 0.5 * fine[fi + 1] + 0.25 * fine[fi + 2];
+}
+__kernel void prolong_grid(__global double* coarse, __global double* fine,
+                           int cn) {
+  int i = get_global_id(0);
+  if (i >= cn) return;
+  fine[i * 2] += coarse[i];
+  fine[i * 2 + 1] += 0.5 * (coarse[i] + coarse[(i + 1) % cn]);
+}
+)";
+
+Status MgDriver(DualDev& dev, double* checksum) {
+  const int fn = 512, cn = 255;
+  InputGen gen(2626);
+  std::vector<double> fine(fn);
+  for (auto& v : fine) v = gen.NextFloat(0, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_fine, dev.Upload(fine));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_coarse, dev.Alloc(cn * 8 + 16));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "restrict_grid", Dim3((cn + 63) / 64), Dim3(64),
+      {dev.BufArg(d_fine), dev.BufArg(d_coarse), Arg::I32(cn)}));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "prolong_grid", Dim3((cn + 63) / 64), Dim3(64),
+      {dev.BufArg(d_coarse), dev.BufArg(d_fine), Arg::I32(cn)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto out, dev.Download<double>(d_fine, fn));
+  *checksum = Checksum(out);
+  return OkStatus();
+}
+
+// ===========================================================================
+// SP: scalar pentadiagonal-style line sweep.
+// ===========================================================================
+constexpr char kSpCl[] = R"(
+__kernel void line_solve(__global double* lhs, __global double* rhs,
+                         int nx, int lines) {
+  int line = get_global_id(0);
+  if (line >= lines) return;
+  int base = line * nx;
+  for (int i = 1; i < nx; i++) {
+    double f = lhs[base + i] / (lhs[base + i - 1] + 1.0);
+    rhs[base + i] -= f * rhs[base + i - 1];
+  }
+  for (int i = nx - 2; i >= 0; i--) {
+    rhs[base + i] -= 0.3 * rhs[base + i + 1];
+  }
+}
+)";
+
+Status SpDriver(DualDev& dev, double* checksum) {
+  const int nx = 32, lines = 64;
+  InputGen gen(2727);
+  std::vector<double> lhs(nx * lines), rhs(nx * lines);
+  for (auto& v : lhs) v = gen.NextFloat(0.5f, 2.0f);
+  for (auto& v : rhs) v = gen.NextFloat(-1, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_lhs, dev.Upload(lhs));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_rhs, dev.Upload(rhs));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "line_solve", Dim3(lines / 32), Dim3(32),
+      {dev.BufArg(d_lhs), dev.BufArg(d_rhs), Arg::I32(nx),
+       Arg::I32(lines)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto out,
+                            dev.Download<double>(d_rhs, nx * lines));
+  *checksum = Checksum(out);
+  return OkStatus();
+}
+
+}  // namespace
+
+std::vector<AppPtr> NpbApps() {
+  std::vector<AppPtr> apps;
+  // SNU NPB provides no CUDA versions (§6.1): CUDA source is empty, so
+  // RunCuda is only reachable through the cl2cu wrapper path.
+  apps.push_back(
+      std::make_unique<DualApp>("CG", "npb", kCgCl, "", CgDriver));
+  apps.push_back(
+      std::make_unique<DualApp>("EP", "npb", kEpCl, "", EpDriver));
+  apps.push_back(
+      std::make_unique<DualApp>("FT", "npb", kFtCl, "", FtDriver));
+  apps.push_back(
+      std::make_unique<DualApp>("IS", "npb", kIsCl, "", IsDriver));
+  apps.push_back(
+      std::make_unique<DualApp>("LU", "npb", kLuCl, "", LuDriver));
+  apps.push_back(
+      std::make_unique<DualApp>("MG", "npb", kMgCl, "", MgDriver));
+  apps.push_back(
+      std::make_unique<DualApp>("SP", "npb", kSpCl, "", SpDriver));
+  return apps;
+}
+
+}  // namespace bridgecl::apps

@@ -1,0 +1,736 @@
+// NVIDIA CUDA Toolkit 4.2-style samples: the translatable subset the paper
+// measures in Figs 7(c)/8(b), including simpleTexture (the §5 texture
+// translation) and deviceQuery (the §6.3 wrapper-overhead outlier).
+#include <cmath>
+
+#include "apps/dual.h"
+
+namespace bridgecl::apps {
+namespace {
+
+using simgpu::Dim3;
+
+// ===========================================================================
+// vectorAdd
+// ===========================================================================
+constexpr char kVecAddCl[] = R"(
+__kernel void vectorAdd(__global float* a, __global float* b,
+                        __global float* c, int n) {
+  int i = get_global_id(0);
+  if (i < n) c[i] = a[i] + b[i];
+}
+)";
+constexpr char kVecAddCu[] = R"(
+__global__ void vectorAdd(float* a, float* b, float* c, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) c[i] = a[i] + b[i];
+}
+)";
+
+Status VecAddDriver(DualDev& dev, double* checksum) {
+  const int n = 2048;
+  InputGen gen(3131);
+  auto a = gen.Floats(n), b = gen.Floats(n);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_a, dev.Upload(a));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_b, dev.Upload(b));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_c, dev.Alloc(n * 4));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "vectorAdd", Dim3(n / 128), Dim3(128),
+      {dev.BufArg(d_a), dev.BufArg(d_b), dev.BufArg(d_c), Arg::I32(n)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto c, dev.Download<float>(d_c, n));
+  *checksum = Checksum(c);
+  return OkStatus();
+}
+
+// ===========================================================================
+// matrixMul: tiled shared-memory matrix multiply.
+// ===========================================================================
+constexpr char kMatMulCl[] = R"(
+__kernel void matrixMul(__global float* a, __global float* b,
+                        __global float* c, int n) {
+  __local float as[8][8];
+  __local float bs[8][8];
+  int tx = get_local_id(0);
+  int ty = get_local_id(1);
+  int col = get_global_id(0);
+  int row = get_global_id(1);
+  float sum = 0.0f;
+  for (int t = 0; t < n / 8; t++) {
+    as[ty][tx] = a[row * n + t * 8 + tx];
+    bs[ty][tx] = b[(t * 8 + ty) * n + col];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < 8; k++) {
+      sum += as[ty][k] * bs[k][tx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  c[row * n + col] = sum;
+}
+)";
+constexpr char kMatMulCu[] = R"(
+__global__ void matrixMul(float* a, float* b, float* c, int n) {
+  __shared__ float as[8][8];
+  __shared__ float bs[8][8];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  float sum = 0.0f;
+  for (int t = 0; t < n / 8; t++) {
+    as[ty][tx] = a[row * n + t * 8 + tx];
+    bs[ty][tx] = b[(t * 8 + ty) * n + col];
+    __syncthreads();
+    for (int k = 0; k < 8; k++) {
+      sum += as[ty][k] * bs[k][tx];
+    }
+    __syncthreads();
+  }
+  c[row * n + col] = sum;
+}
+)";
+
+Status MatMulDriver(DualDev& dev, double* checksum) {
+  const int n = 32;
+  InputGen gen(3232);
+  auto a = gen.Floats(n * n, -1, 1), b = gen.Floats(n * n, -1, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_a, dev.Upload(a));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_b, dev.Upload(b));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_c, dev.Alloc(n * n * 4));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "matrixMul", Dim3(n / 8, n / 8), Dim3(8, 8),
+      {dev.BufArg(d_a), dev.BufArg(d_b), dev.BufArg(d_c), Arg::I32(n)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto c, dev.Download<float>(d_c, n * n));
+  *checksum = Checksum(c);
+  return OkStatus();
+}
+
+// ===========================================================================
+// scalarProd: per-block dot products with a shared-memory reduction.
+// ===========================================================================
+constexpr char kScalarProdCl[] = R"(
+__kernel void scalarProd(__global float* a, __global float* b,
+                         __global float* partial, int n) {
+  __local float acc[64];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  acc[l] = g < n ? a[g] * b[g] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 32; s > 0; s >>= 1) {
+    if (l < s) acc[l] += acc[l + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (l == 0) partial[get_group_id(0)] = acc[0];
+}
+)";
+constexpr char kScalarProdCu[] = R"(
+__global__ void scalarProd(float* a, float* b, float* partial, int n) {
+  __shared__ float acc[64];
+  int l = threadIdx.x;
+  int g = blockIdx.x * blockDim.x + threadIdx.x;
+  acc[l] = g < n ? a[g] * b[g] : 0.0f;
+  __syncthreads();
+  for (int s = 32; s > 0; s >>= 1) {
+    if (l < s) acc[l] += acc[l + s];
+    __syncthreads();
+  }
+  if (l == 0) partial[blockIdx.x] = acc[0];
+}
+)";
+
+Status ScalarProdDriver(DualDev& dev, double* checksum) {
+  const int n = 1024, block = 64;
+  InputGen gen(3333);
+  auto a = gen.Floats(n, -1, 1), b = gen.Floats(n, -1, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_a, dev.Upload(a));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_b, dev.Upload(b));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_p, dev.Alloc((n / block) * 4));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "scalarProd", Dim3(n / block), Dim3(block),
+      {dev.BufArg(d_a), dev.BufArg(d_b), dev.BufArg(d_p), Arg::I32(n)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto p, dev.Download<float>(d_p, n / block));
+  *checksum = Checksum(p);
+  return OkStatus();
+}
+
+// ===========================================================================
+// convolutionSeparable: row + column passes with a constant-memory filter.
+// Exercises dynamic constant memory (§4.2) in the OpenCL version.
+// ===========================================================================
+constexpr char kConvCl[] = R"(
+__kernel void convRows(__global float* src, __global float* dst,
+                       __constant float* filter, int w, int h, int r) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= w || y >= h) return;
+  float sum = 0.0f;
+  for (int k = -r; k <= r; k++) {
+    int xx = x + k;
+    if (xx < 0) xx = 0;
+    if (xx >= w) xx = w - 1;
+    sum += src[y * w + xx] * filter[k + r];
+  }
+  dst[y * w + x] = sum;
+}
+__kernel void convCols(__global float* src, __global float* dst,
+                       __constant float* filter, int w, int h, int r) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= w || y >= h) return;
+  float sum = 0.0f;
+  for (int k = -r; k <= r; k++) {
+    int yy = y + k;
+    if (yy < 0) yy = 0;
+    if (yy >= h) yy = h - 1;
+    sum += src[yy * w + x] * filter[k + r];
+  }
+  dst[y * w + x] = sum;
+}
+)";
+constexpr char kConvCu[] = R"(
+__constant__ float filter[9];
+__global__ void convRows(float* src, float* dst, int w, int h, int r) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x >= w || y >= h) return;
+  float sum = 0.0f;
+  for (int k = -r; k <= r; k++) {
+    int xx = x + k;
+    if (xx < 0) xx = 0;
+    if (xx >= w) xx = w - 1;
+    sum += src[y * w + xx] * filter[k + r];
+  }
+  dst[y * w + x] = sum;
+}
+__global__ void convCols(float* src, float* dst, int w, int h, int r) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x >= w || y >= h) return;
+  float sum = 0.0f;
+  for (int k = -r; k <= r; k++) {
+    int yy = y + k;
+    if (yy < 0) yy = 0;
+    if (yy >= h) yy = h - 1;
+    sum += src[yy * w + x] * filter[k + r];
+  }
+  dst[y * w + x] = sum;
+}
+)";
+
+/// convolutionSeparable has genuinely different host flows: OpenCL passes
+/// the filter as a dynamic __constant buffer; CUDA initializes a static
+/// __constant__ symbol with cudaMemcpyToSymbol (§4.2).
+class ConvSeparableApp final : public App {
+ public:
+  std::string name() const override { return "convolutionSeparable"; }
+  std::string suite() const override { return "toolkit"; }
+  std::string OpenClSource() const override { return kConvCl; }
+  std::string CudaSource() const override { return kConvCu; }
+
+  Status RunCl(mocl::OpenClApi& cl, double* checksum) override {
+    const int w = 32, h = 32, r = 4;
+    InputGen gen(3434);
+    auto img = gen.Floats(w * h, 0, 1);
+    std::vector<float> filter(2 * r + 1);
+    float fsum = 0;
+    for (int i = 0; i <= 2 * r; ++i) {
+      filter[i] = std::exp(-0.2f * (i - r) * (i - r));
+      fsum += filter[i];
+    }
+    for (auto& f : filter) f /= fsum;
+    ClRunner run(cl);
+    BRIDGECL_RETURN_IF_ERROR(run.Build(kConvCl));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d_src, run.Upload(img));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        auto d_filter, run.Upload(filter, mocl::MemFlags::kReadOnly));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d_tmp, run.Alloc(w * h * 4));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d_dst, run.Alloc(w * h * 4));
+    BRIDGECL_RETURN_IF_ERROR(run.Launch(
+        "convRows", Dim3(w, h), Dim3(16, 16),
+        {Arg::Buf(d_src), Arg::Buf(d_tmp), Arg::Buf(d_filter), Arg::I32(w),
+         Arg::I32(h), Arg::I32(r)}));
+    BRIDGECL_RETURN_IF_ERROR(run.Launch(
+        "convCols", Dim3(w, h), Dim3(16, 16),
+        {Arg::Buf(d_tmp), Arg::Buf(d_dst), Arg::Buf(d_filter), Arg::I32(w),
+         Arg::I32(h), Arg::I32(r)}));
+    BRIDGECL_ASSIGN_OR_RETURN(auto out, run.Download<float>(d_dst, w * h));
+    *checksum = Checksum(out);
+    return OkStatus();
+  }
+
+  Status RunCuda(mcuda::CudaApi& cu, double* checksum) override {
+    const int w = 32, h = 32, r = 4;
+    InputGen gen(3434);
+    auto img = gen.Floats(w * h, 0, 1);
+    std::vector<float> filter(2 * r + 1);
+    float fsum = 0;
+    for (int i = 0; i <= 2 * r; ++i) {
+      filter[i] = std::exp(-0.2f * (i - r) * (i - r));
+      fsum += filter[i];
+    }
+    for (auto& f : filter) f /= fsum;
+    CudaRunner run(cu);
+    BRIDGECL_RETURN_IF_ERROR(run.Build(kConvCu));
+    BRIDGECL_RETURN_IF_ERROR(cu.MemcpyToSymbol(
+        "filter", filter.data(), filter.size() * sizeof(float)));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d_src, run.Upload(img));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d_tmp, run.Alloc(w * h * 4));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d_dst, run.Alloc(w * h * 4));
+    BRIDGECL_RETURN_IF_ERROR(run.Launch(
+        "convRows", Dim3(w / 16, h / 16), Dim3(16, 16), 0,
+        {Arg::Ptr(d_src), Arg::Ptr(d_tmp), Arg::I32(w), Arg::I32(h),
+         Arg::I32(r)}));
+    BRIDGECL_RETURN_IF_ERROR(run.Launch(
+        "convCols", Dim3(w / 16, h / 16), Dim3(16, 16), 0,
+        {Arg::Ptr(d_tmp), Arg::Ptr(d_dst), Arg::I32(w), Arg::I32(h),
+         Arg::I32(r)}));
+    BRIDGECL_ASSIGN_OR_RETURN(auto out, run.Download<float>(d_dst, w * h));
+    *checksum = Checksum(out);
+    return OkStatus();
+  }
+};
+
+// ===========================================================================
+// BlackScholes: option pricing, math heavy.
+// ===========================================================================
+constexpr char kBlackScholesCl[] = R"(
+__kernel void BlackScholes(__global float* call, __global float* put,
+                           __global float* S, __global float* X,
+                           __global float* T, float R, float V, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float sqrtT = sqrt(T[i]);
+  float d1 = (log(S[i] / X[i]) + (R + 0.5f * V * V) * T[i]) / (V * sqrtT);
+  float d2 = d1 - V * sqrtT;
+  float k1 = 1.0f / (1.0f + 0.2316419f * fabs(d1));
+  float cnd1 = 1.0f - 0.3989423f * exp(-0.5f * d1 * d1) * k1 *
+               (0.3193815f + k1 * (-0.3565638f + k1 * 1.7814779f));
+  if (d1 < 0.0f) cnd1 = 1.0f - cnd1;
+  float k2 = 1.0f / (1.0f + 0.2316419f * fabs(d2));
+  float cnd2 = 1.0f - 0.3989423f * exp(-0.5f * d2 * d2) * k2 *
+               (0.3193815f + k2 * (-0.3565638f + k2 * 1.7814779f));
+  if (d2 < 0.0f) cnd2 = 1.0f - cnd2;
+  float expRT = exp(-R * T[i]);
+  call[i] = S[i] * cnd1 - X[i] * expRT * cnd2;
+  put[i] = X[i] * expRT * (1.0f - cnd2) - S[i] * (1.0f - cnd1);
+}
+)";
+constexpr char kBlackScholesCu[] = R"(
+__global__ void BlackScholes(float* call, float* put, float* S, float* X,
+                             float* T, float R, float V, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  float sqrtT = sqrtf(T[i]);
+  float d1 = (logf(S[i] / X[i]) + (R + 0.5f * V * V) * T[i]) / (V * sqrtT);
+  float d2 = d1 - V * sqrtT;
+  float k1 = 1.0f / (1.0f + 0.2316419f * fabsf(d1));
+  float cnd1 = 1.0f - 0.3989423f * expf(-0.5f * d1 * d1) * k1 *
+               (0.3193815f + k1 * (-0.3565638f + k1 * 1.7814779f));
+  if (d1 < 0.0f) cnd1 = 1.0f - cnd1;
+  float k2 = 1.0f / (1.0f + 0.2316419f * fabsf(d2));
+  float cnd2 = 1.0f - 0.3989423f * expf(-0.5f * d2 * d2) * k2 *
+               (0.3193815f + k2 * (-0.3565638f + k2 * 1.7814779f));
+  if (d2 < 0.0f) cnd2 = 1.0f - cnd2;
+  float expRT = expf(-R * T[i]);
+  call[i] = S[i] * cnd1 - X[i] * expRT * cnd2;
+  put[i] = X[i] * expRT * (1.0f - cnd2) - S[i] * (1.0f - cnd1);
+}
+)";
+
+Status BlackScholesDriver(DualDev& dev, double* checksum) {
+  const int n = 512;
+  InputGen gen(3535);
+  auto S = gen.Floats(n, 10, 100);
+  auto X = gen.Floats(n, 10, 100);
+  auto T = gen.Floats(n, 0.2f, 2.0f);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_S, dev.Upload(S));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_X, dev.Upload(X));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_T, dev.Upload(T));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_call, dev.Alloc(n * 4));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_put, dev.Alloc(n * 4));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "BlackScholes", Dim3(n / 128), Dim3(128),
+      {dev.BufArg(d_call), dev.BufArg(d_put), dev.BufArg(d_S),
+       dev.BufArg(d_X), dev.BufArg(d_T), Arg::F32(0.02f), Arg::F32(0.3f),
+       Arg::I32(n)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto call, dev.Download<float>(d_call, n));
+  BRIDGECL_ASSIGN_OR_RETURN(auto put, dev.Download<float>(d_put, n));
+  *checksum = Checksum(call) + Checksum(put);
+  return OkStatus();
+}
+
+// ===========================================================================
+// histogram64: per-block shared histograms merged by atomics.
+// ===========================================================================
+constexpr char kHistogramCl[] = R"(
+__kernel void histogram64(__global uchar* data, __global int* hist, int n) {
+  __local int local_hist[64];
+  int l = get_local_id(0);
+  local_hist[l] = 0;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int g = get_global_id(0);
+  int stride = (int)get_global_size(0);
+  for (int i = g; i < n; i += stride) {
+    atomic_add(&local_hist[data[i] / 4], 1);
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  atomic_add(&hist[l], local_hist[l]);
+}
+)";
+constexpr char kHistogramCu[] = R"(
+__global__ void histogram64(unsigned char* data, int* hist, int n) {
+  __shared__ int local_hist[64];
+  int l = threadIdx.x;
+  local_hist[l] = 0;
+  __syncthreads();
+  int g = blockIdx.x * blockDim.x + threadIdx.x;
+  int stride = gridDim.x * blockDim.x;
+  for (int i = g; i < n; i += stride) {
+    atomicAdd(&local_hist[data[i] / 4], 1);
+  }
+  __syncthreads();
+  atomicAdd(&hist[l], local_hist[l]);
+}
+)";
+
+Status HistogramDriver(DualDev& dev, double* checksum) {
+  const int n = 4096;
+  InputGen gen(3636);
+  std::vector<unsigned char> data(n);
+  for (auto& v : data) v = static_cast<unsigned char>(gen.NextU32() % 256);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_data, dev.Upload(data));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_hist,
+                            dev.Upload(std::vector<int>(64, 0)));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "histogram64", Dim3(4), Dim3(64),
+      {dev.BufArg(d_data), dev.BufArg(d_hist), Arg::I32(n)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto hist, dev.Download<int>(d_hist, 64));
+  *checksum = Checksum(hist);
+  return OkStatus();
+}
+
+// ===========================================================================
+// dwtHaar1D: one level of the Haar wavelet transform.
+// ===========================================================================
+constexpr char kDwtCl[] = R"(
+__kernel void dwtHaar1D(__global float* in, __global float* approx,
+                        __global float* detail, int half_n) {
+  int i = get_global_id(0);
+  if (i >= half_n) return;
+  float a = in[2 * i];
+  float b = in[2 * i + 1];
+  approx[i] = (a + b) * 0.70710678f;
+  detail[i] = (a - b) * 0.70710678f;
+}
+)";
+constexpr char kDwtCu[] = R"(
+__global__ void dwtHaar1D(float* in, float* approx, float* detail,
+                          int half_n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= half_n) return;
+  float a = in[2 * i];
+  float b = in[2 * i + 1];
+  approx[i] = (a + b) * 0.70710678f;
+  detail[i] = (a - b) * 0.70710678f;
+}
+)";
+
+Status DwtDriver(DualDev& dev, double* checksum) {
+  const int n = 2048;
+  InputGen gen(3737);
+  auto in = gen.Floats(n, -1, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_in, dev.Upload(in));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_a, dev.Alloc(n / 2 * 4));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d_d, dev.Alloc(n / 2 * 4));
+  BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+      "dwtHaar1D", Dim3(n / 2 / 64), Dim3(64),
+      {dev.BufArg(d_in), dev.BufArg(d_a), dev.BufArg(d_d),
+       Arg::I32(n / 2)}));
+  BRIDGECL_ASSIGN_OR_RETURN(auto a, dev.Download<float>(d_a, n / 2));
+  BRIDGECL_ASSIGN_OR_RETURN(auto d, dev.Download<float>(d_d, n / 2));
+  *checksum = Checksum(a) + Checksum(d);
+  return OkStatus();
+}
+
+// ===========================================================================
+// fastWalshTransform: butterfly passes over shared memory.
+// ===========================================================================
+constexpr char kFwtCl[] = R"(
+__kernel void fwtBatch(__global float* data, int stride) {
+  int i = get_global_id(0);
+  int lo = i & (stride - 1);
+  int base = ((i - lo) << 1) + lo;
+  float a = data[base];
+  float b = data[base + stride];
+  data[base] = a + b;
+  data[base + stride] = a - b;
+}
+)";
+constexpr char kFwtCu[] = R"(
+__global__ void fwtBatch(float* data, int stride) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int lo = i & (stride - 1);
+  int base = ((i - lo) << 1) + lo;
+  float a = data[base];
+  float b = data[base + stride];
+  data[base] = a + b;
+  data[base + stride] = a - b;
+}
+)";
+
+Status FwtDriver(DualDev& dev, double* checksum) {
+  const int n = 1024;
+  InputGen gen(3838);
+  auto data = gen.Floats(n, -1, 1);
+  BRIDGECL_ASSIGN_OR_RETURN(auto d, dev.Upload(data));
+  for (int stride = 1; stride < n; stride <<= 1) {
+    BRIDGECL_RETURN_IF_ERROR(dev.Launch(
+        "fwtBatch", Dim3(n / 2 / 64), Dim3(64),
+        {dev.BufArg(d), Arg::I32(stride)}));
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(auto out, dev.Download<float>(d, n));
+  *checksum = Checksum(out);
+  return OkStatus();
+}
+
+// ===========================================================================
+// simpleTexture: image rotation through the texture path (§5). The two
+// host programs differ structurally: CUDA binds a texture reference to a
+// cudaArray; OpenCL creates an image + sampler and passes them as args.
+// ===========================================================================
+constexpr char kSimpleTexCl[] = R"(
+__kernel void transformKernel(__read_only image2d_t tex, sampler_t s,
+                              __global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= w || y >= h) return;
+  float4 t = read_imagef(tex, s, (int2)(w - 1 - x, h - 1 - y));
+  out[y * w + x] = t.x;
+}
+)";
+constexpr char kSimpleTexCu[] = R"(
+texture<float, 2, cudaReadModeElementType> tex;
+__global__ void transformKernel(float* out, int w, int h) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x >= w || y >= h) return;
+  out[y * w + x] = tex2D(tex, (float)(w - 1 - x), (float)(h - 1 - y));
+}
+)";
+
+class SimpleTextureApp final : public App {
+ public:
+  std::string name() const override { return "simpleTexture"; }
+  std::string suite() const override { return "toolkit"; }
+  std::string OpenClSource() const override { return kSimpleTexCl; }
+  std::string CudaSource() const override { return kSimpleTexCu; }
+
+  Status RunCl(mocl::OpenClApi& cl, double* checksum) override {
+    const int w = 16, h = 16;
+    InputGen gen(3939);
+    auto img = gen.Floats(w * h, 0, 1);
+    ClRunner run(cl);
+    BRIDGECL_RETURN_IF_ERROR(run.Build(kSimpleTexCl));
+    mocl::ClImageFormat fmt;
+    fmt.elem = lang::ScalarKind::kFloat;
+    fmt.channels = 1;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        auto d_img,
+        cl.CreateImage2D(mocl::MemFlags::kReadOnly, fmt, w, h, img.data()));
+    BRIDGECL_ASSIGN_OR_RETURN(auto sampler, cl.CreateSampler({}));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d_out, run.Alloc(w * h * 4));
+    BRIDGECL_RETURN_IF_ERROR(run.Launch(
+        "transformKernel", Dim3(w, h), Dim3(8, 8),
+        {Arg::Buf(d_img), Arg::U64(sampler), Arg::Buf(d_out), Arg::I32(w),
+         Arg::I32(h)}));
+    BRIDGECL_ASSIGN_OR_RETURN(auto out, run.Download<float>(d_out, w * h));
+    *checksum = Checksum(out);
+    return OkStatus();
+  }
+
+  Status RunCuda(mcuda::CudaApi& cu, double* checksum) override {
+    const int w = 16, h = 16;
+    InputGen gen(3939);
+    auto img = gen.Floats(w * h, 0, 1);
+    CudaRunner run(cu);
+    BRIDGECL_RETURN_IF_ERROR(run.Build(kSimpleTexCu));
+    mcuda::ChannelDesc desc;
+    desc.elem = lang::ScalarKind::kFloat;
+    desc.channels = 1;
+    BRIDGECL_ASSIGN_OR_RETURN(void* arr, cu.MallocArray(desc, w, h));
+    BRIDGECL_RETURN_IF_ERROR(cu.MemcpyToArray(arr, img.data(), w * h * 4));
+    BRIDGECL_RETURN_IF_ERROR(cu.BindTextureToArray("tex", arr));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d_out, run.Alloc(w * h * 4));
+    BRIDGECL_RETURN_IF_ERROR(run.Launch(
+        "transformKernel", Dim3(w / 8, h / 8), Dim3(8, 8), 0,
+        {Arg::Ptr(d_out), Arg::I32(w), Arg::I32(h)}));
+    BRIDGECL_ASSIGN_OR_RETURN(auto out, run.Download<float>(d_out, w * h));
+    *checksum = Checksum(out);
+    return OkStatus();
+  }
+};
+
+// ===========================================================================
+// deviceQuery: no kernels — repeated device-attribute queries. Under the
+// cu2cl wrapper each cudaGetDeviceProperties call fans out into many
+// clGetDeviceInfo calls, the §6.3 outlier in Fig 8(b).
+// ===========================================================================
+class DeviceQueryApp final : public App {
+ public:
+  std::string name() const override { return "deviceQuery"; }
+  std::string suite() const override { return "toolkit"; }
+  // Needs a trivial module so the wrapper path has something to translate.
+  std::string CudaSource() const override {
+    return "__global__ void noop(int* p) { if (threadIdx.x == 0) p[0] = 1; }";
+  }
+  std::string OpenClSource() const override {
+    return "__kernel void noop(__global int* p) {"
+           "  if (get_local_id(0) == 0) p[0] = 1;"
+           "}";
+  }
+
+  Status RunCuda(mcuda::CudaApi& cu, double* checksum) override {
+    BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(CudaSource()));
+    double props_sum = 0;
+    for (int rep = 0; rep < 32; ++rep) {
+      BRIDGECL_ASSIGN_OR_RETURN(mcuda::CudaDeviceProps p,
+                                cu.GetDeviceProperties());
+      props_sum += p.multi_processor_count + p.warp_size;
+    }
+    *checksum = props_sum;
+    return OkStatus();
+  }
+
+  Status RunCl(mocl::OpenClApi& cl, double* checksum) override {
+    double sum = 0;
+    for (int rep = 0; rep < 32; ++rep) {
+      BRIDGECL_ASSIGN_OR_RETURN(
+          uint64_t cus,
+          cl.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxComputeUnits));
+      sum += static_cast<double>(cus) + 32;
+    }
+    *checksum = sum;
+    return OkStatus();
+  }
+};
+
+// ===========================================================================
+// asyncAPI: kernel timing through the event APIs (cudaEvent_t pairs /
+// cl_event profiling). The computed checksum folds in the event-measured
+// window scaled off, so outputs stay device-independent while the event
+// path is exercised under every binding.
+// ===========================================================================
+constexpr char kAsyncCl[] = R"(
+__kernel void increment(__global int* data, int n, int v) {
+  int i = get_global_id(0);
+  if (i < n) data[i] += v;
+}
+)";
+constexpr char kAsyncCu[] = R"(
+__global__ void increment(int* data, int n, int v) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) data[i] += v;
+}
+)";
+
+class AsyncApiApp final : public App {
+ public:
+  std::string name() const override { return "asyncAPI"; }
+  std::string suite() const override { return "toolkit"; }
+  std::string OpenClSource() const override { return kAsyncCl; }
+  std::string CudaSource() const override { return kAsyncCu; }
+
+  Status RunCl(mocl::OpenClApi& cl, double* checksum) override {
+    const int n = 512;
+    InputGen gen(4040);
+    auto data = gen.Ints(n, 0, 100);
+    BRIDGECL_ASSIGN_OR_RETURN(auto prog,
+                              cl.CreateProgramWithSource(kAsyncCl));
+    BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+    BRIDGECL_ASSIGN_OR_RETURN(auto kernel,
+                              cl.CreateKernel(prog, "increment"));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        auto d, cl.CreateBuffer(mocl::MemFlags::kReadWrite, n * 4,
+                                data.data()));
+    int nn = n, v = 7;
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(d), &d));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 1, sizeof(int), &nn));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 2, sizeof(int), &v));
+    // Timed launch via cl_event profiling.
+    size_t gws = n, lws = 64;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        auto ev, cl.EnqueueNDRangeKernelWithEvent(kernel, 1, &gws, &lws));
+    double queued = 0, end = 0;
+    BRIDGECL_RETURN_IF_ERROR(cl.GetEventProfiling(ev, &queued, &end));
+    if (end <= queued)
+      return InternalError("event profiling window is empty");
+    std::vector<int> out(n);
+    BRIDGECL_RETURN_IF_ERROR(cl.EnqueueReadBuffer(d, 0, n * 4, out.data()));
+    *checksum = Checksum(out);
+    return OkStatus();
+  }
+
+  Status RunCuda(mcuda::CudaApi& cu, double* checksum) override {
+    const int n = 512;
+    InputGen gen(4040);
+    auto data = gen.Ints(n, 0, 100);
+    CudaRunner r(cu);
+    BRIDGECL_RETURN_IF_ERROR(r.Build(kAsyncCu));
+    BRIDGECL_ASSIGN_OR_RETURN(auto d, r.Upload(data));
+    BRIDGECL_ASSIGN_OR_RETURN(void* start, cu.EventCreate());
+    BRIDGECL_ASSIGN_OR_RETURN(void* stop, cu.EventCreate());
+    BRIDGECL_RETURN_IF_ERROR(cu.EventRecord(start));
+    BRIDGECL_RETURN_IF_ERROR(r.Launch(
+        "increment", Dim3(n / 64), Dim3(64), 0,
+        {Arg::Ptr(d), Arg::I32(n), Arg::I32(7)}));
+    BRIDGECL_RETURN_IF_ERROR(cu.EventRecord(stop));
+    BRIDGECL_ASSIGN_OR_RETURN(double us, cu.EventElapsedUs(start, stop));
+    if (us <= 0) return InternalError("event window is empty");
+    BRIDGECL_RETURN_IF_ERROR(cu.EventDestroy(start));
+    BRIDGECL_RETURN_IF_ERROR(cu.EventDestroy(stop));
+    BRIDGECL_ASSIGN_OR_RETURN(auto out, r.Download<int>(d, n));
+    *checksum = Checksum(out);
+    return OkStatus();
+  }
+};
+
+}  // namespace
+
+std::vector<AppPtr> ToolkitApps() {
+  std::vector<AppPtr> apps;
+  apps.push_back(std::make_unique<DualApp>("vectorAdd", "toolkit",
+                                           kVecAddCl, kVecAddCu,
+                                           VecAddDriver));
+  apps.push_back(std::make_unique<DualApp>("matrixMul", "toolkit",
+                                           kMatMulCl, kMatMulCu,
+                                           MatMulDriver));
+  apps.push_back(std::make_unique<DualApp>("scalarProd", "toolkit",
+                                           kScalarProdCl, kScalarProdCu,
+                                           ScalarProdDriver));
+  apps.push_back(std::make_unique<ConvSeparableApp>());
+  apps.push_back(std::make_unique<DualApp>("BlackScholes", "toolkit",
+                                           kBlackScholesCl, kBlackScholesCu,
+                                           BlackScholesDriver));
+  apps.push_back(std::make_unique<DualApp>("histogram64", "toolkit",
+                                           kHistogramCl, kHistogramCu,
+                                           HistogramDriver));
+  apps.push_back(std::make_unique<DualApp>("dwtHaar1D", "toolkit", kDwtCl,
+                                           kDwtCu, DwtDriver));
+  apps.push_back(std::make_unique<DualApp>("fastWalshTransform", "toolkit",
+                                           kFwtCl, kFwtCu, FwtDriver));
+  apps.push_back(std::make_unique<SimpleTextureApp>());
+  apps.push_back(std::make_unique<AsyncApiApp>());
+  apps.push_back(std::make_unique<DeviceQueryApp>());
+  return apps;
+}
+
+AppPtr FindApp(const std::string& name) {
+  for (auto maker : {RodiniaApps, NpbApps, ToolkitApps,
+                     RodiniaUntranslatableApps}) {
+    for (auto& app : maker()) {
+      if (app->name() == name) return std::move(app);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bridgecl::apps

@@ -1,0 +1,501 @@
+#include "cl2cu/cl_on_cuda.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "interp/image.h"
+#include "support/strings.h"
+#include "translator/translate.h"
+
+namespace bridgecl::cl2cu {
+namespace {
+
+using interp::ImageDesc;
+using mcuda::CudaApi;
+using mcuda::LaunchArg;
+using mcuda::MemcpyKind;
+using mocl::ClDeviceAttr;
+using mocl::ClImageFormat;
+using mocl::ClKernel;
+using mocl::ClMem;
+using mocl::ClProgram;
+using mocl::ClSamplerDesc;
+using mocl::MemFlags;
+using mocl::OpenClApi;
+using translator::KernelTranslationInfo;
+using translator::TranslationResult;
+
+constexpr char kConstArena[] = "__OC2CU_const_mem";
+
+size_t Align16(size_t n) { return (n + 15) & ~size_t{15}; }
+
+struct BufferRec {
+  void* dev_ptr = nullptr;
+  size_t size = 0;
+};
+
+struct ImageRec {
+  // The CLImage of Figure 6: a descriptor object in CUDA device memory
+  // whose `ptr` member points at a CUDA memory object with the texels.
+  void* desc_ptr = nullptr;
+  void* data_ptr = nullptr;
+  size_t byte_size = 0;
+};
+
+/// Per-argument marshalling state collected by clSetKernelArg (§3.5: the
+/// information cuLaunchKernel needs is gathered at run time).
+struct ArgRec {
+  enum class Kind { kUnset, kBytes, kDynLocal, kDynConst };
+  Kind kind = Kind::kUnset;
+  std::vector<std::byte> bytes;   // kBytes: final launch bytes
+  size_t local_size = 0;          // kDynLocal
+  ClMem const_buffer;             // kDynConst
+  size_t const_size = 0;
+};
+
+struct ProgramRec {
+  std::string source;
+  bool built = false;
+  TranslationResult translation;
+};
+
+struct KernelRec {
+  uint64_t program = 0;
+  std::string name;
+  const KernelTranslationInfo* info = nullptr;
+  std::vector<ArgRec> args;
+};
+
+class ClOnCudaApi final : public OpenClApi {
+ public:
+  explicit ClOnCudaApi(CudaApi& cu) : cu_(cu) {}
+
+  std::string PlatformName() const override {
+    return "BridgeCL OpenCL-on-CUDA wrapper";
+  }
+
+  StatusOr<std::string> QueryDeviceInfoString(ClDeviceAttr attr) override {
+    BRIDGECL_ASSIGN_OR_RETURN(mcuda::CudaDeviceProps p,
+                              cu_.GetDeviceProperties());
+    switch (attr) {
+      case ClDeviceAttr::kName:
+        return p.name;
+      case ClDeviceAttr::kVendor:
+        return std::string("BridgeCL (via CUDA wrapper)");
+      default:
+        return InvalidArgumentError("attribute is not a string");
+    }
+  }
+
+  StatusOr<uint64_t> QueryDeviceInfoUint(ClDeviceAttr attr) override {
+    BRIDGECL_ASSIGN_OR_RETURN(mcuda::CudaDeviceProps p,
+                              cu_.GetDeviceProperties());
+    switch (attr) {
+      case ClDeviceAttr::kMaxComputeUnits:
+        return static_cast<uint64_t>(p.multi_processor_count);
+      case ClDeviceAttr::kMaxWorkGroupSize:
+        return static_cast<uint64_t>(p.max_threads_per_block);
+      case ClDeviceAttr::kLocalMemSize:
+        return static_cast<uint64_t>(p.shared_mem_per_block);
+      case ClDeviceAttr::kGlobalMemSize:
+        return static_cast<uint64_t>(p.total_global_mem);
+      case ClDeviceAttr::kMaxConstantBufferSize:
+        return static_cast<uint64_t>(p.total_const_mem);
+      case ClDeviceAttr::kImage2dMaxWidth:
+      case ClDeviceAttr::kImage2dMaxHeight:
+      case ClDeviceAttr::kImage1dMaxBufferWidth:
+        // Image limits on the CUDA side are texture limits.
+        return static_cast<uint64_t>(65536);
+      case ClDeviceAttr::kMaxClockFrequency:
+        return static_cast<uint64_t>(p.clock_rate_khz / 1000);
+      default:
+        return InvalidArgumentError("attribute is not an integer");
+    }
+  }
+
+  StatusOr<int> CreateSubDevices(int) override {
+    // §3.7: CUDA has no sub-device concept; this wrapper cannot exist.
+    return UnimplementedError(
+        "clCreateSubDevices has no CUDA counterpart (§3.7)");
+  }
+
+  // -- buffers: cl_mem == CUDA device pointer (§4) --------------------------
+  StatusOr<ClMem> CreateBuffer(MemFlags, size_t size,
+                               const void* host_ptr) override {
+    BRIDGECL_ASSIGN_OR_RETURN(void* p, cu_.Malloc(size));
+    if (host_ptr != nullptr)
+      BRIDGECL_RETURN_IF_ERROR(
+          cu_.Memcpy(p, host_ptr, size, MemcpyKind::kHostToDevice));
+    ClMem mem{reinterpret_cast<uint64_t>(p)};  // the paper's handle cast
+    buffers_[mem.handle] = BufferRec{p, size};
+    return mem;
+  }
+
+  Status ReleaseMemObject(ClMem mem) override {
+    if (auto it = buffers_.find(mem.handle); it != buffers_.end()) {
+      BRIDGECL_RETURN_IF_ERROR(cu_.Free(it->second.dev_ptr));
+      buffers_.erase(it);
+      return OkStatus();
+    }
+    if (auto it = images_.find(mem.handle); it != images_.end()) {
+      if (owned_image_data_[mem.handle])
+        BRIDGECL_RETURN_IF_ERROR(cu_.Free(it->second.data_ptr));
+      BRIDGECL_RETURN_IF_ERROR(cu_.Free(it->second.desc_ptr));
+      owned_image_data_.erase(mem.handle);
+      images_.erase(it);
+      return OkStatus();
+    }
+    return InvalidArgumentError("unknown memory object");
+  }
+
+  Status EnqueueWriteBuffer(ClMem mem, size_t offset, size_t size,
+                            const void* src) override {
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+    if (offset + size > b->size)
+      return OutOfRangeError("write beyond buffer end");
+    return cu_.Memcpy(static_cast<std::byte*>(b->dev_ptr) + offset, src,
+                      size, MemcpyKind::kHostToDevice);
+  }
+
+  Status EnqueueReadBuffer(ClMem mem, size_t offset, size_t size,
+                           void* dst) override {
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+    if (offset + size > b->size)
+      return OutOfRangeError("read beyond buffer end");
+    return cu_.Memcpy(dst, static_cast<std::byte*>(b->dev_ptr) + offset,
+                      size, MemcpyKind::kDeviceToHost);
+  }
+
+  Status EnqueueCopyBuffer(ClMem src, ClMem dst, size_t src_offset,
+                           size_t dst_offset, size_t size) override {
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * d, FindBuffer(dst));
+    return cu_.Memcpy(static_cast<std::byte*>(d->dev_ptr) + dst_offset,
+                      static_cast<std::byte*>(s->dev_ptr) + src_offset, size,
+                      MemcpyKind::kDeviceToDevice);
+  }
+
+  // -- images (§5: CLImage objects in CUDA memory) ---------------------------
+  StatusOr<ClMem> CreateImage2D(MemFlags flags, const ClImageFormat& format,
+                                size_t width, size_t height,
+                                const void* host_ptr) override {
+    return MakeImage(flags, format, width, height, host_ptr);
+  }
+
+  StatusOr<ClMem> CreateImage1D(MemFlags flags, const ClImageFormat& format,
+                                size_t width, const void* host_ptr) override {
+    return MakeImage(flags, format, width, 1, host_ptr);
+  }
+
+  StatusOr<ClMem> CreateImage1DFromBuffer(const ClImageFormat& format,
+                                          size_t width,
+                                          ClMem buffer) override {
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(buffer));
+    size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
+    if (width * texel > b->size)
+      return OutOfRangeError("image view larger than the backing buffer");
+    return MakeImageOver(b->dev_ptr, /*owns=*/false, format, width, 1);
+  }
+
+  Status EnqueueWriteImage(ClMem image, const void* src) override {
+    BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
+    return cu_.Memcpy(img->data_ptr, src, img->byte_size,
+                      MemcpyKind::kHostToDevice);
+  }
+
+  Status EnqueueReadImage(ClMem image, void* dst) override {
+    BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
+    return cu_.Memcpy(dst, img->data_ptr, img->byte_size,
+                      MemcpyKind::kDeviceToHost);
+  }
+
+  StatusOr<uint64_t> CreateSampler(const ClSamplerDesc& desc) override {
+    uint64_t bits = 0;
+    if (desc.normalized_coords) bits |= interp::kSamplerNormalizedCoords;
+    if (desc.address_clamp) bits |= interp::kSamplerAddressClamp;
+    if (desc.filter_linear) bits |= interp::kSamplerFilterLinear;
+    return bits;
+  }
+
+  // -- programs: run-time translation + nvcc (Figure 2) ----------------------
+  StatusOr<ClProgram> CreateProgramWithSource(
+      const std::string& source) override {
+    uint64_t id = next_id_++;
+    programs_[id].source = source;
+    return ClProgram{id};
+  }
+
+  Status BuildProgram(ClProgram program) override {
+    auto it = programs_.find(program.handle);
+    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    DiagnosticEngine diags;
+    auto tr = translator::TranslateOpenClToCuda(it->second.source, diags);
+    if (!tr.ok()) {
+      build_log_[program.handle] = diags.ToString();
+      return tr.status();
+    }
+    Status st = cu_.RegisterModule(tr->source);  // "nvcc" + cuModuleLoad
+    if (!st.ok()) {
+      build_log_[program.handle] = st.ToString();
+      return st;
+    }
+    it->second.translation = std::move(*tr);
+    it->second.built = true;
+    return OkStatus();
+  }
+
+  StatusOr<std::string> GetProgramBuildLog(ClProgram program) override {
+    auto it = build_log_.find(program.handle);
+    return it == build_log_.end() ? std::string() : it->second;
+  }
+
+  StatusOr<ClKernel> CreateKernel(ClProgram program,
+                                  const std::string& name) override {
+    auto it = programs_.find(program.handle);
+    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (!it->second.built)
+      return FailedPreconditionError("program is not built");
+    const KernelTranslationInfo* info = it->second.translation.Find(name);
+    if (info == nullptr)
+      return NotFoundError("no kernel '" + name + "' in program");
+    uint64_t id = next_id_++;
+    KernelRec& k = kernels_[id];
+    k.program = program.handle;
+    k.name = name;
+    k.info = info;
+    k.args.resize(info->original_param_count);
+    return ClKernel{id};
+  }
+
+  Status SetKernelArg(ClKernel kernel, int index, size_t size,
+                      const void* value) override {
+    auto it = kernels_.find(kernel.handle);
+    if (it == kernels_.end()) return InvalidArgumentError("unknown kernel");
+    KernelRec& k = it->second;
+    if (index < 0 || index >= static_cast<int>(k.args.size()))
+      return OutOfRangeError("kernel argument index out of range");
+    using Role = KernelTranslationInfo::ParamRole;
+    Role role = k.info->param_roles[index];
+    ArgRec& arg = k.args[index];
+    if (role == Role::kDynLocalSize) {
+      if (value != nullptr)
+        return InvalidArgumentError(
+            "dynamic __local argument must have a null value");
+      arg.kind = ArgRec::Kind::kDynLocal;
+      arg.local_size = size;
+      return OkStatus();
+    }
+    if (role == Role::kDynConstSize) {
+      if (value == nullptr || size != sizeof(ClMem))
+        return InvalidArgumentError(
+            "__constant pointer argument must be a memory object");
+      ClMem mem;
+      std::memcpy(&mem, value, sizeof(mem));
+      BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+      arg.kind = ArgRec::Kind::kDynConst;
+      arg.const_buffer = mem;
+      arg.const_size = b->size;
+      return OkStatus();
+    }
+    if (value == nullptr)
+      return InvalidArgumentError("null value on a non-__local argument");
+    // Memory objects, images, samplers and plain data all marshal as raw
+    // bytes. For image parameters (known from the translation metadata,
+    // never guessed from the handle value) the cl_mem handle is replaced
+    // by the CLImage descriptor pointer (§5, Fig 6); buffer handles need
+    // no rewrite because the handle *is* the device pointer (§4).
+    std::vector<std::byte> bytes(size);
+    std::memcpy(bytes.data(), value, size);
+    if (index < static_cast<int>(k.info->param_is_image.size()) &&
+        k.info->param_is_image[index]) {
+      if (size != sizeof(ClMem))
+        return InvalidArgumentError("image argument size mismatch");
+      ClMem handle;
+      std::memcpy(&handle, value, sizeof(handle));
+      auto img = images_.find(handle.handle);
+      if (img == images_.end())
+        return InvalidArgumentError("argument is not an image object");
+      void* desc = img->second.desc_ptr;
+      std::memcpy(bytes.data(), &desc, sizeof(desc));
+    }
+    arg.kind = ArgRec::Kind::kBytes;
+    arg.bytes = std::move(bytes);
+    return OkStatus();
+  }
+
+  Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
+                              const size_t* gws, const size_t* lws) override {
+    auto it = kernels_.find(kernel.handle);
+    if (it == kernels_.end()) return InvalidArgumentError("unknown kernel");
+    KernelRec& k = it->second;
+    // NDRange → grid (§3.5).
+    simgpu::Dim3 g(1, 1, 1), l(1, 1, 1);
+    uint32_t* gp[3] = {&g.x, &g.y, &g.z};
+    uint32_t* lp[3] = {&l.x, &l.y, &l.z};
+    for (int d = 0; d < work_dim; ++d) {
+      *gp[d] = static_cast<uint32_t>(gws[d]);
+      *lp[d] = lws != nullptr ? static_cast<uint32_t>(lws[d])
+                              : std::min<uint32_t>(*gp[d], 64);
+    }
+    simgpu::Dim3 grid;
+    if (!simgpu::NdrangeToGrid(g, l, &grid))
+      return InvalidArgumentError(
+          "global work size is not a multiple of the local work size");
+
+    // Marshal arguments in original order; dynamic local/constant params
+    // became size_t parameters (Fig 5).
+    std::vector<LaunchArg> args;
+    size_t shared_total = 0;
+    size_t const_offset = 0;
+    for (size_t i = 0; i < k.args.size(); ++i) {
+      const ArgRec& a = k.args[i];
+      switch (a.kind) {
+        case ArgRec::Kind::kUnset:
+          return FailedPreconditionError(
+              StrFormat("kernel '%s': argument %zu was never set",
+                        k.name.c_str(), i));
+        case ArgRec::Kind::kBytes: {
+          LaunchArg la;
+          la.bytes = a.bytes;
+          args.push_back(std::move(la));
+          break;
+        }
+        case ArgRec::Kind::kDynLocal: {
+          size_t aligned = Align16(a.local_size);
+          shared_total += aligned;
+          args.push_back(LaunchArg::Value<size_t>(aligned));
+          break;
+        }
+        case ArgRec::Kind::kDynConst: {
+          // §4.2: the buffer contents move into the constant arena when
+          // the kernel launches (the deferred copy).
+          size_t aligned = Align16(a.const_size);
+          BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b,
+                                    FindBuffer(a.const_buffer));
+          std::vector<std::byte> staging(a.const_size);
+          BRIDGECL_RETURN_IF_ERROR(cu_.Memcpy(staging.data(), b->dev_ptr,
+                                              a.const_size,
+                                              MemcpyKind::kDeviceToHost));
+          BRIDGECL_RETURN_IF_ERROR(cu_.MemcpyToSymbol(
+              kConstArena, staging.data(), a.const_size, const_offset));
+          args.push_back(LaunchArg::Value<size_t>(aligned));
+          const_offset += aligned;
+          break;
+        }
+      }
+    }
+    return cu_.LaunchKernel(k.name, grid, l, shared_total, args);
+  }
+
+  Status Finish() override { return cu_.DeviceSynchronize(); }
+
+  StatusOr<mocl::ClEvent> EnqueueNDRangeKernelWithEvent(
+      ClKernel kernel, int work_dim, const size_t* gws,
+      const size_t* lws) override {
+    // Wrapper implementation over CUDA events (cuEventRecord pairs).
+    double queued = cu_.NowUs();
+    BRIDGECL_RETURN_IF_ERROR(
+        EnqueueNDRangeKernel(kernel, work_dim, gws, lws));
+    uint64_t id = next_id_++;
+    event_times_[id] = {queued, cu_.NowUs()};
+    return mocl::ClEvent{id};
+  }
+
+  Status GetEventProfiling(mocl::ClEvent event, double* queued_us,
+                           double* end_us) override {
+    auto it = event_times_.find(event.handle);
+    if (it == event_times_.end())
+      return InvalidArgumentError("unknown event");
+    *queued_us = it->second.first;
+    *end_us = it->second.second;
+    return OkStatus();
+  }
+
+  Status SetProgramKernelRegisters(ClProgram program,
+                                   const std::string& kernel,
+                                   int regs) override {
+    auto it = programs_.find(program.handle);
+    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (!it->second.built)
+      return FailedPreconditionError("program is not built");
+    return cu_.SetKernelRegisters(kernel, regs);
+  }
+
+  double NowUs() const override { return cu_.NowUs(); }
+  /// The run-time translate+nvcc pipeline (Fig 2) is host-side work that
+  /// never enters the simulated device clock, so nothing needs excluding:
+  /// NowUs() already reports build-free time.
+  double BuildTimeUs() const override { return 0; }
+
+ private:
+  StatusOr<BufferRec*> FindBuffer(ClMem mem) {
+    auto it = buffers_.find(mem.handle);
+    if (it == buffers_.end())
+      return InvalidArgumentError("unknown buffer object");
+    return &it->second;
+  }
+
+  StatusOr<ImageRec*> FindImage(ClMem mem) {
+    auto it = images_.find(mem.handle);
+    if (it == images_.end())
+      return InvalidArgumentError("unknown image object");
+    return &it->second;
+  }
+
+  StatusOr<ClMem> MakeImage(MemFlags, const ClImageFormat& format,
+                            size_t width, size_t height,
+                            const void* host_ptr) {
+    size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
+    size_t bytes = width * height * texel;
+    BRIDGECL_ASSIGN_OR_RETURN(void* data, cu_.Malloc(bytes));
+    if (host_ptr != nullptr)
+      BRIDGECL_RETURN_IF_ERROR(
+          cu_.Memcpy(data, host_ptr, bytes, MemcpyKind::kHostToDevice));
+    return MakeImageOver(data, /*owns=*/true, format, width, height);
+  }
+
+  StatusOr<ClMem> MakeImageOver(void* data, bool owns,
+                                const ClImageFormat& format, size_t width,
+                                size_t height) {
+    size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
+    ImageDesc desc;
+    desc.data_va = reinterpret_cast<uint64_t>(data);
+    desc.width = static_cast<uint32_t>(width);
+    desc.height = static_cast<uint32_t>(height);
+    desc.depth = 1;
+    desc.channels = static_cast<uint32_t>(format.channels);
+    desc.elem_kind = static_cast<uint32_t>(format.elem);
+    desc.row_pitch = static_cast<uint32_t>(width * texel);
+    desc.slice_pitch = static_cast<uint32_t>(width * height * texel);
+    desc.dims = height > 1 ? 2 : 1;
+    BRIDGECL_ASSIGN_OR_RETURN(void* desc_ptr, cu_.Malloc(sizeof(desc)));
+    BRIDGECL_RETURN_IF_ERROR(cu_.Memcpy(desc_ptr, &desc, sizeof(desc),
+                                        MemcpyKind::kHostToDevice));
+    uint64_t id = next_id_++;
+    ImageRec rec;
+    rec.desc_ptr = desc_ptr;
+    rec.data_ptr = data;  // borrowed when !owns; never freed then
+    rec.byte_size = width * height * texel;
+    images_[id] = rec;
+    owned_image_data_[id] = owns;
+    return ClMem{id};
+  }
+
+  CudaApi& cu_;
+  uint64_t next_id_ = 0x4000'0000'0000'0000ull;  // disjoint from VAs
+  std::unordered_map<uint64_t, BufferRec> buffers_;
+  std::unordered_map<uint64_t, ImageRec> images_;
+  std::unordered_map<uint64_t, bool> owned_image_data_;
+  std::unordered_map<uint64_t, ProgramRec> programs_;
+  std::unordered_map<uint64_t, std::string> build_log_;
+  std::unordered_map<uint64_t, KernelRec> kernels_;
+  std::unordered_map<uint64_t, std::pair<double, double>> event_times_;
+};
+
+}  // namespace
+
+std::unique_ptr<OpenClApi> CreateClOnCudaApi(CudaApi& cuda) {
+  return std::make_unique<ClOnCudaApi>(cuda);
+}
+
+}  // namespace bridgecl::cl2cu

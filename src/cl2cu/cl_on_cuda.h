@@ -1,0 +1,20 @@
+// The paper's OpenCL→CUDA wrapper library (§3.4 Figure 2): every OpenCL
+// host API function is implemented as a wrapper over the mini-CUDA API.
+// clBuildProgram() invokes the OpenCL→CUDA source-to-source translator at
+// run time, then "nvcc" (the mini-CUDA module compiler). Handle types
+// propagate by value through the void*-compatible payloads (§4): a cl_mem
+// on this binding *is* a CUDA device pointer.
+#pragma once
+
+#include <memory>
+
+#include "mcuda/cuda_api.h"
+#include "mocl/cl_api.h"
+
+namespace bridgecl::cl2cu {
+
+/// Create an OpenClApi whose every call is serviced by `cuda`. The
+/// returned object borrows `cuda`; it must outlive the wrapper.
+std::unique_ptr<mocl::OpenClApi> CreateClOnCudaApi(mcuda::CudaApi& cuda);
+
+}  // namespace bridgecl::cl2cu

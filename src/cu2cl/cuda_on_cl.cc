@@ -1,0 +1,397 @@
+#include "cu2cl/cuda_on_cl.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace bridgecl::cu2cl {
+namespace {
+
+using mcuda::ChannelDesc;
+using mcuda::CudaApi;
+using mcuda::CudaDeviceProps;
+using mcuda::LaunchArg;
+using mcuda::MemcpyKind;
+using mocl::ClImageFormat;
+using mocl::ClKernel;
+using mocl::ClMem;
+using mocl::ClProgram;
+using mocl::ClSamplerDesc;
+using mocl::MemFlags;
+using mocl::OpenClApi;
+using simgpu::Dim3;
+using translator::KernelTranslationInfo;
+using translator::TranslationResult;
+
+struct SymbolRec {
+  ClMem buffer;
+  size_t size = 0;
+  bool is_constant = false;
+};
+
+struct TextureRec {
+  ClMem image;
+  uint64_t sampler = 0;
+  bool bound = false;
+};
+
+class CudaOnClApi final : public CudaApi {
+ public:
+  CudaOnClApi(OpenClApi& cl, const CudaOnClOptions& options)
+      : cl_(cl), options_(options) {}
+
+  Status RegisterModule(const std::string& cuda_source) override {
+    // Translate now (static source-to-source step, Figure 3)...
+    DiagnosticEngine diags;
+    auto tr =
+        translator::TranslateCudaToOpenCl(cuda_source, diags,
+                                          options_.translate);
+    if (!tr.ok())
+      return Status(tr.status().code(),
+                    tr.status().message() + "\n" + diags.ToString());
+    translation_ = std::move(*tr);
+    // ...but defer clBuildProgram to the first use (§3.4).
+    built_ = false;
+    // Pre-create the buffers standing in for __device__/__constant__
+    // statics (§4.3) so MemcpyToSymbol works before the first launch.
+    for (const auto& k : translation_.kernels) {
+      for (const auto& s : k.symbol_params) {
+        if (symbols_.count(s.name)) continue;
+        BRIDGECL_ASSIGN_OR_RETURN(
+            ClMem buf, cl_.CreateBuffer(s.is_constant ? MemFlags::kReadOnly
+                                                      : MemFlags::kReadWrite,
+                                        s.byte_size, nullptr));
+        symbols_[s.name] = SymbolRec{buf, s.byte_size, s.is_constant};
+      }
+    }
+    return OkStatus();
+  }
+
+  StatusOr<void*> Malloc(size_t size) override {
+    BRIDGECL_ASSIGN_OR_RETURN(ClMem mem,
+                              cl_.CreateBuffer(MemFlags::kReadWrite, size,
+                                               nullptr));
+    buffer_sizes_[mem.handle] = size;
+    // §4: the cl_mem handle is cast to void* and handed to the program.
+    return reinterpret_cast<void*>(mem.handle);
+  }
+
+  Status Free(void* ptr) override {
+    ClMem mem{reinterpret_cast<uint64_t>(ptr)};
+    buffer_sizes_.erase(mem.handle);
+    return cl_.ReleaseMemObject(mem);
+  }
+
+  Status Memcpy(void* dst, const void* src, size_t size,
+                MemcpyKind kind) override {
+    switch (kind) {
+      case MemcpyKind::kHostToDevice:
+        return cl_.EnqueueWriteBuffer(
+            ClMem{reinterpret_cast<uint64_t>(dst)}, 0, size, src);
+      case MemcpyKind::kDeviceToHost:
+        return cl_.EnqueueReadBuffer(
+            ClMem{reinterpret_cast<uint64_t>(
+                const_cast<void*>(src) == nullptr
+                    ? 0
+                    : reinterpret_cast<uint64_t>(src))},
+            0, size, dst);
+      case MemcpyKind::kDeviceToDevice:
+        return cl_.EnqueueCopyBuffer(
+            ClMem{reinterpret_cast<uint64_t>(src)},
+            ClMem{reinterpret_cast<uint64_t>(dst)}, 0, 0, size);
+      case MemcpyKind::kHostToHost:
+        std::memmove(dst, src, size);
+        return OkStatus();
+    }
+    return InvalidArgumentError("bad memcpy kind");
+  }
+
+  Status MemcpyToSymbol(const std::string& symbol, const void* src,
+                        size_t size, size_t offset) override {
+    // §4.3: the static symbol became a dynamically allocated buffer.
+    auto it = symbols_.find(symbol);
+    if (it == symbols_.end())
+      return NotFoundError("no device symbol '" + symbol +
+                           "' (it may be unused by every kernel)");
+    if (offset + size > it->second.size)
+      return OutOfRangeError("copy beyond symbol '" + symbol + "'");
+    return cl_.EnqueueWriteBuffer(it->second.buffer, offset, size, src);
+  }
+
+  Status MemcpyFromSymbol(void* dst, const std::string& symbol, size_t size,
+                          size_t offset) override {
+    auto it = symbols_.find(symbol);
+    if (it == symbols_.end())
+      return NotFoundError("no device symbol '" + symbol + "'");
+    if (offset + size > it->second.size)
+      return OutOfRangeError("copy beyond symbol '" + symbol + "'");
+    return cl_.EnqueueReadBuffer(it->second.buffer, offset, size, dst);
+  }
+
+  StatusOr<std::pair<size_t, size_t>> MemGetInfo() override {
+    // §3.7 / Table 3 (nn, mummergpu): OpenCL has no API that reports the
+    // free global memory, so this wrapper cannot be implemented.
+    return UnimplementedError(
+        "cudaMemGetInfo has no OpenCL counterpart (§3.7)");
+  }
+
+  Status LaunchKernel(const std::string& kernel, Dim3 grid, Dim3 block,
+                      size_t shared_bytes,
+                      std::span<const LaunchArg> args) override {
+    BRIDGECL_RETURN_IF_ERROR(EnsureBuilt());
+    const KernelTranslationInfo* info = translation_.Find(kernel);
+    if (info == nullptr)
+      return NotFoundError("no kernel '" + kernel + "' registered");
+    if (static_cast<int>(args.size()) != info->original_param_count)
+      return InvalidArgumentError(
+          StrFormat("kernel '%s' expects %d arguments, got %zu",
+                    kernel.c_str(), info->original_param_count,
+                    args.size()));
+    BRIDGECL_ASSIGN_OR_RETURN(ClKernel k, KernelFor(kernel));
+
+    // The static rewriter turned `k<<<g,b,s>>>(a0..aN)` into this launch
+    // sequence (§3.5): clSetKernelArg per argument, then the appended
+    // parameters, then clEnqueueNDRangeKernel.
+    int index = 0;
+    for (const LaunchArg& a : args) {
+      BRIDGECL_RETURN_IF_ERROR(
+          cl_.SetKernelArg(k, index++, a.bytes.size(), a.bytes.data()));
+    }
+    if (info->has_dynamic_shared) {
+      BRIDGECL_RETURN_IF_ERROR(
+          cl_.SetKernelArg(k, index++, shared_bytes, nullptr));
+    } else if (shared_bytes != 0) {
+      return InvalidArgumentError(
+          "launch passes dynamic shared memory but the kernel declares no "
+          "extern __shared__ variable");
+    }
+    for (const std::string& tex : info->texture_params) {
+      auto it = textures_.find(tex);
+      if (it == textures_.end() || !it->second.bound)
+        return FailedPreconditionError("texture reference '" + tex +
+                                       "' used but not bound");
+      BRIDGECL_RETURN_IF_ERROR(
+          cl_.SetKernelArg(k, index++, sizeof(ClMem), &it->second.image));
+      BRIDGECL_RETURN_IF_ERROR(cl_.SetKernelArg(
+          k, index++, sizeof(uint64_t), &it->second.sampler));
+    }
+    for (const auto& sym : info->symbol_params) {
+      auto it = symbols_.find(sym.name);
+      if (it == symbols_.end())
+        return InternalError("missing symbol buffer for '" + sym.name + "'");
+      BRIDGECL_RETURN_IF_ERROR(
+          cl_.SetKernelArg(k, index++, sizeof(ClMem), &it->second.buffer));
+    }
+    size_t gws[3] = {static_cast<size_t>(grid.x) * block.x,
+                     static_cast<size_t>(grid.y) * block.y,
+                     static_cast<size_t>(grid.z) * block.z};
+    size_t lws[3] = {block.x, block.y, block.z};
+    return cl_.EnqueueNDRangeKernel(k, 3, gws, lws);
+  }
+
+  Status DeviceSynchronize() override { return cl_.Finish(); }
+
+  StatusOr<CudaDeviceProps> GetDeviceProperties() override {
+    // §6.3 deviceQuery: the wrapper fills cudaDeviceProp by invoking
+    // clGetDeviceInfo once per attribute — the measured slowdown.
+    CudaDeviceProps p;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        p.name, cl_.QueryDeviceInfoString(mocl::ClDeviceAttr::kName));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        uint64_t gm,
+        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kGlobalMemSize));
+    p.total_global_mem = gm;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        uint64_t lm,
+        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kLocalMemSize));
+    p.shared_mem_per_block = lm;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        uint64_t cm,
+        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxConstantBufferSize));
+    p.total_const_mem = cm;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        uint64_t cu,
+        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxComputeUnits));
+    p.multi_processor_count = static_cast<int>(cu);
+    BRIDGECL_ASSIGN_OR_RETURN(
+        uint64_t wg,
+        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxWorkGroupSize));
+    p.max_threads_per_block = static_cast<int>(wg);
+    BRIDGECL_ASSIGN_OR_RETURN(
+        uint64_t mhz,
+        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxClockFrequency));
+    p.clock_rate_khz = static_cast<int>(mhz) * 1000;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        uint64_t i1d,
+        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kImage1dMaxBufferWidth));
+    p.max_texture1d_linear = i1d;
+    // OpenCL exposes no warp size / register file attributes; the wrapper
+    // reports conventional values.
+    p.warp_size = 32;
+    p.regs_per_block = 65536;
+    p.major = 3;
+    p.minor = 5;
+    return p;
+  }
+
+  // -- textures (§5): texture refs became image+sampler params --------------
+  Status BindTexture(const std::string& texref, void* device_ptr,
+                     size_t bytes, const ChannelDesc& desc,
+                     bool normalized) override {
+    ClImageFormat fmt;
+    fmt.elem = desc.elem;
+    fmt.channels = desc.channels;
+    size_t texel = lang::ScalarByteSize(desc.elem) * desc.channels;
+    size_t width = bytes / texel;
+    // §5: a 1D linear texture wider than the OpenCL 1D image-buffer
+    // maximum cannot be translated (kmeans/leukocyte/hybridsort).
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem img,
+        cl_.CreateImage1DFromBuffer(
+            fmt, width, ClMem{reinterpret_cast<uint64_t>(device_ptr)}));
+    ClSamplerDesc sd;
+    sd.normalized_coords = normalized;
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler, cl_.CreateSampler(sd));
+    textures_[texref] = TextureRec{img, sampler, true};
+    return OkStatus();
+  }
+
+  Status BindTexture2D(const std::string& texref, void* device_ptr,
+                       size_t width, size_t height, size_t pitch,
+                       const ChannelDesc& desc) override {
+    // Snapshot the linear memory into a 2D image (CL 1.2 cannot alias a
+    // buffer as a 2D image).
+    (void)pitch;
+    ClImageFormat fmt;
+    fmt.elem = desc.elem;
+    fmt.channels = desc.channels;
+    size_t texel = lang::ScalarByteSize(desc.elem) * desc.channels;
+    size_t bytes = width * height * texel;
+    std::vector<std::byte> staging(bytes);
+    BRIDGECL_RETURN_IF_ERROR(
+        cl_.EnqueueReadBuffer(ClMem{reinterpret_cast<uint64_t>(device_ptr)},
+                              0, bytes, staging.data()));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem img, cl_.CreateImage2D(MemFlags::kReadOnly, fmt, width, height,
+                                     staging.data()));
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler, cl_.CreateSampler({}));
+    textures_[texref] = TextureRec{img, sampler, true};
+    return OkStatus();
+  }
+
+  StatusOr<void*> MallocArray(const ChannelDesc& desc, size_t width,
+                              size_t height) override {
+    ClImageFormat fmt;
+    fmt.elem = desc.elem;
+    fmt.channels = desc.channels;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem img,
+        cl_.CreateImage2D(MemFlags::kReadWrite, fmt, width,
+                          std::max<size_t>(height, 1), nullptr));
+    arrays_[img.handle] = img;
+    return reinterpret_cast<void*>(img.handle);
+  }
+
+  Status MemcpyToArray(void* array, const void* src, size_t) override {
+    auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
+    if (it == arrays_.end()) return InvalidArgumentError("unknown cudaArray");
+    return cl_.EnqueueWriteImage(it->second, src);
+  }
+
+  Status BindTextureToArray(const std::string& texref, void* array,
+                            bool filter_linear, bool normalized) override {
+    auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
+    if (it == arrays_.end()) return InvalidArgumentError("unknown cudaArray");
+    ClSamplerDesc sd;
+    sd.filter_linear = filter_linear;
+    sd.normalized_coords = normalized;
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler, cl_.CreateSampler(sd));
+    textures_[texref] = TextureRec{it->second, sampler, true};
+    return OkStatus();
+  }
+
+  Status UnbindTexture(const std::string& texref) override {
+    auto it = textures_.find(texref);
+    if (it != textures_.end()) it->second.bound = false;
+    return OkStatus();
+  }
+
+  StatusOr<void*> EventCreate() override {
+    uint64_t id = next_event_++;
+    events_[id] = -1.0;
+    return reinterpret_cast<void*>(id);
+  }
+
+  Status EventRecord(void* event) override {
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end()) return InvalidArgumentError("unknown event");
+    it->second = cl_.NowUs();
+    return OkStatus();
+  }
+
+  StatusOr<double> EventElapsedUs(void* start, void* end) override {
+    auto s = events_.find(reinterpret_cast<uint64_t>(start));
+    auto e = events_.find(reinterpret_cast<uint64_t>(end));
+    if (s == events_.end() || e == events_.end())
+      return InvalidArgumentError("unknown event");
+    if (s->second < 0 || e->second < 0)
+      return FailedPreconditionError("event was never recorded");
+    return e->second - s->second;
+  }
+
+  Status EventDestroy(void* event) override {
+    return events_.erase(reinterpret_cast<uint64_t>(event)) == 1
+               ? OkStatus()
+               : InvalidArgumentError("unknown event");
+  }
+
+  Status SetKernelRegisters(const std::string& kernel, int regs) override {
+    BRIDGECL_RETURN_IF_ERROR(EnsureBuilt());
+    return cl_.SetProgramKernelRegisters(program_, kernel, regs);
+  }
+
+  double NowUs() const override { return cl_.NowUs(); }
+
+ private:
+  Status EnsureBuilt() {
+    if (built_) return OkStatus();
+    if (translation_.source.empty())
+      return FailedPreconditionError("no CUDA module was registered");
+    BRIDGECL_ASSIGN_OR_RETURN(
+        program_, cl_.CreateProgramWithSource(translation_.source));
+    BRIDGECL_RETURN_IF_ERROR(cl_.BuildProgram(program_));
+    built_ = true;
+    return OkStatus();
+  }
+
+  StatusOr<ClKernel> KernelFor(const std::string& name) {
+    if (auto it = kernels_.find(name); it != kernels_.end())
+      return it->second;
+    BRIDGECL_ASSIGN_OR_RETURN(ClKernel k, cl_.CreateKernel(program_, name));
+    kernels_[name] = k;
+    return k;
+  }
+
+  OpenClApi& cl_;
+  CudaOnClOptions options_;
+  TranslationResult translation_;
+  bool built_ = false;
+  ClProgram program_;
+  std::unordered_map<std::string, ClKernel> kernels_;
+  std::unordered_map<std::string, SymbolRec> symbols_;
+  std::unordered_map<std::string, TextureRec> textures_;
+  std::unordered_map<uint64_t, ClMem> arrays_;
+  std::unordered_map<uint64_t, size_t> buffer_sizes_;
+  uint64_t next_event_ = 0x7000'0000'0000'0000ull;
+  std::unordered_map<uint64_t, double> events_;
+};
+
+}  // namespace
+
+std::unique_ptr<CudaApi> CreateCudaOnClApi(OpenClApi& cl,
+                                           const CudaOnClOptions& options) {
+  return std::make_unique<CudaOnClApi>(cl, options);
+}
+
+}  // namespace bridgecl::cu2cl

@@ -1,0 +1,31 @@
+// The paper's CUDA→OpenCL wrapper library (§3.4 Figure 3): the CUDA
+// runtime API implemented over any OpenClApi. The device code registered
+// by the application is translated CUDA→OpenCL once; following §3.4 the
+// translated program is *built* lazily on the first call that needs it
+// ("our translation framework builds the device code when any CUDA API
+// function is called for the first time at run-time").
+//
+// Handle propagation (§2, §4): cudaMalloc returns a void* that is really
+// a cl_mem handle, cast at run time — the wrapper approach that avoids
+// whole-program analysis across separately compiled files.
+#pragma once
+
+#include <memory>
+
+#include "mcuda/cuda_api.h"
+#include "mocl/cl_api.h"
+#include "translator/translate.h"
+
+namespace bridgecl::cu2cl {
+
+struct CudaOnClOptions {
+  /// Forwarded to the CUDA→OpenCL translator.
+  translator::TranslateOptions translate;
+};
+
+/// Create a CudaApi whose every call is serviced by `cl`. The returned
+/// object borrows `cl`; it must outlive the wrapper.
+std::unique_ptr<mcuda::CudaApi> CreateCudaOnClApi(
+    mocl::OpenClApi& cl, const CudaOnClOptions& options = {});
+
+}  // namespace bridgecl::cu2cl

@@ -1,0 +1,28 @@
+#include "interp/constants.h"
+
+#include <unordered_map>
+
+#include "interp/image.h"
+
+namespace bridgecl::interp {
+
+std::optional<uint64_t> NamedConstantValue(const std::string& name) {
+  static const std::unordered_map<std::string, uint64_t> kTable = {
+      // Barrier fence flags (values only need to be distinct).
+      {"CLK_LOCAL_MEM_FENCE", 1},
+      {"CLK_GLOBAL_MEM_FENCE", 2},
+      // Sampler properties map directly onto interp/image.h bits.
+      {"CLK_NORMALIZED_COORDS_FALSE", 0},
+      {"CLK_NORMALIZED_COORDS_TRUE", kSamplerNormalizedCoords},
+      {"CLK_ADDRESS_NONE", 0},
+      {"CLK_ADDRESS_CLAMP", kSamplerAddressClamp},
+      {"CLK_ADDRESS_CLAMP_TO_EDGE", kSamplerAddressClamp},
+      {"CLK_FILTER_NEAREST", 0},
+      {"CLK_FILTER_LINEAR", kSamplerFilterLinear},
+  };
+  auto it = kTable.find(name);
+  if (it == kTable.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bridgecl::interp

@@ -1,0 +1,1866 @@
+#include "interp/executor.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "interp/constants.h"
+#include "interp/image.h"
+#include "interp/value.h"
+#include "lang/builtins.h"
+#include "lang/sema.h"
+#include "simgpu/fiber.h"
+#include "support/strings.h"
+
+namespace bridgecl::interp {
+
+using lang::AddressSpace;
+using lang::ArithmeticResultType;
+using lang::AssignExpr;
+using lang::BinaryExpr;
+using lang::BinaryOp;
+using lang::CallExpr;
+using lang::CastExpr;
+using lang::CompoundStmt;
+using lang::ConditionalExpr;
+using lang::DeclRefExpr;
+using lang::DeclStmt;
+using lang::Dialect;
+using lang::Expr;
+using lang::ExprKind;
+using lang::ExprStmt;
+using lang::FloatLitExpr;
+using lang::ForStmt;
+using lang::FunctionDecl;
+using lang::IfStmt;
+using lang::IndexExpr;
+using lang::InitListExpr;
+using lang::IntLitExpr;
+using lang::IsFloatScalar;
+using lang::IsSignedScalar;
+using lang::MemberExpr;
+using lang::ParenExpr;
+using lang::ReturnStmt;
+using lang::ScalarKind;
+using lang::SizeofExpr;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Type;
+using lang::UnaryExpr;
+using lang::UnaryOp;
+using lang::VarDecl;
+using lang::VectorLitExpr;
+using lang::WhileStmt;
+using simgpu::Dim3;
+using simgpu::Segment;
+
+namespace {
+
+constexpr size_t kPrivateBytesPerItem = 64 * 1024;
+constexpr size_t kFiberStackBytes = 192 * 1024;
+constexpr int kMaxCallDepth = 64;
+
+/// Location of an assignable value.
+struct LV {
+  enum class Kind { kMem, kReg };
+  Kind kind = Kind::kReg;
+  uint64_t va = 0;      // kMem
+  Value* reg = nullptr; // kReg
+  Type::Ptr type;       // type stored at the location (pre-swizzle)
+  std::vector<int> swizzle;  // component selection on a vector location
+};
+
+enum class FlowKind { kNormal, kReturn, kBreak, kContinue };
+
+/// State shared by all work-items of one launch.
+struct LaunchState {
+  simgpu::Device* device = nullptr;
+  Module* module = nullptr;
+  const FunctionDecl* kernel = nullptr;
+  LaunchConfig cfg;
+  Dialect dialect = Dialect::kOpenCL;
+
+  std::unordered_map<const VarDecl*, uint64_t> shared_va;  // static __local
+  uint64_t dynamic_shared_va = 0;  // CUDA extern __shared__ area
+  size_t shared_total = 0;
+  std::vector<Value> arg_values;   // decoded per param (dyn-local → pointer)
+
+  simgpu::FiberGroup* group = nullptr;
+  Dim3 group_id;
+  double total_cycles = 0;
+};
+
+/// Collect every __local/__shared__ variable declared in a statement tree.
+void CollectSharedVars(const Stmt* s, std::vector<const VarDecl*>* out) {
+  if (s == nullptr) return;
+  switch (s->kind) {
+    case StmtKind::kCompound:
+      for (const auto& st : s->As<CompoundStmt>()->body)
+        CollectSharedVars(st.get(), out);
+      return;
+    case StmtKind::kDecl:
+      for (const auto& v : s->As<DeclStmt>()->vars)
+        if (v->quals.space == AddressSpace::kLocal) out->push_back(v.get());
+      return;
+    case StmtKind::kIf: {
+      const auto* i = s->As<IfStmt>();
+      CollectSharedVars(i->then_stmt.get(), out);
+      CollectSharedVars(i->else_stmt.get(), out);
+      return;
+    }
+    case StmtKind::kFor: {
+      const auto* f = s->As<ForStmt>();
+      CollectSharedVars(f->init.get(), out);
+      CollectSharedVars(f->body.get(), out);
+      return;
+    }
+    case StmtKind::kWhile:
+      CollectSharedVars(s->As<WhileStmt>()->body.get(), out);
+      return;
+    case StmtKind::kDo:
+      CollectSharedVars(s->As<lang::DoStmt>()->body.get(), out);
+      return;
+    default:
+      return;
+  }
+}
+
+class Evaluator {
+ public:
+  Evaluator(LaunchState& L, Dim3 lid, int linear_index)
+      : L_(L), lid_(lid) {
+    const Dim3& blk = L.cfg.block;
+    gid_ = Dim3(L.group_id.x * blk.x + lid.x, L.group_id.y * blk.y + lid.y,
+                L.group_id.z * blk.z + lid.z);
+    private_base_ = L.device->vm().private_base() +
+                    static_cast<uint64_t>(linear_index) * kPrivateBytesPerItem;
+    private_top_ = private_base_;
+  }
+
+  double cycles() const { return cycles_; }
+
+  Status Run() {
+    frames_.emplace_back();
+    frames_.back().stack_top = private_top_;
+    BRIDGECL_RETURN_IF_ERROR(BindKernelParams());
+    auto flow = Exec(*L_.kernel->body);
+    if (!flow.ok()) return flow.status();
+    frames_.pop_back();
+    return OkStatus();
+  }
+
+ private:
+  struct Frame {
+    std::unordered_map<const VarDecl*, Value> regs;
+    std::unordered_map<const VarDecl*, uint64_t> mem;
+    std::unordered_map<const VarDecl*, LV> refs;
+    uint64_t stack_top = 0;
+  };
+
+  Frame& frame() { return frames_.back(); }
+
+  Status Err(std::string msg) { return InternalError(std::move(msg)); }
+
+  // -- cost accounting -----------------------------------------------------
+  void ChargeOp(double c) {
+    cycles_ += c;
+    ++L_.device->stats().ops_executed;
+  }
+
+  Status ChargeAccess(uint64_t va, size_t bytes) {
+    BRIDGECL_ASSIGN_OR_RETURN(Segment seg, L_.device->vm().SegmentOf(va));
+    const auto& prof = L_.device->profile();
+    auto& st = L_.device->stats();
+    switch (seg) {
+      case Segment::kGlobal:
+        ++st.global_accesses;
+        cycles_ += prof.cost_global_access *
+                   std::max<size_t>(1, (bytes + 15) / 16);
+        break;
+      case Segment::kShared: {
+        int words = L_.device->SharedAccessBankWords(va, bytes);
+        ++st.shared_accesses;
+        st.shared_bank_words += words;
+        cycles_ += prof.cost_shared_access * words;
+        break;
+      }
+      case Segment::kConstant:
+        ++st.constant_accesses;
+        cycles_ += prof.cost_constant_access;
+        break;
+      case Segment::kPrivate:
+        cycles_ += prof.cost_alu * 0.5;
+        break;
+    }
+    return OkStatus();
+  }
+
+  // -- memory --------------------------------------------------------------
+  StatusOr<Value> LoadMem(uint64_t va, const Type::Ptr& type) {
+    size_t n = type->ByteSize();
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p, L_.device->vm().Resolve(va, n));
+    BRIDGECL_RETURN_IF_ERROR(ChargeAccess(va, n));
+    return DecodeValue(type, p);
+  }
+
+  Status StoreMem(uint64_t va, const Value& v) {
+    size_t n = v.type()->ByteSize();
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p, L_.device->vm().Resolve(va, n));
+    BRIDGECL_RETURN_IF_ERROR(ChargeAccess(va, n));
+    return EncodeValue(v, p);
+  }
+
+  StatusOr<uint64_t> StackAlloc(size_t bytes, size_t align) {
+    uint64_t top = (private_top_ + align - 1) / align * align;
+    if (top + bytes > private_base_ + kPrivateBytesPerItem)
+      return ResourceExhaustedError("work-item private memory exhausted");
+    private_top_ = top + bytes;
+    return top;
+  }
+
+  // -- kernel parameter binding ---------------------------------------------
+  Status BindKernelParams() {
+    const auto& params = L_.kernel->params;
+    for (size_t i = 0; i < params.size(); ++i) {
+      VarDecl* p = params[i].get();
+      const Value& v = L_.arg_values[i];
+      BRIDGECL_RETURN_IF_ERROR(BindVar(p, v));
+    }
+    return OkStatus();
+  }
+
+  /// Bind a value to a variable, spilling aggregates / address-taken
+  /// variables to private memory.
+  Status BindVar(const VarDecl* var, const Value& v) {
+    Type::Ptr t = var->type;
+    if (t && t->is_named() && v.type()) t = v.type();  // template params
+    bool needs_mem = var->address_taken ||
+                     (t && (t->is_struct() || t->is_array()));
+    if (needs_mem) {
+      size_t size = t->ByteSize();
+      BRIDGECL_ASSIGN_OR_RETURN(uint64_t va,
+                                StackAlloc(size, t->Alignment()));
+      frame().mem[var] = va;
+      Value stored = v;
+      if (!lang::SameType(v.type(), t) && !v.is_aggregate())
+        stored = v.ConvertTo(t);
+      stored.set_type(t);
+      if (stored.is_aggregate() && stored.bytes().size() < size)
+        stored.bytes().resize(size);
+      return StoreMem(va, stored);
+    }
+    Value stored = v;
+    if (t && !lang::SameType(v.type(), t)) stored = v.ConvertTo(t);
+    frame().regs[var] = std::move(stored);
+    return OkStatus();
+  }
+
+  // -- statements ------------------------------------------------------------
+  StatusOr<FlowKind> Exec(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kCompound: {
+        for (const auto& st : s.As<CompoundStmt>()->body) {
+          BRIDGECL_ASSIGN_OR_RETURN(FlowKind f, Exec(*st));
+          if (f != FlowKind::kNormal) return f;
+        }
+        return FlowKind::kNormal;
+      }
+      case StmtKind::kDecl: {
+        for (const auto& v : s.As<DeclStmt>()->vars)
+          BRIDGECL_RETURN_IF_ERROR(ExecVarDecl(v.get()));
+        return FlowKind::kNormal;
+      }
+      case StmtKind::kExpr: {
+        BRIDGECL_RETURN_IF_ERROR(Eval(*s.As<ExprStmt>()->expr).status());
+        return FlowKind::kNormal;
+      }
+      case StmtKind::kIf: {
+        const auto* i = s.As<IfStmt>();
+        BRIDGECL_ASSIGN_OR_RETURN(Value c, Eval(*i->cond));
+        ChargeOp(L_.device->profile().cost_alu);
+        if (c.AsBool()) return Exec(*i->then_stmt);
+        if (i->else_stmt) return Exec(*i->else_stmt);
+        return FlowKind::kNormal;
+      }
+      case StmtKind::kFor: {
+        const auto* f = s.As<ForStmt>();
+        if (f->init) {
+          BRIDGECL_ASSIGN_OR_RETURN(FlowKind fi, Exec(*f->init));
+          (void)fi;
+        }
+        while (true) {
+          if (f->cond) {
+            BRIDGECL_ASSIGN_OR_RETURN(Value c, Eval(*f->cond));
+            ChargeOp(L_.device->profile().cost_alu);
+            if (!c.AsBool()) break;
+          }
+          BRIDGECL_ASSIGN_OR_RETURN(FlowKind fb, Exec(*f->body));
+          if (fb == FlowKind::kReturn) return fb;
+          if (fb == FlowKind::kBreak) break;
+          if (f->step) BRIDGECL_RETURN_IF_ERROR(Eval(*f->step).status());
+        }
+        return FlowKind::kNormal;
+      }
+      case StmtKind::kWhile: {
+        const auto* w = s.As<WhileStmt>();
+        while (true) {
+          BRIDGECL_ASSIGN_OR_RETURN(Value c, Eval(*w->cond));
+          ChargeOp(L_.device->profile().cost_alu);
+          if (!c.AsBool()) break;
+          BRIDGECL_ASSIGN_OR_RETURN(FlowKind fb, Exec(*w->body));
+          if (fb == FlowKind::kReturn) return fb;
+          if (fb == FlowKind::kBreak) break;
+        }
+        return FlowKind::kNormal;
+      }
+      case StmtKind::kDo: {
+        const auto* d = s.As<lang::DoStmt>();
+        while (true) {
+          BRIDGECL_ASSIGN_OR_RETURN(FlowKind fb, Exec(*d->body));
+          if (fb == FlowKind::kReturn) return fb;
+          if (fb == FlowKind::kBreak) break;
+          BRIDGECL_ASSIGN_OR_RETURN(Value c, Eval(*d->cond));
+          ChargeOp(L_.device->profile().cost_alu);
+          if (!c.AsBool()) break;
+        }
+        return FlowKind::kNormal;
+      }
+      case StmtKind::kReturn: {
+        const auto* r = s.As<ReturnStmt>();
+        if (r->value) {
+          BRIDGECL_ASSIGN_OR_RETURN(ret_, Eval(*r->value));
+        } else {
+          ret_ = Value::Void();
+        }
+        return FlowKind::kReturn;
+      }
+      case StmtKind::kBreak:
+        return FlowKind::kBreak;
+      case StmtKind::kContinue:
+        return FlowKind::kContinue;
+      case StmtKind::kEmpty:
+        return FlowKind::kNormal;
+    }
+    return FlowKind::kNormal;
+  }
+
+  Status ExecVarDecl(const VarDecl* var) {
+    // Static __local/__shared__ variables: bound to the block's shared
+    // region at the pre-computed offset; initialization is not allowed in
+    // either model, and the extern dynamic variable maps to the dynamic
+    // area start.
+    if (var->quals.space == AddressSpace::kLocal) {
+      if (var->quals.is_extern) {
+        frame().mem[var] = L_.dynamic_shared_va;
+        return OkStatus();
+      }
+      auto it = L_.shared_va.find(var);
+      if (it == L_.shared_va.end())
+        return Err("unlaid-out shared variable '" + var->name + "'");
+      frame().mem[var] = it->second;
+      return OkStatus();
+    }
+    Type::Ptr t = var->type;
+    bool needs_mem =
+        var->address_taken || (t && (t->is_struct() || t->is_array()));
+    if (needs_mem) {
+      size_t size = t->ByteSize();
+      BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, StackAlloc(size, t->Alignment()));
+      frame().mem[var] = va;
+      BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                                L_.device->vm().Resolve(va, size));
+      std::memset(p, 0, size);
+      if (var->init) {
+        if (var->init->kind == ExprKind::kInitList) {
+          const auto* list = var->init->As<InitListExpr>();
+          if (!t->is_array())
+            return Err("initializer list on non-array local");
+          Type::Ptr elem = t->element();
+          size_t esz = elem->ByteSize();
+          for (size_t i = 0; i < list->elems.size(); ++i) {
+            BRIDGECL_ASSIGN_OR_RETURN(Value ev, Eval(*list->elems[i]));
+            BRIDGECL_RETURN_IF_ERROR(StoreMem(va + i * esz,
+                                              ev.ConvertTo(elem)));
+          }
+        } else {
+          BRIDGECL_ASSIGN_OR_RETURN(Value ev, Eval(*var->init));
+          BRIDGECL_RETURN_IF_ERROR(StoreMem(va, ev.ConvertTo(t)));
+        }
+      }
+      return OkStatus();
+    }
+    Value init;
+    if (var->init) {
+      BRIDGECL_ASSIGN_OR_RETURN(init, Eval(*var->init));
+      if (t && t->is_named() && init.type()) {
+        // Template-typed local: adopt the runtime type.
+        frame().regs[var] = std::move(init);
+        return OkStatus();
+      }
+      init = init.ConvertTo(t);
+    } else {
+      // Zero-initialized register (deterministic simulation).
+      if (t && t->is_vector()) {
+        init = Value::Vector(t, std::vector<ScalarVal>(t->vector_width()));
+      } else {
+        init = Value::Int(0).ConvertTo(t ? t : Type::IntTy());
+      }
+    }
+    frame().regs[var] = std::move(init);
+    return OkStatus();
+  }
+
+  // -- lvalues ---------------------------------------------------------------
+  StatusOr<LV> Lval(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kDeclRef: {
+        const auto* r = e.As<DeclRefExpr>();
+        const VarDecl* var = r->var;
+        if (var == nullptr)
+          return Err("assignment to non-variable '" + r->name + "'");
+        // Reference parameter: indirect through the recorded LV.
+        for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+          if (auto f = it->refs.find(var); f != it->refs.end())
+            return f->second;
+          if (auto f = it->mem.find(var); f != it->mem.end()) {
+            LV lv;
+            lv.kind = LV::Kind::kMem;
+            lv.va = f->second;
+            lv.type = var->type;
+            return lv;
+          }
+          if (auto f = it->regs.find(var); f != it->regs.end()) {
+            LV lv;
+            lv.kind = LV::Kind::kReg;
+            lv.reg = &f->second;
+            lv.type = f->second.type() ? f->second.type() : var->type;
+            return lv;
+          }
+        }
+        if (uint64_t va = L_.module->VaOf(var)) {
+          LV lv;
+          lv.kind = LV::Kind::kMem;
+          lv.va = va;
+          lv.type = var->type;
+          return lv;
+        }
+        return Err("unbound variable '" + r->name + "'");
+      }
+      case ExprKind::kParen:
+        return Lval(*e.As<ParenExpr>()->inner);
+      case ExprKind::kUnary: {
+        const auto* u = e.As<UnaryExpr>();
+        if (u->op != UnaryOp::kDeref)
+          return Err("expression is not assignable");
+        BRIDGECL_ASSIGN_OR_RETURN(Value p, Eval(*u->operand));
+        LV lv;
+        lv.kind = LV::Kind::kMem;
+        lv.va = p.AsVa();
+        lv.type = e.type ? e.type
+                         : (p.type() && p.type()->is_pointer()
+                                ? p.type()->pointee()
+                                : Type::IntTy());
+        return lv;
+      }
+      case ExprKind::kIndex: {
+        const auto* ix = e.As<IndexExpr>();
+        Type::Ptr bt = ix->base->type;
+        // Vector component via dynamic index: v[i].
+        if (bt && bt->is_vector()) {
+          BRIDGECL_ASSIGN_OR_RETURN(LV base, Lval(*ix->base));
+          BRIDGECL_ASSIGN_OR_RETURN(Value idx, Eval(*ix->index));
+          base.swizzle = {static_cast<int>(idx.AsI64())};
+          return base;
+        }
+        BRIDGECL_ASSIGN_OR_RETURN(Value idx, Eval(*ix->index));
+        Type::Ptr elem = e.type;
+        if (!elem) return Err("untyped subscript");
+        ChargeOp(L_.device->profile().cost_alu);
+        uint64_t base_va;
+        if (bt && bt->is_array()) {
+          // Multi-dimensional arrays: the base is itself an aggregate
+          // location (tile[ty][tx]); index into its address directly.
+          BRIDGECL_ASSIGN_OR_RETURN(LV base_lv, Lval(*ix->base));
+          if (base_lv.kind != LV::Kind::kMem)
+            return Err("subscript on non-addressable array");
+          base_va = base_lv.va;
+        } else {
+          BRIDGECL_ASSIGN_OR_RETURN(Value base, Eval(*ix->base));
+          base_va = base.AsVa();
+        }
+        LV lv;
+        lv.kind = LV::Kind::kMem;
+        lv.va = base_va + idx.AsI64() * elem->ByteSize();
+        lv.type = elem;
+        return lv;
+      }
+      case ExprKind::kMember: {
+        const auto* m = e.As<MemberExpr>();
+        if (m->is_swizzle) {
+          BRIDGECL_ASSIGN_OR_RETURN(LV base, Lval(*m->base));
+          if (!base.swizzle.empty())
+            return Err("nested swizzle assignment is not supported");
+          base.swizzle = m->swizzle;
+          return base;
+        }
+        // Struct member.
+        Type::Ptr agg_t;
+        uint64_t base_va = 0;
+        if (m->is_arrow) {
+          BRIDGECL_ASSIGN_OR_RETURN(Value p, Eval(*m->base));
+          agg_t = p.type() && p.type()->is_pointer() ? p.type()->pointee()
+                                                     : nullptr;
+          base_va = p.AsVa();
+        } else {
+          BRIDGECL_ASSIGN_OR_RETURN(LV base, Lval(*m->base));
+          if (base.kind != LV::Kind::kMem)
+            return Err("struct member write requires memory-backed struct");
+          agg_t = base.type;
+          base_va = base.va;
+        }
+        if (!agg_t || !agg_t->is_struct())
+          return Err("member access on non-struct");
+        const lang::StructField* f = agg_t->struct_decl()->FindField(m->member);
+        if (f == nullptr) return Err("no field '" + m->member + "'");
+        LV lv;
+        lv.kind = LV::Kind::kMem;
+        lv.va = base_va + f->offset;
+        lv.type = f->type;
+        return lv;
+      }
+      default:
+        return Err("expression is not assignable");
+    }
+  }
+
+  StatusOr<Value> Read(const LV& lv) {
+    Value whole;
+    if (lv.kind == LV::Kind::kMem) {
+      BRIDGECL_ASSIGN_OR_RETURN(whole, LoadMem(lv.va, lv.type));
+    } else {
+      whole = *lv.reg;
+    }
+    if (lv.swizzle.empty()) return whole;
+    if (!whole.is_vector()) return Err("swizzle read of non-vector");
+    if (lv.swizzle.size() == 1) return whole.Component(lv.swizzle[0]);
+    std::vector<ScalarVal> comps;
+    comps.reserve(lv.swizzle.size());
+    for (int i : lv.swizzle) comps.push_back(whole.comps()[i]);
+    return Value::Vector(Type::Vector(whole.type()->scalar_kind(),
+                                      static_cast<int>(lv.swizzle.size())),
+                         std::move(comps));
+  }
+
+  Status Write(const LV& lv, const Value& v) {
+    if (lv.swizzle.empty()) {
+      Value stored = v;
+      if (lv.type && !lang::SameType(v.type(), lv.type))
+        stored = v.ConvertTo(lv.type);
+      if (lv.kind == LV::Kind::kMem) return StoreMem(lv.va, stored);
+      *lv.reg = std::move(stored);
+      return OkStatus();
+    }
+    // Swizzled store: read-modify-write the base vector.
+    Value whole;
+    if (lv.kind == LV::Kind::kMem) {
+      BRIDGECL_ASSIGN_OR_RETURN(whole, LoadMem(lv.va, lv.type));
+    } else {
+      whole = *lv.reg;
+    }
+    if (!whole.is_vector()) return Err("swizzle write of non-vector");
+    ScalarKind ek = whole.type()->scalar_kind();
+    if (lv.swizzle.size() == 1) {
+      Value c = v.ConvertTo(Type::Scalar(ek));
+      whole.comps()[lv.swizzle[0]] = c.scalar();
+    } else {
+      Value src = v.ConvertTo(
+          Type::Vector(ek, static_cast<int>(lv.swizzle.size())));
+      for (size_t i = 0; i < lv.swizzle.size(); ++i)
+        whole.comps()[lv.swizzle[i]] = src.comps()[i];
+    }
+    if (lv.kind == LV::Kind::kMem) return StoreMem(lv.va, whole);
+    *lv.reg = std::move(whole);
+    return OkStatus();
+  }
+
+  // -- expression evaluation ---------------------------------------------------
+  StatusOr<Value> Eval(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: {
+        const auto* i = e.As<IntLitExpr>();
+        if (e.type) return Value::UInt(i->value).ConvertTo(e.type);
+        return Value::Int(static_cast<int64_t>(i->value));
+      }
+      case ExprKind::kFloatLit: {
+        const auto* f = e.As<FloatLitExpr>();
+        return Value::Float(f->value, f->is_float ? ScalarKind::kFloat
+                                                  : ScalarKind::kDouble);
+      }
+      case ExprKind::kDeclRef:
+        return EvalDeclRef(*e.As<DeclRefExpr>());
+      case ExprKind::kStringLit:
+        // Format strings are only consumed by printf/assert, which the
+        // simulator does not interpret; an opaque handle suffices.
+        return Value::Pointer(0, e.type ? e.type : Type::IntTy());
+      case ExprKind::kParen:
+        return Eval(*e.As<ParenExpr>()->inner);
+      case ExprKind::kUnary:
+        return EvalUnary(*e.As<UnaryExpr>());
+      case ExprKind::kBinary:
+        return EvalBinary(*e.As<BinaryExpr>());
+      case ExprKind::kAssign:
+        return EvalAssign(*e.As<AssignExpr>());
+      case ExprKind::kConditional: {
+        const auto* c = e.As<ConditionalExpr>();
+        BRIDGECL_ASSIGN_OR_RETURN(Value cond, Eval(*c->cond));
+        ChargeOp(L_.device->profile().cost_alu);
+        return cond.AsBool() ? Eval(*c->then_expr) : Eval(*c->else_expr);
+      }
+      case ExprKind::kCall:
+        return EvalCall(*e.As<CallExpr>());
+      case ExprKind::kIndex: {
+        const auto* ix = e.As<IndexExpr>();
+        Type::Ptr bt = ix->base->type;
+        if (bt && bt->is_vector()) {
+          BRIDGECL_ASSIGN_OR_RETURN(Value base, Eval(*ix->base));
+          BRIDGECL_ASSIGN_OR_RETURN(Value idx, Eval(*ix->index));
+          int i = static_cast<int>(idx.AsI64());
+          if (i < 0 || i >= static_cast<int>(base.comps().size()))
+            return Err("vector component index out of range");
+          return base.Component(i);
+        }
+        BRIDGECL_ASSIGN_OR_RETURN(LV lv, Lval(e));
+        return Read(lv);
+      }
+      case ExprKind::kMember:
+        return EvalMember(*e.As<MemberExpr>());
+      case ExprKind::kCast: {
+        const auto* c = e.As<CastExpr>();
+        BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*c->operand));
+        ChargeOp(L_.device->profile().cost_alu * 0.5);
+        if (c->style == lang::CastStyle::kReinterpret && c->target &&
+            !c->target->is_pointer() && v.type() &&
+            v.type()->ByteSize() == c->target->ByteSize()) {
+          return v.BitcastTo(c->target);
+        }
+        return v.ConvertTo(c->target);
+      }
+      case ExprKind::kInitList:
+        return Err("brace initializer outside a declaration");
+      case ExprKind::kSizeof: {
+        const auto* s = e.As<SizeofExpr>();
+        size_t n = s->arg_type ? s->arg_type->ByteSize()
+                               : (s->arg_expr->type
+                                      ? s->arg_expr->type->ByteSize()
+                                      : 0);
+        return Value::UInt(n, ScalarKind::kSizeT);
+      }
+      case ExprKind::kVectorLit: {
+        const auto* v = e.As<VectorLitExpr>();
+        int w = v->vec_type->vector_width();
+        ScalarKind ek = v->vec_type->scalar_kind();
+        std::vector<ScalarVal> comps(w);
+        if (v->elems.size() == 1) {
+          BRIDGECL_ASSIGN_OR_RETURN(Value ev, Eval(*v->elems[0]));
+          ScalarVal c = ev.ConvertTo(Type::Scalar(ek)).scalar();
+          for (int i = 0; i < w; ++i) comps[i] = c;
+        } else {
+          int at = 0;
+          for (const auto& el : v->elems) {
+            BRIDGECL_ASSIGN_OR_RETURN(Value ev, Eval(*el));
+            if (ev.is_vector()) {
+              for (int i = 0; i < ev.type()->vector_width() && at < w; ++i)
+                comps[at++] =
+                    ev.Component(i).ConvertTo(Type::Scalar(ek)).scalar();
+            } else if (at < w) {
+              comps[at++] = ev.ConvertTo(Type::Scalar(ek)).scalar();
+            }
+          }
+          if (at != w)
+            return Err("wrong number of vector literal components");
+        }
+        ChargeOp(L_.device->profile().cost_alu);
+        return Value::Vector(v->vec_type, std::move(comps));
+      }
+    }
+    return Err("unhandled expression kind");
+  }
+
+  StatusOr<Value> EvalDeclRef(const DeclRefExpr& r) {
+    if (r.var != nullptr) {
+      const VarDecl* var = r.var;
+      for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        if (auto f = it->refs.find(var); f != it->refs.end())
+          return Read(f->second);
+        if (auto f = it->mem.find(var); f != it->mem.end()) {
+          Type::Ptr t = var->type;
+          // Arrays decay to a pointer to their first element.
+          if (t && t->is_array()) {
+            AddressSpace sp = var->quals.space;
+            return Value::Pointer(f->second,
+                                  Type::Pointer(t->element(), sp));
+          }
+          return LoadMem(f->second, t);
+        }
+        if (auto f = it->regs.find(var); f != it->regs.end())
+          return f->second;
+      }
+      if (uint64_t va = L_.module->VaOf(var)) {
+        Type::Ptr t = var->type;
+        if (t && t->is_array())
+          return Value::Pointer(va, Type::Pointer(t->element(),
+                                                  var->quals.space));
+        return LoadMem(va, t);
+      }
+      return Err("unbound variable '" + r.name + "'");
+    }
+    // CUDA built-in index variables.
+    if (r.is_builtin) {
+      auto vec3 = [&](const Dim3& d) {
+        std::vector<ScalarVal> c(3);
+        c[0].u = d.x;
+        c[1].u = d.y;
+        c[2].u = d.z;
+        return Value::Vector(Type::Vector(ScalarKind::kUInt, 3),
+                             std::move(c));
+      };
+      if (r.name == "threadIdx") return vec3(lid_);
+      if (r.name == "blockIdx") return vec3(L_.group_id);
+      if (r.name == "blockDim") return vec3(L_.cfg.block);
+      if (r.name == "gridDim") return vec3(L_.cfg.grid);
+      if (r.name == "warpSize")
+        return Value::Int(L_.device->profile().warp_size);
+      if (auto c = NamedConstantValue(r.name))
+        return Value::UInt(*c);
+      return Err("unknown builtin constant '" + r.name + "'");
+    }
+    // Texture reference.
+    if (L_.module->FindTextureRef(r.name) != nullptr) {
+      BRIDGECL_ASSIGN_OR_RETURN(uint64_t desc_va,
+                                L_.module->TextureBinding(r.name));
+      return Value::Pointer(desc_va, r.type ? r.type : Type::IntTy());
+    }
+    return Err("unresolved identifier '" + r.name + "'");
+  }
+
+  StatusOr<Value> EvalMember(const MemberExpr& m) {
+    if (m.is_swizzle) {
+      BRIDGECL_ASSIGN_OR_RETURN(Value base, Eval(*m.base));
+      if (!base.is_vector()) return Err("swizzle on non-vector");
+      if (m.swizzle.size() == 1) return base.Component(m.swizzle[0]);
+      std::vector<ScalarVal> comps;
+      for (int i : m.swizzle) {
+        if (i >= static_cast<int>(base.comps().size()))
+          return Err("swizzle component out of range");
+        comps.push_back(base.comps()[i]);
+      }
+      // Width must be captured before std::move(comps): C++ does not
+      // specify argument evaluation order.
+      int width = static_cast<int>(comps.size());
+      return Value::Vector(Type::Vector(base.type()->scalar_kind(), width),
+                           std::move(comps));
+    }
+    // Struct member.
+    Type::Ptr bt = m.base->type;
+    if (m.is_arrow || (bt && bt->is_struct())) {
+      // Try the lvalue path (memory-backed) first.
+      auto lv = Lval(m);
+      if (lv.ok()) return Read(*lv);
+      // Rvalue aggregate: extract from the byte image.
+      BRIDGECL_ASSIGN_OR_RETURN(Value base, Eval(*m.base));
+      if (!base.is_aggregate()) return lv.status();
+      const lang::StructDecl* sd = base.type()->struct_decl();
+      const lang::StructField* f = sd->FindField(m.member);
+      if (f == nullptr) return Err("no field '" + m.member + "'");
+      return DecodeValue(f->type, base.bytes().data() + f->offset);
+    }
+    return Err("member access on unsupported base");
+  }
+
+  StatusOr<Value> EvalUnary(const UnaryExpr& u) {
+    const auto& prof = L_.device->profile();
+    switch (u.op) {
+      case UnaryOp::kAddrOf: {
+        BRIDGECL_ASSIGN_OR_RETURN(LV lv, Lval(*u.operand));
+        if (lv.kind != LV::Kind::kMem)
+          return Err("address of non-addressable value");
+        Type::Ptr pt =
+            u.operand->type
+                ? Type::Pointer(u.operand->type, AddressSpace::kPrivate)
+                : Type::Pointer(Type::IntTy(), AddressSpace::kPrivate);
+        return Value::Pointer(lv.va, pt);
+      }
+      case UnaryOp::kDeref: {
+        BRIDGECL_ASSIGN_OR_RETURN(Value p, Eval(*u.operand));
+        Type::Ptr t = p.type() && p.type()->is_pointer()
+                          ? p.type()->pointee()
+                          : Type::IntTy();
+        return LoadMem(p.AsVa(), t);
+      }
+      case UnaryOp::kPreInc:
+      case UnaryOp::kPreDec:
+      case UnaryOp::kPostInc:
+      case UnaryOp::kPostDec: {
+        BRIDGECL_ASSIGN_OR_RETURN(LV lv, Lval(*u.operand));
+        BRIDGECL_ASSIGN_OR_RETURN(Value old, Read(lv));
+        ChargeOp(prof.cost_alu);
+        int64_t delta =
+            (u.op == UnaryOp::kPreInc || u.op == UnaryOp::kPostInc) ? 1 : -1;
+        Value next;
+        if (old.type() && old.type()->is_pointer()) {
+          next = Value::Pointer(
+              old.AsVa() + delta * old.type()->pointee()->ByteSize(),
+              old.type());
+        } else if (old.type() && old.type()->is_float()) {
+          next = Value::Float(old.AsF64() + delta, old.type()->scalar_kind());
+        } else {
+          next = Value::Int(old.AsI64() + delta,
+                            old.type() ? old.type()->scalar_kind()
+                                       : ScalarKind::kInt);
+        }
+        BRIDGECL_RETURN_IF_ERROR(Write(lv, next));
+        bool pre = u.op == UnaryOp::kPreInc || u.op == UnaryOp::kPreDec;
+        return pre ? next : old;
+      }
+      case UnaryOp::kPlus:
+        return Eval(*u.operand);
+      case UnaryOp::kMinus: {
+        BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*u.operand));
+        ChargeOp(prof.cost_alu);
+        if (v.is_vector()) {
+          Value out = v;
+          bool flt = IsFloatScalar(v.type()->scalar_kind());
+          for (auto& c : out.comps()) {
+            if (flt)
+              c.f = -c.f;
+            else
+              c.i = -c.i;
+          }
+          return out;
+        }
+        if (v.type() && v.type()->is_float())
+          return Value::Float(-v.AsF64(), v.type()->scalar_kind());
+        return Value::Int(-v.AsI64(), v.type() ? v.type()->scalar_kind()
+                                               : ScalarKind::kInt);
+      }
+      case UnaryOp::kNot: {
+        BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*u.operand));
+        ChargeOp(prof.cost_alu);
+        return Value::Int(v.AsBool() ? 0 : 1);
+      }
+      case UnaryOp::kBitNot: {
+        BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*u.operand));
+        ChargeOp(prof.cost_alu);
+        if (v.is_vector()) {
+          Value out = v;
+          for (auto& c : out.comps()) c.u = ~c.u;
+          return out.ConvertTo(v.type());
+        }
+        return Value::Int(~v.AsI64(), v.type() ? v.type()->scalar_kind()
+                                               : ScalarKind::kInt);
+      }
+    }
+    return Err("unhandled unary operator");
+  }
+
+  static ScalarVal ApplyScalarOp(BinaryOp op, ScalarVal a, ScalarVal b,
+                                 ScalarKind k, Status* err) {
+    ScalarVal out{};
+    bool flt = IsFloatScalar(k);
+    bool sgn = IsSignedScalar(k);
+    auto div0 = [&] {
+      *err = InternalError("division by zero in kernel");
+      return out;
+    };
+    switch (op) {
+      case BinaryOp::kAdd:
+        if (flt) out.f = a.f + b.f; else out.i = a.i + b.i;
+        return out;
+      case BinaryOp::kSub:
+        if (flt) out.f = a.f - b.f; else out.i = a.i - b.i;
+        return out;
+      case BinaryOp::kMul:
+        if (flt) out.f = a.f * b.f; else out.i = a.i * b.i;
+        return out;
+      case BinaryOp::kDiv:
+        if (flt) {
+          out.f = a.f / b.f;
+        } else if (sgn) {
+          if (b.i == 0) return div0();
+          out.i = a.i / b.i;
+        } else {
+          if (b.u == 0) return div0();
+          out.u = a.u / b.u;
+        }
+        return out;
+      case BinaryOp::kRem:
+        if (flt) {
+          out.f = std::fmod(a.f, b.f);
+        } else if (sgn) {
+          if (b.i == 0) return div0();
+          out.i = a.i % b.i;
+        } else {
+          if (b.u == 0) return div0();
+          out.u = a.u % b.u;
+        }
+        return out;
+      case BinaryOp::kShl:
+        out.u = a.u << (b.u & 63);
+        return out;
+      case BinaryOp::kShr:
+        if (sgn) out.i = a.i >> (b.u & 63);
+        else out.u = a.u >> (b.u & 63);
+        return out;
+      case BinaryOp::kAnd: out.u = a.u & b.u; return out;
+      case BinaryOp::kOr: out.u = a.u | b.u; return out;
+      case BinaryOp::kXor: out.u = a.u ^ b.u; return out;
+      case BinaryOp::kEQ:
+        out.i = flt ? (a.f == b.f) : (a.u == b.u);
+        return out;
+      case BinaryOp::kNE:
+        out.i = flt ? (a.f != b.f) : (a.u != b.u);
+        return out;
+      case BinaryOp::kLT:
+        out.i = flt ? (a.f < b.f) : sgn ? (a.i < b.i) : (a.u < b.u);
+        return out;
+      case BinaryOp::kGT:
+        out.i = flt ? (a.f > b.f) : sgn ? (a.i > b.i) : (a.u > b.u);
+        return out;
+      case BinaryOp::kLE:
+        out.i = flt ? (a.f <= b.f) : sgn ? (a.i <= b.i) : (a.u <= b.u);
+        return out;
+      case BinaryOp::kGE:
+        out.i = flt ? (a.f >= b.f) : sgn ? (a.i >= b.i) : (a.u >= b.u);
+        return out;
+      default:
+        *err = InternalError("unhandled scalar binary op");
+        return out;
+    }
+  }
+
+  StatusOr<Value> ApplyBinary(BinaryOp op, const Value& a, const Value& b) {
+    const auto& prof = L_.device->profile();
+    double c = (op == BinaryOp::kDiv || op == BinaryOp::kRem)
+                   ? prof.cost_div
+                   : prof.cost_alu;
+    // Pointer arithmetic.
+    bool cmp = op == BinaryOp::kEQ || op == BinaryOp::kNE ||
+               op == BinaryOp::kLT || op == BinaryOp::kGT ||
+               op == BinaryOp::kLE || op == BinaryOp::kGE;
+    if (a.type() && a.type()->is_pointer() && !cmp) {
+      ChargeOp(c);
+      size_t esz = a.type()->pointee()->ByteSize();
+      if (op == BinaryOp::kSub && b.type() && b.type()->is_pointer()) {
+        return Value::Int(
+            static_cast<int64_t>(a.AsVa() - b.AsVa()) /
+                static_cast<int64_t>(esz),
+            ScalarKind::kLong);
+      }
+      int64_t off = b.AsI64();
+      uint64_t va = op == BinaryOp::kSub ? a.AsVa() - off * esz
+                                         : a.AsVa() + off * esz;
+      return Value::Pointer(va, a.type());
+    }
+    if (b.type() && b.type()->is_pointer() && op == BinaryOp::kAdd) {
+      return ApplyBinary(op, b, a);
+    }
+    // Vector / scalar elementwise.
+    if ((a.is_vector() || b.is_vector())) {
+      const Value& vec = a.is_vector() ? a : b;
+      int w = vec.type()->vector_width();
+      ScalarKind ek = ArithmeticResultType(a.type(), b.type())
+                          ->scalar_kind();
+      Type::Ptr et = Type::Scalar(ek);
+      Value av = a.ConvertTo(Type::Vector(ek, w));
+      Value bv = b.ConvertTo(Type::Vector(ek, w));
+      std::vector<ScalarVal> comps(w);
+      Status err;
+      for (int i = 0; i < w; ++i) {
+        comps[i] = ApplyScalarOp(op, av.comps()[i], bv.comps()[i], ek, &err);
+        if (!err.ok()) return err;
+      }
+      ChargeOp(c * w);
+      if (cmp) {
+        // Vector comparisons produce an int vector of 0/-1 per OpenCL.
+        for (auto& s : comps) s.i = s.i ? -1 : 0;
+        return Value::Vector(Type::Vector(ScalarKind::kInt, w),
+                             std::move(comps));
+      }
+      return Value::Vector(Type::Vector(ek, w), std::move(comps));
+    }
+    // Scalars: usual conversions.
+    Type::Ptr rt = ArithmeticResultType(a.type(), b.type());
+    ScalarKind k = rt->scalar_kind();
+    if (cmp) {
+      // Compare in the common type but return int.
+      Value ac = a.ConvertTo(Type::Scalar(k));
+      Value bc = b.ConvertTo(Type::Scalar(k));
+      Status err;
+      ScalarVal r = ApplyScalarOp(op, ac.scalar(), bc.scalar(), k, &err);
+      if (!err.ok()) return err;
+      ChargeOp(c);
+      return Value::Int(r.i);
+    }
+    Value ac = a.ConvertTo(Type::Scalar(k));
+    Value bc = b.ConvertTo(Type::Scalar(k));
+    Status err;
+    ScalarVal r = ApplyScalarOp(op, ac.scalar(), bc.scalar(), k, &err);
+    if (!err.ok()) return err;
+    ChargeOp(c);
+    Value out;
+    out.set_type(Type::Scalar(k));
+    out.set_scalar(r);
+    return out;
+  }
+
+  StatusOr<Value> EvalBinary(const BinaryExpr& b) {
+    if (b.op == BinaryOp::kLAnd) {
+      BRIDGECL_ASSIGN_OR_RETURN(Value l, Eval(*b.lhs));
+      ChargeOp(L_.device->profile().cost_alu);
+      if (!l.AsBool()) return Value::Int(0);
+      BRIDGECL_ASSIGN_OR_RETURN(Value r, Eval(*b.rhs));
+      return Value::Int(r.AsBool() ? 1 : 0);
+    }
+    if (b.op == BinaryOp::kLOr) {
+      BRIDGECL_ASSIGN_OR_RETURN(Value l, Eval(*b.lhs));
+      ChargeOp(L_.device->profile().cost_alu);
+      if (l.AsBool()) return Value::Int(1);
+      BRIDGECL_ASSIGN_OR_RETURN(Value r, Eval(*b.rhs));
+      return Value::Int(r.AsBool() ? 1 : 0);
+    }
+    if (b.op == BinaryOp::kComma) {
+      BRIDGECL_RETURN_IF_ERROR(Eval(*b.lhs).status());
+      return Eval(*b.rhs);
+    }
+    BRIDGECL_ASSIGN_OR_RETURN(Value l, Eval(*b.lhs));
+    BRIDGECL_ASSIGN_OR_RETURN(Value r, Eval(*b.rhs));
+    return ApplyBinary(b.op, l, r);
+  }
+
+  StatusOr<Value> EvalAssign(const AssignExpr& a) {
+    BRIDGECL_ASSIGN_OR_RETURN(Value rhs, Eval(*a.rhs));
+    BRIDGECL_ASSIGN_OR_RETURN(LV lv, Lval(*a.lhs));
+    if (a.compound) {
+      BRIDGECL_ASSIGN_OR_RETURN(Value old, Read(lv));
+      BRIDGECL_ASSIGN_OR_RETURN(rhs, ApplyBinary(a.op, old, rhs));
+    }
+    BRIDGECL_RETURN_IF_ERROR(Write(lv, rhs));
+    return rhs;
+  }
+
+  // -- calls ---------------------------------------------------------------
+  StatusOr<Value> EvalCall(const CallExpr& c) {
+    std::string name = c.callee_name();
+    const DeclRefExpr* ref =
+        c.callee->kind == ExprKind::kDeclRef ? c.callee->As<DeclRefExpr>()
+                                             : nullptr;
+    if (ref != nullptr && ref->function != nullptr && ref->function->body) {
+      return CallFunction(ref->function, c);
+    }
+    return CallBuiltin(name, c);
+  }
+
+  StatusOr<Value> CallFunction(const FunctionDecl* fn, const CallExpr& c) {
+    if (static_cast<int>(frames_.size()) > kMaxCallDepth)
+      return Err("device call stack overflow (recursion too deep)");
+    if (c.args.size() != fn->params.size())
+      return Err("wrong argument count calling '" + fn->name + "'");
+    Frame new_frame;
+    new_frame.stack_top = private_top_;
+    // Evaluate arguments in the caller's frame.
+    std::vector<Value> vals(c.args.size());
+    std::vector<LV> ref_lvs(c.args.size());
+    std::vector<bool> is_ref(c.args.size(), false);
+    for (size_t i = 0; i < c.args.size(); ++i) {
+      bool by_ref = i < fn->param_is_reference.size() &&
+                    fn->param_is_reference[i];
+      if (by_ref) {
+        BRIDGECL_ASSIGN_OR_RETURN(ref_lvs[i], Lval(*c.args[i]));
+        is_ref[i] = true;
+      } else {
+        BRIDGECL_ASSIGN_OR_RETURN(vals[i], Eval(*c.args[i]));
+      }
+    }
+    uint64_t saved_top = private_top_;
+    frames_.push_back(std::move(new_frame));
+    for (size_t i = 0; i < c.args.size(); ++i) {
+      if (is_ref[i]) {
+        frame().refs[fn->params[i].get()] = ref_lvs[i];
+      } else {
+        BRIDGECL_RETURN_IF_ERROR(BindVar(fn->params[i].get(), vals[i]));
+      }
+    }
+    ret_ = Value::Void();
+    auto flow = Exec(*fn->body);
+    frames_.pop_back();
+    private_top_ = saved_top;
+    if (!flow.ok()) return flow.status();
+    ChargeOp(L_.device->profile().cost_alu);  // call overhead
+    return ret_;
+  }
+
+  // ---- builtin implementations ----
+  StatusOr<Value> CallBuiltin(const std::string& name, const CallExpr& c);
+  StatusOr<Value> EvalImageRead(const std::string& name, const CallExpr& c);
+  StatusOr<Value> EvalImageWrite(const std::string& name, const CallExpr& c);
+  StatusOr<Value> EvalTexFetch(const std::string& name, const CallExpr& c);
+  StatusOr<Value> EvalAtomic(const std::string& name, const CallExpr& c);
+  StatusOr<ImageDesc> LoadImageDesc(uint64_t va);
+  StatusOr<Value> ReadTexel(const ImageDesc& d, int x, int y, int z,
+                            ScalarKind out_kind);
+
+  LaunchState& L_;
+  Dim3 lid_;
+  Dim3 gid_;
+  uint64_t private_base_ = 0;
+  uint64_t private_top_ = 0;
+  double cycles_ = 0;
+  std::vector<Frame> frames_;
+  Value ret_;
+
+ public:
+  double TakeCycles() { return cycles_; }
+};
+
+StatusOr<ImageDesc> Evaluator::LoadImageDesc(uint64_t va) {
+  BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                            L_.device->vm().Resolve(va, sizeof(ImageDesc)));
+  ImageDesc d;
+  std::memcpy(&d, p, sizeof(d));
+  return d;
+}
+
+StatusOr<Value> Evaluator::ReadTexel(const ImageDesc& d, int x, int y, int z,
+                                     ScalarKind out_kind) {
+  auto clampi = [](int v, int lo, int hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  };
+  x = clampi(x, 0, static_cast<int>(d.width) - 1);
+  y = clampi(y, 0, static_cast<int>(d.height) - 1);
+  z = clampi(z, 0, static_cast<int>(d.depth) - 1);
+  uint32_t texel = ImageTexelBytes(d);
+  uint64_t va = d.data_va + static_cast<uint64_t>(z) * d.slice_pitch +
+                static_cast<uint64_t>(y) * d.row_pitch +
+                static_cast<uint64_t>(x) * texel;
+  ScalarKind ek = static_cast<ScalarKind>(d.elem_kind);
+  size_t esz = lang::ScalarByteSize(ek);
+  BRIDGECL_ASSIGN_OR_RETURN(std::byte * p, L_.device->vm().Resolve(va, texel));
+  ++L_.device->stats().image_accesses;
+  cycles_ += L_.device->profile().cost_image_access;
+  std::vector<ScalarVal> comps(4);
+  for (uint32_t ch = 0; ch < 4; ++ch) {
+    if (ch < d.channels) {
+      BRIDGECL_ASSIGN_OR_RETURN(Value v,
+                                DecodeValue(Type::Scalar(ek), p + ch * esz));
+      comps[ch] = v.ConvertTo(Type::Scalar(out_kind)).scalar();
+    } else {
+      // Missing channels read as 0 (alpha as 1.0 for floats).
+      if (ch == 3 && IsFloatScalar(out_kind)) comps[ch].f = 1.0;
+    }
+  }
+  return Value::Vector(Type::Vector(out_kind, 4), std::move(comps));
+}
+
+StatusOr<Value> Evaluator::EvalImageRead(const std::string& name,
+                                         const CallExpr& c) {
+  if (c.args.size() < 2) return Err(name + ": too few arguments");
+  BRIDGECL_ASSIGN_OR_RETURN(Value img, Eval(*c.args[0]));
+  BRIDGECL_ASSIGN_OR_RETURN(ImageDesc d, LoadImageDesc(img.AsVa()));
+  uint32_t sampler_bits = d.sampler_bits;
+  const Expr* coord_expr = c.args.back().get();
+  if (c.args.size() == 3) {
+    BRIDGECL_ASSIGN_OR_RETURN(Value s, Eval(*c.args[1]));
+    sampler_bits = static_cast<uint32_t>(s.AsU64());
+  }
+  ScalarKind out_kind = name == "read_imagef"   ? ScalarKind::kFloat
+                        : name == "read_imagei" ? ScalarKind::kInt
+                                                : ScalarKind::kUInt;
+  BRIDGECL_ASSIGN_OR_RETURN(Value coord, Eval(*coord_expr));
+  bool float_coords =
+      coord.type() && IsFloatScalar(coord.type()->scalar_kind());
+
+  double fx = 0, fy = 0, fz = 0;
+  if (coord.is_vector()) {
+    fx = coord.Component(0).AsF64();
+    if (coord.type()->vector_width() > 1) fy = coord.Component(1).AsF64();
+    if (coord.type()->vector_width() > 2) fz = coord.Component(2).AsF64();
+  } else {
+    fx = coord.AsF64();
+  }
+  if (float_coords && (sampler_bits & kSamplerNormalizedCoords)) {
+    fx *= d.width;
+    fy *= d.height;
+    fz *= d.depth;
+  }
+  if (float_coords && (sampler_bits & kSamplerFilterLinear)) {
+    // Bilinear filtering (2D path; 1D degenerates, 3D uses nearest z).
+    double u = fx - 0.5, v = fy - 0.5;
+    int x0 = static_cast<int>(std::floor(u));
+    int y0 = static_cast<int>(std::floor(v));
+    double a = u - x0, b = v - y0;
+    Value t00, t10, t01, t11;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        t00, ReadTexel(d, x0, y0, static_cast<int>(fz), out_kind));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        t10, ReadTexel(d, x0 + 1, y0, static_cast<int>(fz), out_kind));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        t01, ReadTexel(d, x0, y0 + 1, static_cast<int>(fz), out_kind));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        t11, ReadTexel(d, x0 + 1, y0 + 1, static_cast<int>(fz), out_kind));
+    std::vector<ScalarVal> comps(4);
+    for (int i = 0; i < 4; ++i) {
+      double r = t00.comps()[i].f * (1 - a) * (1 - b) +
+                 t10.comps()[i].f * a * (1 - b) +
+                 t01.comps()[i].f * (1 - a) * b + t11.comps()[i].f * a * b;
+      comps[i].f = r;
+    }
+    return Value::Vector(Type::Vector(out_kind, 4), std::move(comps));
+  }
+  return ReadTexel(d, static_cast<int>(fx), static_cast<int>(fy),
+                   static_cast<int>(fz), out_kind);
+}
+
+StatusOr<Value> Evaluator::EvalImageWrite(const std::string& name,
+                                          const CallExpr& c) {
+  if (c.args.size() != 3) return Err(name + ": expected 3 arguments");
+  BRIDGECL_ASSIGN_OR_RETURN(Value img, Eval(*c.args[0]));
+  BRIDGECL_ASSIGN_OR_RETURN(ImageDesc d, LoadImageDesc(img.AsVa()));
+  BRIDGECL_ASSIGN_OR_RETURN(Value coord, Eval(*c.args[1]));
+  BRIDGECL_ASSIGN_OR_RETURN(Value color, Eval(*c.args[2]));
+  int x = 0, y = 0, z = 0;
+  if (coord.is_vector()) {
+    x = static_cast<int>(coord.Component(0).AsI64());
+    if (coord.type()->vector_width() > 1)
+      y = static_cast<int>(coord.Component(1).AsI64());
+    if (coord.type()->vector_width() > 2)
+      z = static_cast<int>(coord.Component(2).AsI64());
+  } else {
+    x = static_cast<int>(coord.AsI64());
+  }
+  if (x < 0 || x >= static_cast<int>(d.width) || y < 0 ||
+      y >= static_cast<int>(d.height) || z < 0 ||
+      z >= static_cast<int>(d.depth))
+    return Value::Void();  // out-of-bounds writes are dropped (CL rule)
+  ScalarKind ek = static_cast<ScalarKind>(d.elem_kind);
+  size_t esz = lang::ScalarByteSize(ek);
+  uint64_t va = d.data_va + static_cast<uint64_t>(z) * d.slice_pitch +
+                static_cast<uint64_t>(y) * d.row_pitch +
+                static_cast<uint64_t>(x) * ImageTexelBytes(d);
+  BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                            L_.device->vm().Resolve(va, ImageTexelBytes(d)));
+  ++L_.device->stats().image_accesses;
+  cycles_ += L_.device->profile().cost_image_access;
+  for (uint32_t ch = 0; ch < d.channels; ++ch) {
+    Value comp = color.is_vector() ? color.Component(ch) : color;
+    BRIDGECL_RETURN_IF_ERROR(
+        EncodeValue(comp.ConvertTo(Type::Scalar(ek)), p + ch * esz));
+  }
+  return Value::Void();
+}
+
+StatusOr<Value> Evaluator::EvalTexFetch(const std::string& name,
+                                        const CallExpr& c) {
+  if (c.args.size() < 2) return Err(name + ": too few arguments");
+  BRIDGECL_ASSIGN_OR_RETURN(Value tex, Eval(*c.args[0]));
+  BRIDGECL_ASSIGN_OR_RETURN(ImageDesc d, LoadImageDesc(tex.AsVa()));
+  Type::Ptr tex_t = c.args[0]->type;
+  ScalarKind out_kind =
+      tex_t && tex_t->is_texture() ? tex_t->scalar_kind() : ScalarKind::kFloat;
+  int out_width = tex_t && tex_t->is_texture() ? tex_t->vector_width() : 1;
+
+  double fx = 0, fy = 0, fz = 0;
+  BRIDGECL_ASSIGN_OR_RETURN(Value cx, Eval(*c.args[1]));
+  fx = cx.AsF64();
+  if (c.args.size() > 2) {
+    BRIDGECL_ASSIGN_OR_RETURN(Value cy, Eval(*c.args[2]));
+    fy = cy.AsF64();
+  }
+  if (c.args.size() > 3) {
+    BRIDGECL_ASSIGN_OR_RETURN(Value cz, Eval(*c.args[3]));
+    fz = cz.AsF64();
+  }
+  if (d.sampler_bits & kSamplerNormalizedCoords) {
+    fx *= d.width;
+    fy *= d.height;
+    fz *= d.depth;
+  }
+  ScalarKind fetch_kind =
+      IsFloatScalar(out_kind) ? ScalarKind::kFloat : out_kind;
+  BRIDGECL_ASSIGN_OR_RETURN(
+      Value texel, ReadTexel(d, static_cast<int>(fx), static_cast<int>(fy),
+                             static_cast<int>(fz), fetch_kind));
+  if (out_width == 1) return texel.Component(0).ConvertTo(Type::Scalar(out_kind));
+  std::vector<ScalarVal> comps(out_width);
+  for (int i = 0; i < out_width; ++i)
+    comps[i] = texel.Component(i).ConvertTo(Type::Scalar(out_kind)).scalar();
+  return Value::Vector(Type::Vector(out_kind, out_width), std::move(comps));
+}
+
+StatusOr<Value> Evaluator::EvalAtomic(const std::string& name,
+                                      const CallExpr& c) {
+  if (c.args.empty()) return Err(name + ": missing pointer argument");
+  BRIDGECL_ASSIGN_OR_RETURN(Value ptr, Eval(*c.args[0]));
+  Type::Ptr elem = ptr.type() && ptr.type()->is_pointer()
+                       ? ptr.type()->pointee()
+                       : Type::IntTy();
+  uint64_t va = ptr.AsVa();
+  ++L_.device->stats().atomics;
+  cycles_ += L_.device->profile().cost_atomic;
+  BRIDGECL_ASSIGN_OR_RETURN(Value old, LoadMem(va, elem));
+  Value operand;
+  if (c.args.size() > 1) {
+    BRIDGECL_ASSIGN_OR_RETURN(operand, Eval(*c.args[1]));
+    operand = operand.ConvertTo(elem);
+  }
+  Value next = old;
+  bool flt = elem->is_float();
+  // OpenCL atomic_inc/atomic_dec: unconditional +-1 (no operand).
+  // CUDA atomicInc/atomicDec: wrap semantics against args[1] (§3.7).
+  if (name == "atomic_inc" || name == "atom_inc") {
+    next = Value::Int(old.AsI64() + 1, elem->scalar_kind());
+  } else if (name == "atomic_dec" || name == "atom_dec") {
+    next = Value::Int(old.AsI64() - 1, elem->scalar_kind());
+  } else if (name == "atomicInc") {
+    uint64_t limit = operand.AsU64();
+    next = Value::UInt(old.AsU64() >= limit ? 0 : old.AsU64() + 1,
+                       elem->scalar_kind());
+  } else if (name == "atomicDec") {
+    uint64_t limit = operand.AsU64();
+    uint64_t ov = old.AsU64();
+    next = Value::UInt((ov == 0 || ov > limit) ? limit : ov - 1,
+                       elem->scalar_kind());
+  } else if (name == "atomic_add" || name == "atomicAdd" ||
+             name == "atom_add") {
+    next = flt ? Value::Float(old.AsF64() + operand.AsF64(),
+                              elem->scalar_kind())
+               : Value::Int(old.AsI64() + operand.AsI64(),
+                            elem->scalar_kind());
+  } else if (name == "atomic_sub" || name == "atomicSub") {
+    next = Value::Int(old.AsI64() - operand.AsI64(), elem->scalar_kind());
+  } else if (name == "atomic_xchg" || name == "atomicExch") {
+    next = operand;
+  } else if (name == "atomic_min" || name == "atomicMin") {
+    bool less = IsSignedScalar(elem->scalar_kind())
+                    ? operand.AsI64() < old.AsI64()
+                    : operand.AsU64() < old.AsU64();
+    if (flt) less = operand.AsF64() < old.AsF64();
+    next = less ? operand : old;
+  } else if (name == "atomic_max" || name == "atomicMax") {
+    bool greater = IsSignedScalar(elem->scalar_kind())
+                       ? operand.AsI64() > old.AsI64()
+                       : operand.AsU64() > old.AsU64();
+    if (flt) greater = operand.AsF64() > old.AsF64();
+    next = greater ? operand : old;
+  } else if (name == "atomic_and" || name == "atomicAnd") {
+    next = Value::UInt(old.AsU64() & operand.AsU64(), elem->scalar_kind());
+  } else if (name == "atomic_or" || name == "atomicOr") {
+    next = Value::UInt(old.AsU64() | operand.AsU64(), elem->scalar_kind());
+  } else if (name == "atomic_xor" || name == "atomicXor") {
+    next = Value::UInt(old.AsU64() ^ operand.AsU64(), elem->scalar_kind());
+  } else if (name == "atomic_cmpxchg" || name == "atomicCAS") {
+    if (c.args.size() != 3) return Err(name + ": expected 3 arguments");
+    BRIDGECL_ASSIGN_OR_RETURN(Value desired, Eval(*c.args[2]));
+    if (old.AsU64() == operand.AsU64()) {
+      next = desired.ConvertTo(elem);
+    }
+  } else {
+    return Err("unhandled atomic builtin '" + name + "'");
+  }
+  BRIDGECL_RETURN_IF_ERROR(StoreMem(va, next.ConvertTo(elem)));
+  return old;
+}
+
+StatusOr<Value> Evaluator::CallBuiltin(const std::string& raw_name,
+                                       const CallExpr& c) {
+  // Device-side wrapper-library functions (__oc2cu_*) behave exactly like
+  // the OpenCL builtin they wrap (Â§5).
+  const std::string name =
+      StartsWith(raw_name, "__oc2cu_") ? raw_name.substr(8) : raw_name;
+  const auto& prof = L_.device->profile();
+
+  // ---- work-item functions (OpenCL) ----
+  auto dim_arg = [&]() -> StatusOr<int> {
+    if (c.args.empty()) return 0;
+    BRIDGECL_ASSIGN_OR_RETURN(Value d, Eval(*c.args[0]));
+    return static_cast<int>(d.AsI64());
+  };
+  if (name == "get_global_id") {
+    BRIDGECL_ASSIGN_OR_RETURN(int d, dim_arg());
+    return Value::UInt(gid_[d], ScalarKind::kSizeT);
+  }
+  if (name == "get_local_id") {
+    BRIDGECL_ASSIGN_OR_RETURN(int d, dim_arg());
+    return Value::UInt(lid_[d], ScalarKind::kSizeT);
+  }
+  if (name == "get_group_id") {
+    BRIDGECL_ASSIGN_OR_RETURN(int d, dim_arg());
+    return Value::UInt(L_.group_id[d], ScalarKind::kSizeT);
+  }
+  if (name == "get_global_size") {
+    BRIDGECL_ASSIGN_OR_RETURN(int d, dim_arg());
+    return Value::UInt(
+        static_cast<uint64_t>(L_.cfg.grid[d]) * L_.cfg.block[d],
+        ScalarKind::kSizeT);
+  }
+  if (name == "get_local_size") {
+    BRIDGECL_ASSIGN_OR_RETURN(int d, dim_arg());
+    return Value::UInt(L_.cfg.block[d], ScalarKind::kSizeT);
+  }
+  if (name == "get_num_groups") {
+    BRIDGECL_ASSIGN_OR_RETURN(int d, dim_arg());
+    return Value::UInt(L_.cfg.grid[d], ScalarKind::kSizeT);
+  }
+  if (name == "get_work_dim") return Value::UInt(3);
+  if (name == "get_global_offset") return Value::UInt(0, ScalarKind::kSizeT);
+
+  // ---- synchronization ----
+  if (name == "barrier" || name == "__syncthreads") {
+    for (const auto& a : c.args) BRIDGECL_RETURN_IF_ERROR(Eval(*a).status());
+    ++L_.device->stats().barriers;
+    cycles_ += prof.cost_barrier;
+    L_.group->Barrier();
+    return Value::Void();
+  }
+  if (name == "mem_fence" || name == "read_mem_fence" ||
+      name == "write_mem_fence" || name == "__threadfence" ||
+      name == "__threadfence_block") {
+    for (const auto& a : c.args) BRIDGECL_RETURN_IF_ERROR(Eval(*a).status());
+    cycles_ += prof.cost_alu;
+    return Value::Void();
+  }
+
+  // ---- images / textures ----
+  if (StartsWith(name, "read_image")) return EvalImageRead(name, c);
+  if (StartsWith(name, "write_image")) return EvalImageWrite(name, c);
+  if (StartsWith(name, "tex")) return EvalTexFetch(name, c);
+  if (name == "get_image_width" || name == "get_image_height") {
+    BRIDGECL_ASSIGN_OR_RETURN(Value img, Eval(*c.args[0]));
+    BRIDGECL_ASSIGN_OR_RETURN(ImageDesc d, LoadImageDesc(img.AsVa()));
+    return Value::Int(name == "get_image_width" ? d.width : d.height);
+  }
+
+  // ---- atomics ----
+  if (StartsWith(name, "atomic_") || StartsWith(name, "atom_") ||
+      StartsWith(name, "atomic"))
+    return EvalAtomic(name, c);
+
+  // ---- vector family ----
+  if (StartsWith(name, "make_")) {
+    ScalarKind ek;
+    int w;
+    if (!lang::ParseVectorTypeName(name.substr(5), &ek, &w))
+      return Err("bad make_* builtin '" + name + "'");
+    std::vector<ScalarVal> comps(w);
+    for (int i = 0; i < w && i < static_cast<int>(c.args.size()); ++i) {
+      BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*c.args[i]));
+      comps[i] = v.ConvertTo(Type::Scalar(ek)).scalar();
+    }
+    ChargeOp(prof.cost_alu);
+    return Value::Vector(Type::Vector(ek, w), std::move(comps));
+  }
+  if (StartsWith(name, "convert_")) {
+    BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*c.args[0]));
+    ScalarKind ek;
+    int w;
+    std::string rest = name.substr(8);
+    ChargeOp(prof.cost_alu);
+    if (lang::ParseVectorTypeName(rest, &ek, &w))
+      return v.ConvertTo(Type::Vector(ek, w));
+    // Scalar convert_T.
+    for (ScalarKind k :
+         {ScalarKind::kChar, ScalarKind::kUChar, ScalarKind::kShort,
+          ScalarKind::kUShort, ScalarKind::kInt, ScalarKind::kUInt,
+          ScalarKind::kLong, ScalarKind::kULong, ScalarKind::kFloat,
+          ScalarKind::kDouble}) {
+      if (rest == lang::ScalarName(k)) return v.ConvertTo(Type::Scalar(k));
+    }
+    return Err("bad convert_* builtin '" + name + "'");
+  }
+  if (StartsWith(name, "as_")) {
+    BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*c.args[0]));
+    ScalarKind ek;
+    int w;
+    std::string rest = name.substr(3);
+    if (lang::ParseVectorTypeName(rest, &ek, &w))
+      return v.BitcastTo(Type::Vector(ek, w));
+    for (ScalarKind k :
+         {ScalarKind::kInt, ScalarKind::kUInt, ScalarKind::kFloat,
+          ScalarKind::kLong, ScalarKind::kULong, ScalarKind::kDouble}) {
+      if (rest == lang::ScalarName(k)) return v.BitcastTo(Type::Scalar(k));
+    }
+    return Err("bad as_* builtin '" + name + "'");
+  }
+  if (StartsWith(name, "vload")) {
+    int w = std::atoi(name.c_str() + 5);
+    BRIDGECL_ASSIGN_OR_RETURN(Value off, Eval(*c.args[0]));
+    BRIDGECL_ASSIGN_OR_RETURN(Value ptr, Eval(*c.args[1]));
+    Type::Ptr elem = ptr.type()->is_pointer() ? ptr.type()->pointee()
+                                              : Type::FloatTy();
+    Type::Ptr vt = Type::Vector(elem->scalar_kind(), w);
+    uint64_t va = ptr.AsVa() + off.AsU64() * w * elem->ByteSize();
+    // vload reads w packed elements (no vec3 padding).
+    std::vector<ScalarVal> comps(w);
+    for (int i = 0; i < w; ++i) {
+      BRIDGECL_ASSIGN_OR_RETURN(Value v,
+                                LoadMem(va + i * elem->ByteSize(), elem));
+      comps[i] = v.scalar();
+    }
+    return Value::Vector(vt, std::move(comps));
+  }
+  if (StartsWith(name, "vstore")) {
+    int w = std::atoi(name.c_str() + 6);
+    BRIDGECL_ASSIGN_OR_RETURN(Value data, Eval(*c.args[0]));
+    BRIDGECL_ASSIGN_OR_RETURN(Value off, Eval(*c.args[1]));
+    BRIDGECL_ASSIGN_OR_RETURN(Value ptr, Eval(*c.args[2]));
+    Type::Ptr elem = ptr.type()->is_pointer() ? ptr.type()->pointee()
+                                              : Type::FloatTy();
+    uint64_t va = ptr.AsVa() + off.AsU64() * w * elem->ByteSize();
+    for (int i = 0; i < w; ++i) {
+      BRIDGECL_RETURN_IF_ERROR(StoreMem(
+          va + i * elem->ByteSize(), data.Component(i).ConvertTo(elem)));
+    }
+    return Value::Void();
+  }
+
+  // ---- warp-level CUDA built-ins: degenerate single-lane semantics.
+  // These exist so that mcuda can *run* CUDA-only samples natively; the
+  // CU→CL translator rejects them (§3.7 / Table 3).
+  if (name == "__shfl" || name == "__shfl_up" || name == "__shfl_down" ||
+      name == "__shfl_xor") {
+    BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*c.args[0]));
+    for (size_t i = 1; i < c.args.size(); ++i)
+      BRIDGECL_RETURN_IF_ERROR(Eval(*c.args[i]).status());
+    ChargeOp(prof.cost_alu);
+    return v;
+  }
+  if (name == "__all" || name == "__any") {
+    BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*c.args[0]));
+    ChargeOp(prof.cost_alu);
+    return Value::Int(v.AsBool() ? 1 : 0);
+  }
+  if (name == "__ballot") {
+    BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*c.args[0]));
+    ChargeOp(prof.cost_alu);
+    return Value::UInt(v.AsBool() ? 1u : 0u);
+  }
+  if (name == "clock")
+    return Value::Int(static_cast<int64_t>(cycles_));
+  if (name == "clock64")
+    return Value::Int(static_cast<int64_t>(cycles_), ScalarKind::kLongLong);
+  if (name == "assert") {
+    BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*c.args[0]));
+    if (!v.AsBool()) return Err("device-side assert failed");
+    return Value::Void();
+  }
+  if (name == "printf") {
+    // Arguments are evaluated for side effects; output is suppressed in
+    // the simulator (matches running with stdout redirected).
+    for (const auto& a : c.args) BRIDGECL_RETURN_IF_ERROR(Eval(*a).status());
+    return Value::Int(0);
+  }
+
+  // ---- math & integer builtins (elementwise over vectors) ----
+  std::vector<Value> args;
+  args.reserve(c.args.size());
+  for (const auto& a : c.args) {
+    BRIDGECL_ASSIGN_OR_RETURN(Value v, Eval(*a));
+    args.push_back(std::move(v));
+  }
+  auto math1 = [&](double (*fn)(double)) -> StatusOr<Value> {
+    cycles_ += prof.cost_math;
+    const Value& a = args[0];
+    bool is_float_res =
+        (name.back() == 'f' && L_.dialect == Dialect::kCUDA) ||
+        (a.type() && (a.type()->is_vector() || a.type()->is_scalar()) &&
+         a.type()->scalar_kind() == ScalarKind::kFloat);
+    ScalarKind k = is_float_res ? ScalarKind::kFloat : ScalarKind::kDouble;
+    if (a.is_vector()) {
+      Value out = a;
+      for (auto& cmp : out.comps()) {
+        double x = IsFloatScalar(a.type()->scalar_kind())
+                       ? cmp.f
+                       : static_cast<double>(cmp.i);
+        cmp.f = k == ScalarKind::kFloat ? static_cast<float>(fn(x)) : fn(x);
+      }
+      out.set_type(Type::Vector(k, a.type()->vector_width()));
+      return out;
+    }
+    return Value::Float(fn(a.AsF64()), k);
+  };
+  auto math2 = [&](double (*fn)(double, double)) -> StatusOr<Value> {
+    cycles_ += prof.cost_math;
+    const Value& a = args[0];
+    const Value& b = args[1];
+    bool use_float =
+        (name.back() == 'f' && L_.dialect == Dialect::kCUDA) ||
+        (a.type() && a.type()->scalar_kind() == ScalarKind::kFloat);
+    ScalarKind k = use_float ? ScalarKind::kFloat : ScalarKind::kDouble;
+    if (a.is_vector()) {
+      int w = a.type()->vector_width();
+      Value bb = b.ConvertTo(Type::Vector(k, w));
+      Value out = a.ConvertTo(Type::Vector(k, w));
+      for (int i = 0; i < w; ++i)
+        out.comps()[i].f = fn(out.comps()[i].f, bb.comps()[i].f);
+      return out;
+    }
+    return Value::Float(fn(a.AsF64(), b.AsF64()), k);
+  };
+
+  static const std::unordered_map<std::string, double (*)(double)> kMath1 = {
+      {"sqrt", std::sqrt},   {"sqrtf", std::sqrt},
+      {"native_sqrt", std::sqrt}, {"half_sqrt", std::sqrt},
+      {"rsqrt", +[](double x) { return 1.0 / std::sqrt(x); }},
+      {"rsqrtf", +[](double x) { return 1.0 / std::sqrt(x); }},
+      {"native_rsqrt", +[](double x) { return 1.0 / std::sqrt(x); }},
+      {"cbrt", std::cbrt},
+      {"exp", std::exp},     {"expf", std::exp},
+      {"__expf", std::exp},  {"native_exp", std::exp},
+      {"exp2", std::exp2},   {"exp2f", std::exp2},
+      {"log", std::log},     {"logf", std::log},
+      {"__logf", std::log},  {"native_log", std::log},
+      {"log2", std::log2},   {"log2f", std::log2},
+      {"log10", std::log10}, {"log10f", std::log10},
+      {"sin", std::sin},     {"sinf", std::sin},
+      {"__sinf", std::sin},  {"native_sin", std::sin},
+      {"cos", std::cos},     {"cosf", std::cos},
+      {"__cosf", std::cos},  {"native_cos", std::cos},
+      {"tan", std::tan},     {"tanf", std::tan},
+      {"asin", std::asin},   {"asinf", std::asin},
+      {"acos", std::acos},   {"acosf", std::acos},
+      {"atan", std::atan},   {"atanf", std::atan},
+      {"sinh", std::sinh},   {"cosh", std::cosh},
+      {"tanh", std::tanh},
+      {"fabs", std::fabs},   {"fabsf", std::fabs},
+      {"floor", std::floor}, {"floorf", std::floor},
+      {"ceil", std::ceil},   {"ceilf", std::ceil},
+      {"trunc", std::trunc}, {"round", std::round},
+  };
+  if (auto it = kMath1.find(name); it != kMath1.end()) return math1(it->second);
+
+  static const std::unordered_map<std::string, double (*)(double, double)>
+      kMath2 = {
+          {"pow", std::pow},     {"powf", std::pow},
+          {"fmod", std::fmod},   {"fmodf", std::fmod},
+          {"atan2", std::atan2}, {"atan2f", std::atan2},
+          {"fmin", std::fmin},   {"fminf", std::fmin},
+          {"fmax", std::fmax},   {"fmaxf", std::fmax},
+          {"native_divide", +[](double a, double b) { return a / b; }},
+          {"__fdividef", +[](double a, double b) { return a / b; }},
+      };
+  if (auto it = kMath2.find(name); it != kMath2.end()) return math2(it->second);
+
+  if (name == "fma" || name == "fmaf" || name == "mad") {
+    cycles_ += prof.cost_alu;
+    if (args[0].is_vector()) {
+      Type::Ptr vt = args[0].type();
+      Value a = args[0], b = args[1].ConvertTo(vt), d = args[2].ConvertTo(vt);
+      Value out = a;
+      for (int i = 0; i < vt->vector_width(); ++i)
+        out.comps()[i].f =
+            a.comps()[i].f * b.comps()[i].f + d.comps()[i].f;
+      return out;
+    }
+    ScalarKind k = args[0].type() &&
+                           args[0].type()->scalar_kind() == ScalarKind::kFloat
+                       ? ScalarKind::kFloat
+                       : ScalarKind::kDouble;
+    return Value::Float(args[0].AsF64() * args[1].AsF64() + args[2].AsF64(),
+                        k);
+  }
+  if (name == "min" || name == "max") {
+    ChargeOp(prof.cost_alu);
+    const Value& a = args[0];
+    const Value& b = args[1];
+    bool take_a;
+    if (a.type() && (a.type()->is_float() ||
+                     (b.type() && b.type()->is_float()))) {
+      take_a = name == "min" ? a.AsF64() <= b.AsF64() : a.AsF64() >= b.AsF64();
+    } else if (a.type() && !IsSignedScalar(a.type()->scalar_kind())) {
+      take_a = name == "min" ? a.AsU64() <= b.AsU64() : a.AsU64() >= b.AsU64();
+    } else {
+      take_a = name == "min" ? a.AsI64() <= b.AsI64() : a.AsI64() >= b.AsI64();
+    }
+    return take_a ? a : b;
+  }
+  if (name == "abs") {
+    ChargeOp(prof.cost_alu);
+    return Value::Int(std::llabs(args[0].AsI64()),
+                      args[0].type() ? args[0].type()->scalar_kind()
+                                     : ScalarKind::kInt);
+  }
+  if (name == "clamp") {
+    ChargeOp(prof.cost_alu);
+    if (args[0].type() && args[0].type()->is_float()) {
+      double v = args[0].AsF64(), lo = args[1].AsF64(), hi = args[2].AsF64();
+      return Value::Float(v < lo ? lo : (v > hi ? hi : v),
+                          args[0].type()->scalar_kind());
+    }
+    int64_t v = args[0].AsI64(), lo = args[1].AsI64(), hi = args[2].AsI64();
+    return Value::Int(v < lo ? lo : (v > hi ? hi : v));
+  }
+  if (name == "select") {
+    // OpenCL select(a, b, c): c chooses b (per-component MSB for vectors).
+    ChargeOp(prof.cost_alu);
+    const Value& a = args[0];
+    const Value& b = args[1];
+    const Value& c = args[2];
+    if (a.is_vector()) {
+      Value out = a;
+      for (int i = 0; i < a.type()->vector_width(); ++i) {
+        bool take_b = c.is_vector() ? (c.comps()[i].i < 0)
+                                    : c.AsBool();
+        if (take_b)
+          out.comps()[i] = i < static_cast<int>(b.comps().size())
+                               ? b.comps()[i]
+                               : ScalarVal{};
+      }
+      return out;
+    }
+    return c.AsBool() ? b : a;
+  }
+  if (name == "mix") {
+    cycles_ += prof.cost_alu;
+    double a = args[0].AsF64(), b = args[1].AsF64(), t = args[2].AsF64();
+    return Value::Float(a + (b - a) * t,
+                        args[0].type() ? args[0].type()->scalar_kind()
+                                       : ScalarKind::kFloat);
+  }
+  if (name == "mul24" || name == "__mul24") {
+    ChargeOp(prof.cost_alu);
+    return Value::Int((args[0].AsI64() & 0xFFFFFF) *
+                      (args[1].AsI64() & 0xFFFFFF));
+  }
+  if (name == "__popc" || name == "popcount") {
+    ChargeOp(prof.cost_alu);
+    return Value::Int(__builtin_popcountll(args[0].AsU64()));
+  }
+  if (name == "__clz" || name == "clz") {
+    ChargeOp(prof.cost_alu);
+    uint32_t v = static_cast<uint32_t>(args[0].AsU64());
+    return Value::Int(v == 0 ? 32 : __builtin_clz(v));
+  }
+
+  return Err("unimplemented builtin '" + name + "' in " +
+             std::string(lang::DialectName(L_.dialect)) + " device code");
+}
+
+}  // namespace
+
+StatusOr<LaunchResult> LaunchKernel(simgpu::Device& device, Module& module,
+                                    const std::string& kernel_name,
+                                    const LaunchConfig& config,
+                                    std::span<const KernelArg> args) {
+  const FunctionDecl* kernel = module.FindKernel(kernel_name);
+  if (kernel == nullptr)
+    return NotFoundError("no kernel named '" + kernel_name + "' in module");
+  if (!module.loaded() || module.loaded_device() != &device)
+    return FailedPreconditionError("module is not loaded on this device");
+  const auto& prof = device.profile();
+  if (config.block.Count() == 0 || config.grid.Count() == 0)
+    return InvalidArgumentError("empty grid or block");
+  if (config.block.Count() > static_cast<uint64_t>(prof.max_threads_per_block))
+    return InvalidArgumentError(
+        StrFormat("block size %llu exceeds device limit %d",
+                  static_cast<unsigned long long>(config.block.Count()),
+                  prof.max_threads_per_block));
+  if (args.size() != kernel->params.size())
+    return InvalidArgumentError(StrFormat(
+        "kernel '%s' expects %zu arguments, got %zu", kernel_name.c_str(),
+        kernel->params.size(), args.size()));
+
+  LaunchState L;
+  L.device = &device;
+  L.module = &module;
+  L.kernel = kernel;
+  L.cfg = config;
+  L.dialect = module.dialect();
+
+  // ---- shared-memory layout: static __local vars, then dynamic-local
+  // arguments (OpenCL §4.1), then the CUDA extern __shared__ area. ----
+  std::vector<const VarDecl*> shared_vars;
+  CollectSharedVars(kernel->body.get(), &shared_vars);
+  size_t offset = 0;
+  auto align_to = [&](size_t a) { offset = (offset + a - 1) / a * a; };
+  for (const VarDecl* v : shared_vars) {
+    if (v->quals.is_extern) continue;
+    align_to(std::max<size_t>(v->type->Alignment(), 1));
+    L.shared_va[v] = device.vm().shared_base() + offset;
+    offset += v->type->ByteSize();
+  }
+
+  // ---- bind arguments ----
+  L.arg_values.resize(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    const VarDecl* p = kernel->params[i].get();
+    const KernelArg& a = args[i];
+    if (a.kind == KernelArg::Kind::kLocalAlloc) {
+      if (!p->type->is_pointer() ||
+          p->type->pointee_space() != AddressSpace::kLocal)
+        return InvalidArgumentError(StrFormat(
+            "argument %zu: dynamic local allocation bound to a non-__local "
+            "parameter of kernel '%s'",
+            i, kernel_name.c_str()));
+      align_to(16);
+      uint64_t va = device.vm().shared_base() + offset;
+      offset += a.local_size;
+      L.arg_values[i] = Value::Pointer(va, p->type);
+    } else {
+      size_t want = p->type->ByteSize();
+      if (p->type->is_named()) want = a.bytes.size();  // template param
+      if (a.bytes.size() < want)
+        return InvalidArgumentError(StrFormat(
+            "argument %zu: %zu bytes provided, parameter '%s' needs %zu",
+            i, a.bytes.size(), p->name.c_str(), want));
+      Type::Ptr t = p->type->is_named() ? Type::IntTy() : p->type;
+      BRIDGECL_ASSIGN_OR_RETURN(L.arg_values[i],
+                                DecodeValue(t, a.bytes.data()));
+    }
+  }
+  align_to(16);
+  L.dynamic_shared_va = device.vm().shared_base() + offset;
+  L.shared_total = offset + config.dynamic_shared_bytes;
+  if (L.shared_total > prof.shared_mem_per_block)
+    return ResourceExhaustedError(StrFormat(
+        "kernel '%s' needs %zu bytes of shared memory per block; device "
+        "provides %zu",
+        kernel_name.c_str(), L.shared_total, prof.shared_mem_per_block));
+
+  // ---- execute blocks sequentially ----
+  uint64_t block_items = config.block.Count();
+  for (uint32_t bz = 0; bz < config.grid.z; ++bz) {
+    for (uint32_t by = 0; by < config.grid.y; ++by) {
+      for (uint32_t bx = 0; bx < config.grid.x; ++bx) {
+        device.vm().MapShared(std::max<size_t>(L.shared_total, 1));
+        device.vm().MapPrivate(block_items * kPrivateBytesPerItem);
+        simgpu::FiberGroup group(kFiberStackBytes);
+        L.group = &group;
+        L.group_id = Dim3(bx, by, bz);
+        std::vector<std::unique_ptr<Evaluator>> evals(block_items);
+        Status st = group.Run(
+            static_cast<int>(block_items), [&](int idx) -> Status {
+              Dim3 lid(idx % config.block.x,
+                       (idx / config.block.x) % config.block.y,
+                       idx / (config.block.x * config.block.y));
+              evals[idx] = std::make_unique<Evaluator>(L, lid, idx);
+              return evals[idx]->Run();
+            });
+        for (auto& ev : evals)
+          if (ev) L.total_cycles += ev->TakeCycles();
+        if (!st.ok()) return st;
+      }
+    }
+  }
+
+  int regs = module.RegistersFor(kernel);
+  uint64_t total_items = config.grid.Count() * block_items;
+  double before = device.now_us();
+  device.ChargeKernel(L.total_cycles, regs, total_items);
+  LaunchResult result;
+  result.total_cycles = L.total_cycles;
+  result.occupancy = device.OccupancyFor(regs);
+  result.work_items = total_items;
+  result.kernel_time_us = device.now_us() - before;
+  return result;
+}
+
+}  // namespace bridgecl::interp

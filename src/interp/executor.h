@@ -1,0 +1,80 @@
+// Kernel launcher + AST evaluator. Executes a kernel over a grid on a
+// simulated device: one block at a time, the block's work-items as
+// cooperatively scheduled fibers (real barrier semantics), with every
+// operation charged to the device timing model.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "interp/module.h"
+#include "simgpu/device.h"
+#include "simgpu/dim3.h"
+#include "support/status.h"
+
+namespace bridgecl::interp {
+
+/// One kernel argument as bound by the host runtime.
+struct KernelArg {
+  enum class Kind {
+    kBytes,      // encoded value: scalar, struct, or device pointer (8B VA)
+    kLocalAlloc  // OpenCL dynamic __local allocation: size only (§4.1)
+  };
+  Kind kind = Kind::kBytes;
+  std::vector<std::byte> bytes;
+  size_t local_size = 0;
+
+  static KernelArg Bytes(std::vector<std::byte> b) {
+    KernelArg a;
+    a.kind = Kind::kBytes;
+    a.bytes = std::move(b);
+    return a;
+  }
+  static KernelArg Pointer(uint64_t va) {
+    std::vector<std::byte> b(8);
+    std::memcpy(b.data(), &va, 8);
+    return Bytes(std::move(b));
+  }
+  template <typename T>
+  static KernelArg Value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> b(sizeof(T));
+    std::memcpy(b.data(), &v, sizeof(T));
+    return Bytes(std::move(b));
+  }
+  static KernelArg LocalAlloc(size_t size) {
+    KernelArg a;
+    a.kind = Kind::kLocalAlloc;
+    a.local_size = size;
+    return a;
+  }
+};
+
+struct LaunchConfig {
+  simgpu::Dim3 grid;
+  simgpu::Dim3 block;
+  size_t dynamic_shared_bytes = 0;  // CUDA <<<g,b,SHMEM>>> third argument
+};
+
+/// Per-launch result: the accumulated cost and derived occupancy, useful
+/// for tests and the ablation benches.
+struct LaunchResult {
+  double total_cycles = 0;
+  double occupancy = 0;
+  uint64_t work_items = 0;
+  double kernel_time_us = 0;  // simulated device time consumed
+};
+
+/// Execute `kernel_name` from `module` on `device`. The module must be
+/// loaded on that device. Argument count/kinds must match the kernel
+/// signature (dynamic-local args only where the param is a __local
+/// pointer).
+StatusOr<LaunchResult> LaunchKernel(simgpu::Device& device, Module& module,
+                                    const std::string& kernel_name,
+                                    const LaunchConfig& config,
+                                    std::span<const KernelArg> args);
+
+}  // namespace bridgecl::interp

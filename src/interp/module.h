@@ -1,0 +1,109 @@
+// A compiled kernel module — the simulator's stand-in for a PTX module
+// (CUDA) or a built cl_program (OpenCL). Compile() runs the front end;
+// LoadOn() materializes module-scope state on a device: the constant
+// region and CUDA __device__ statics, with their compile-time
+// initializers, plus the symbol table that cudaMemcpyTo/FromSymbol and the
+// CU→CL translator rely on (§4.2, §4.3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "lang/ast.h"
+#include "lang/dialect.h"
+#include "simgpu/device.h"
+#include "support/status.h"
+
+namespace bridgecl::interp {
+
+/// Process-wide table of "native compiler" register allocations per kernel
+/// and toolchain. Models the §6.3 cfd observation: nvcc and the OpenCL
+/// compiler allocate different register counts for the same kernel, so a
+/// kernel's occupancy depends on which compiler finally built it — which,
+/// under the wrapper bindings, is the *target* model's compiler.
+class KernelRegisterTable {
+ public:
+  static KernelRegisterTable& Instance();
+
+  void Set(const std::string& kernel, int opencl_regs, int cuda_regs);
+  void Clear();
+  /// Registers for `kernel` when built by the `dialect` toolchain;
+  /// 0 when no entry exists.
+  int For(const std::string& kernel, lang::Dialect dialect) const;
+
+ private:
+  struct Entry {
+    int opencl_regs = 0;
+    int cuda_regs = 0;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+class Module {
+ public:
+  /// Parse + analyze `source` in the given dialect.
+  static StatusOr<std::unique_ptr<Module>> Compile(const std::string& source,
+                                                   lang::Dialect dialect,
+                                                   DiagnosticEngine& diags);
+
+  /// Lay out and initialize module-scope memory on `device`:
+  ///   * every __constant/__constant__ file-scope variable gets an offset
+  ///     in the device constant region,
+  ///   * every CUDA __device__ file-scope variable gets a global-memory
+  ///     allocation,
+  /// and initializers are encoded into device memory. Must be called once
+  /// before launching kernels from this module.
+  Status LoadOn(simgpu::Device& device);
+
+  lang::TranslationUnit& tu() { return *tu_; }
+  const lang::TranslationUnit& tu() const { return *tu_; }
+  lang::Dialect dialect() const { return dialect_; }
+  const std::string& source() const { return source_; }
+
+  const lang::FunctionDecl* FindKernel(const std::string& name) const;
+
+  struct Symbol {
+    uint64_t va = 0;
+    size_t size = 0;
+    lang::AddressSpace space = lang::AddressSpace::kGlobal;
+  };
+  /// Module-scope variable lookup by name (constant or device-global).
+  StatusOr<Symbol> FindSymbol(const std::string& name) const;
+
+  /// VA of a module-scope variable (used by the evaluator for DeclRefs to
+  /// file-scope state); 0 when unknown.
+  uint64_t VaOf(const lang::VarDecl* v) const;
+
+  // -- CUDA texture references (§5) ---------------------------------------
+  /// Bind a texture reference declared in this module to an image
+  /// descriptor (see interp/image.h). Unbound references fault on use.
+  Status BindTexture(const std::string& name, uint64_t image_desc_va);
+  StatusOr<uint64_t> TextureBinding(const std::string& name) const;
+  const lang::TextureRefDecl* FindTextureRef(const std::string& name) const;
+
+  // -- occupancy inputs (§6.3) --------------------------------------------
+  /// Override the modeled register count for one kernel (stand-in for the
+  /// native compiler's register allocation, which differed between the
+  /// CUDA and OpenCL toolchains in the paper's cfd result).
+  void SetRegisterOverride(const std::string& kernel, int regs);
+  int RegistersFor(const lang::FunctionDecl* kernel) const;
+
+  bool loaded() const { return loaded_device_ != nullptr; }
+  simgpu::Device* loaded_device() const { return loaded_device_; }
+
+ private:
+  Module() = default;
+
+  std::unique_ptr<lang::TranslationUnit> tu_;
+  lang::Dialect dialect_ = lang::Dialect::kOpenCL;
+  std::string source_;
+  simgpu::Device* loaded_device_ = nullptr;
+
+  std::unordered_map<std::string, Symbol> symbols_;
+  std::unordered_map<const lang::VarDecl*, uint64_t> var_vas_;
+  std::unordered_map<std::string, uint64_t> texture_bindings_;
+  std::unordered_map<std::string, int> register_overrides_;
+};
+
+}  // namespace bridgecl::interp

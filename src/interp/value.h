@@ -1,0 +1,98 @@
+// Runtime values for the kernel interpreter. A Value is a typed scalar,
+// vector, pointer (a simgpu virtual address), or an aggregate byte image
+// (struct/array rvalues). Encode/Decode convert between Values and device
+// memory bytes under the shared ABI defined by lang::Type::ByteSize().
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lang/type.h"
+#include "support/status.h"
+
+namespace bridgecl::interp {
+
+using lang::ScalarKind;
+using lang::Type;
+
+/// One scalar payload; the active member follows the ScalarKind.
+union ScalarVal {
+  int64_t i;
+  uint64_t u;
+  double f;
+};
+
+class Value {
+ public:
+  Value() = default;
+
+  // -- constructors --------------------------------------------------------
+  static Value Int(int64_t v, ScalarKind k = ScalarKind::kInt);
+  static Value UInt(uint64_t v, ScalarKind k = ScalarKind::kUInt);
+  static Value Float(double v, ScalarKind k = ScalarKind::kFloat);
+  static Value Bool(bool v);
+  static Value Pointer(uint64_t va, Type::Ptr pointer_type);
+  static Value Vector(Type::Ptr vec_type, std::vector<ScalarVal> comps);
+  static Value Aggregate(Type::Ptr type, std::vector<std::byte> bytes);
+  static Value Void();
+
+  // -- observers -----------------------------------------------------------
+  const Type::Ptr& type() const { return type_; }
+  bool is_vector() const { return type_ && type_->is_vector(); }
+  bool is_pointer_like() const {
+    return type_ && (type_->is_pointer() || type_->is_image() ||
+                     type_->is_sampler() || type_->is_texture());
+  }
+  bool is_aggregate() const { return type_ && (type_->is_struct() || type_->is_array()); }
+
+  /// Scalar payload (also the pointer VA / opaque handle).
+  ScalarVal scalar() const { return s_; }
+  uint64_t AsVa() const { return s_.u; }
+
+  /// Numeric views with conversion from the stored kind.
+  int64_t AsI64() const;
+  uint64_t AsU64() const;
+  double AsF64() const;
+  bool AsBool() const;
+
+  const std::vector<ScalarVal>& comps() const { return v_; }
+  std::vector<ScalarVal>& comps() { return v_; }
+  const std::vector<std::byte>& bytes() const { return agg_; }
+  std::vector<std::byte>& bytes() { return agg_; }
+
+  /// Component i as a scalar Value of the element kind.
+  Value Component(int i) const;
+
+  /// Convert to another scalar/vector type (C conversion rules; vectors
+  /// convert elementwise, scalar→vector broadcasts only via explicit ops).
+  Value ConvertTo(const Type::Ptr& target) const;
+
+  /// Bit-reinterpret (OpenCL as_typeN) — sizes must match.
+  StatusOr<Value> BitcastTo(const Type::Ptr& target) const;
+
+  std::string ToString() const;  // debugging / test failures
+
+  void set_type(Type::Ptr t) { type_ = std::move(t); }
+  void set_scalar(ScalarVal s) { s_ = s; }
+
+ private:
+  Type::Ptr type_;
+  ScalarVal s_{};
+  std::vector<ScalarVal> v_;     // vector components
+  std::vector<std::byte> agg_;   // struct/array payload
+};
+
+/// Encode `v` into `dst` (device memory bytes) as type `v.type()`.
+/// `dst` must have at least v.type()->ByteSize() bytes.
+Status EncodeValue(const Value& v, std::byte* dst);
+
+/// Decode a value of `type` from `src`.
+StatusOr<Value> DecodeValue(const Type::Ptr& type, const std::byte* src);
+
+/// Scalar conversion helper shared with the interpreter: reinterprets the
+/// payload of kind `from` as kind `to` with C conversion semantics.
+ScalarVal ConvertScalar(ScalarVal v, ScalarKind from, ScalarKind to);
+
+}  // namespace bridgecl::interp

@@ -1,0 +1,327 @@
+#include "lang/builtins.h"
+
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace bridgecl::lang {
+namespace {
+
+struct Entry {
+  BuiltinClass cls;
+  bool ocl;
+  bool cuda;
+  bool hw;  // CUDA hardware-specific, untranslatable to OpenCL
+};
+
+const std::unordered_map<std::string, Entry>& Table() {
+  static const std::unordered_map<std::string, Entry> kTable = {
+      // ---- work-item functions / variables ----
+      {"get_global_id", {BuiltinClass::kWorkItem, true, false, false}},
+      {"get_local_id", {BuiltinClass::kWorkItem, true, false, false}},
+      {"get_group_id", {BuiltinClass::kWorkItem, true, false, false}},
+      {"get_global_size", {BuiltinClass::kWorkItem, true, false, false}},
+      {"get_local_size", {BuiltinClass::kWorkItem, true, false, false}},
+      {"get_num_groups", {BuiltinClass::kWorkItem, true, false, false}},
+      {"get_work_dim", {BuiltinClass::kWorkItem, true, false, false}},
+      {"get_global_offset", {BuiltinClass::kWorkItem, true, false, false}},
+
+      // ---- synchronization ----
+      {"barrier", {BuiltinClass::kSync, true, false, false}},
+      {"mem_fence", {BuiltinClass::kSync, true, false, false}},
+      {"read_mem_fence", {BuiltinClass::kSync, true, false, false}},
+      {"write_mem_fence", {BuiltinClass::kSync, true, false, false}},
+      {"__syncthreads", {BuiltinClass::kSync, false, true, false}},
+      {"__threadfence", {BuiltinClass::kSync, false, true, false}},
+      {"__threadfence_block", {BuiltinClass::kSync, false, true, false}},
+
+      // ---- math (overloaded by argument type in both models) ----
+      {"sqrt", {BuiltinClass::kMath, true, true, false}},
+      {"rsqrt", {BuiltinClass::kMath, true, true, false}},
+      {"cbrt", {BuiltinClass::kMath, true, true, false}},
+      {"exp", {BuiltinClass::kMath, true, true, false}},
+      {"exp2", {BuiltinClass::kMath, true, true, false}},
+      {"log", {BuiltinClass::kMath, true, true, false}},
+      {"log2", {BuiltinClass::kMath, true, true, false}},
+      {"log10", {BuiltinClass::kMath, true, true, false}},
+      {"sin", {BuiltinClass::kMath, true, true, false}},
+      {"cos", {BuiltinClass::kMath, true, true, false}},
+      {"tan", {BuiltinClass::kMath, true, true, false}},
+      {"asin", {BuiltinClass::kMath, true, true, false}},
+      {"acos", {BuiltinClass::kMath, true, true, false}},
+      {"atan", {BuiltinClass::kMath, true, true, false}},
+      {"atan2", {BuiltinClass::kMath, true, true, false}},
+      {"sinh", {BuiltinClass::kMath, true, true, false}},
+      {"cosh", {BuiltinClass::kMath, true, true, false}},
+      {"tanh", {BuiltinClass::kMath, true, true, false}},
+      {"fabs", {BuiltinClass::kMath, true, true, false}},
+      {"floor", {BuiltinClass::kMath, true, true, false}},
+      {"ceil", {BuiltinClass::kMath, true, true, false}},
+      {"trunc", {BuiltinClass::kMath, true, true, false}},
+      {"round", {BuiltinClass::kMath, true, true, false}},
+      {"fmin", {BuiltinClass::kMath, true, true, false}},
+      {"fmax", {BuiltinClass::kMath, true, true, false}},
+      {"fmod", {BuiltinClass::kMath, true, true, false}},
+      {"pow", {BuiltinClass::kMath, true, true, false}},
+      {"fma", {BuiltinClass::kMath, true, true, false}},
+      {"mad", {BuiltinClass::kMath, true, false, false}},
+      {"native_sin", {BuiltinClass::kMath, true, false, false}},
+      {"native_cos", {BuiltinClass::kMath, true, false, false}},
+      {"native_exp", {BuiltinClass::kMath, true, false, false}},
+      {"native_log", {BuiltinClass::kMath, true, false, false}},
+      {"native_sqrt", {BuiltinClass::kMath, true, false, false}},
+      {"native_rsqrt", {BuiltinClass::kMath, true, false, false}},
+      {"native_divide", {BuiltinClass::kMath, true, false, false}},
+      {"half_sqrt", {BuiltinClass::kMath, true, false, false}},
+      // CUDA single-precision spellings.
+      {"sqrtf", {BuiltinClass::kMath, false, true, false}},
+      {"rsqrtf", {BuiltinClass::kMath, false, true, false}},
+      {"expf", {BuiltinClass::kMath, false, true, false}},
+      {"exp2f", {BuiltinClass::kMath, false, true, false}},
+      {"logf", {BuiltinClass::kMath, false, true, false}},
+      {"log2f", {BuiltinClass::kMath, false, true, false}},
+      {"log10f", {BuiltinClass::kMath, false, true, false}},
+      {"sinf", {BuiltinClass::kMath, false, true, false}},
+      {"cosf", {BuiltinClass::kMath, false, true, false}},
+      {"tanf", {BuiltinClass::kMath, false, true, false}},
+      {"asinf", {BuiltinClass::kMath, false, true, false}},
+      {"acosf", {BuiltinClass::kMath, false, true, false}},
+      {"atanf", {BuiltinClass::kMath, false, true, false}},
+      {"atan2f", {BuiltinClass::kMath, false, true, false}},
+      {"fabsf", {BuiltinClass::kMath, false, true, false}},
+      {"floorf", {BuiltinClass::kMath, false, true, false}},
+      {"ceilf", {BuiltinClass::kMath, false, true, false}},
+      {"fminf", {BuiltinClass::kMath, false, true, false}},
+      {"fmaxf", {BuiltinClass::kMath, false, true, false}},
+      {"fmodf", {BuiltinClass::kMath, false, true, false}},
+      {"powf", {BuiltinClass::kMath, false, true, false}},
+      {"fmaf", {BuiltinClass::kMath, false, true, false}},
+      {"__expf", {BuiltinClass::kMath, false, true, false}},
+      {"__logf", {BuiltinClass::kMath, false, true, false}},
+      {"__sinf", {BuiltinClass::kMath, false, true, false}},
+      {"__cosf", {BuiltinClass::kMath, false, true, false}},
+      {"__fdividef", {BuiltinClass::kMath, false, true, false}},
+
+      // ---- integer ops ----
+      {"min", {BuiltinClass::kIntOps, true, true, false}},
+      {"max", {BuiltinClass::kIntOps, true, true, false}},
+      {"abs", {BuiltinClass::kIntOps, true, true, false}},
+      {"clamp", {BuiltinClass::kIntOps, true, false, false}},
+      {"mix", {BuiltinClass::kIntOps, true, false, false}},
+      {"select", {BuiltinClass::kIntOps, true, false, false}},
+      {"mul24", {BuiltinClass::kIntOps, true, false, false}},
+      {"__mul24", {BuiltinClass::kIntOps, false, true, false}},
+      {"__popc", {BuiltinClass::kIntOps, false, true, false}},
+      {"__clz", {BuiltinClass::kIntOps, false, true, false}},
+      {"popcount", {BuiltinClass::kIntOps, true, false, false}},
+      {"clz", {BuiltinClass::kIntOps, true, false, false}},
+
+      // ---- atomics (note §3.7: inc/dec semantics differ) ----
+      {"atomic_add", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_sub", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_inc", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_dec", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_xchg", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_cmpxchg", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_min", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_max", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_and", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_or", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomic_xor", {BuiltinClass::kAtomic, true, false, false}},
+      {"atom_add", {BuiltinClass::kAtomic, true, false, false}},
+      {"atom_inc", {BuiltinClass::kAtomic, true, false, false}},
+      {"atomicAdd", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicSub", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicInc", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicDec", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicExch", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicCAS", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicMin", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicMax", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicAnd", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicOr", {BuiltinClass::kAtomic, false, true, false}},
+      {"atomicXor", {BuiltinClass::kAtomic, false, true, false}},
+
+      // ---- images / textures (§5) ----
+      {"read_imagef", {BuiltinClass::kImage, true, false, false}},
+      {"read_imagei", {BuiltinClass::kImage, true, false, false}},
+      {"read_imageui", {BuiltinClass::kImage, true, false, false}},
+      {"write_imagef", {BuiltinClass::kImage, true, false, false}},
+      {"write_imagei", {BuiltinClass::kImage, true, false, false}},
+      {"write_imageui", {BuiltinClass::kImage, true, false, false}},
+      {"get_image_width", {BuiltinClass::kImage, true, false, false}},
+      {"get_image_height", {BuiltinClass::kImage, true, false, false}},
+      {"tex1Dfetch", {BuiltinClass::kImage, false, true, false}},
+      {"tex1D", {BuiltinClass::kImage, false, true, false}},
+      {"tex2D", {BuiltinClass::kImage, false, true, false}},
+      {"tex3D", {BuiltinClass::kImage, false, true, false}},
+
+      // ---- warp-level / hardware-specific CUDA built-ins (§3.7) ----
+      {"__shfl", {BuiltinClass::kWarp, false, true, true}},
+      {"__shfl_up", {BuiltinClass::kWarp, false, true, true}},
+      {"__shfl_down", {BuiltinClass::kWarp, false, true, true}},
+      {"__shfl_xor", {BuiltinClass::kWarp, false, true, true}},
+      {"__all", {BuiltinClass::kWarp, false, true, true}},
+      {"__any", {BuiltinClass::kWarp, false, true, true}},
+      {"__ballot", {BuiltinClass::kWarp, false, true, true}},
+      {"clock", {BuiltinClass::kClock, false, true, true}},
+      {"clock64", {BuiltinClass::kClock, false, true, true}},
+      {"assert", {BuiltinClass::kAssert, false, true, true}},
+      {"printf", {BuiltinClass::kAssert, false, true, true}},
+      {"__prof_trigger", {BuiltinClass::kClock, false, true, true}},
+  };
+  return kTable;
+}
+
+bool IsScalarTypeName(const std::string& n) {
+  static const char* kNames[] = {"char", "uchar", "short", "ushort", "int",
+                                 "uint", "long", "ulong", "float", "double"};
+  for (const char* s : kNames)
+    if (n == s) return true;
+  return false;
+}
+
+}  // namespace
+
+std::optional<BuiltinInfo> FindBuiltinFunction(const std::string& name,
+                                               Dialect dialect) {
+  // "__oc2cu_<fn>" are device-side functions provided by the OpenCL→CUDA
+  // wrapper library (§5: read_image*/write_image* etc. are implemented as
+  // CUDA device wrappers over CLImage objects). They expose the OpenCL
+  // builtin's semantics under a CUDA-legal spelling.
+  if (dialect == Dialect::kCUDA && StartsWith(name, "__oc2cu_")) {
+    auto inner = FindBuiltinFunction(name.substr(8), Dialect::kOpenCL);
+    if (inner.has_value()) {
+      inner->name = name;
+      inner->in_cuda = true;
+      return inner;
+    }
+    return std::nullopt;
+  }
+  const auto& table = Table();
+  auto fill = [&](const Entry& e) -> std::optional<BuiltinInfo> {
+    return BuiltinInfo{name, e.cls, e.ocl, e.cuda, e.hw};
+  };
+  if (auto it = table.find(name); it != table.end()) {
+    const Entry& e = it->second;
+    if ((dialect == Dialect::kOpenCL && e.ocl) ||
+        (dialect == Dialect::kCUDA && e.cuda))
+      return fill(e);
+    return std::nullopt;
+  }
+  // Generic families.
+  ScalarKind k;
+  int w;
+  if (dialect == Dialect::kCUDA && StartsWith(name, "make_") &&
+      ParseVectorTypeName(name.substr(5), &k, &w)) {
+    return fill({BuiltinClass::kVector, false, true, false});
+  }
+  if (dialect == Dialect::kOpenCL && StartsWith(name, "convert_") &&
+      (ParseVectorTypeName(name.substr(8), &k, &w) ||
+       IsScalarTypeName(name.substr(8)))) {
+    return fill({BuiltinClass::kVector, true, false, false});
+  }
+  if (dialect == Dialect::kOpenCL && StartsWith(name, "as_")) {
+    std::string rest = name.substr(3);
+    if (ParseVectorTypeName(rest, &k, &w) || IsScalarTypeName(rest))
+      return fill({BuiltinClass::kVector, true, false, false});
+  }
+  if (dialect == Dialect::kOpenCL &&
+      (StartsWith(name, "vload") || StartsWith(name, "vstore"))) {
+    return fill({BuiltinClass::kVector, true, false, false});
+  }
+  return std::nullopt;
+}
+
+Type::Ptr BuiltinVariableType(const std::string& name, Dialect dialect) {
+  if (dialect != Dialect::kCUDA) return nullptr;
+  if (name == "threadIdx" || name == "blockIdx" || name == "blockDim" ||
+      name == "gridDim")
+    return Type::Vector(ScalarKind::kUInt, 3);
+  if (name == "warpSize") return Type::IntTy();
+  return nullptr;
+}
+
+Type::Ptr BuiltinResultType(const std::string& raw_name, Dialect dialect,
+                            const std::vector<Type::Ptr>& args) {
+  // Wrapper-library spellings type like the OpenCL builtin they wrap.
+  if (dialect == Dialect::kCUDA && StartsWith(raw_name, "__oc2cu_"))
+    return BuiltinResultType(raw_name.substr(8), Dialect::kOpenCL, args);
+  const std::string& name = raw_name;
+  std::optional<BuiltinInfo> info = FindBuiltinFunction(name, dialect);
+  if (!info.has_value()) return Type::IntTy();
+  auto arg0 = [&]() -> Type::Ptr {
+    return !args.empty() && args[0] ? args[0] : Type::FloatTy();
+  };
+  switch (info->cls) {
+    case BuiltinClass::kWorkItem:
+      return dialect == Dialect::kOpenCL ? Type::SizeTy() : Type::UIntTy();
+    case BuiltinClass::kSync:
+      return Type::VoidTy();
+    case BuiltinClass::kMath: {
+      // CUDA *f spellings are float; otherwise follow the argument.
+      if (dialect == Dialect::kCUDA &&
+          (name.back() == 'f' || StartsWith(name, "__")))
+        return Type::FloatTy();
+      Type::Ptr a = arg0();
+      if (a->is_vector() || a->is_float()) return a;
+      return Type::Scalar(ScalarKind::kDouble);
+    }
+    case BuiltinClass::kIntOps:
+      return arg0();
+    case BuiltinClass::kAtomic: {
+      // Atomics return the old value: element type of the pointer arg.
+      if (!args.empty() && args[0] && args[0]->is_pointer())
+        return args[0]->pointee();
+      return Type::IntTy();
+    }
+    case BuiltinClass::kImage: {
+      if (StartsWith(name, "read_imagef")) return Type::Vector(ScalarKind::kFloat, 4);
+      if (StartsWith(name, "read_imagei")) return Type::Vector(ScalarKind::kInt, 4);
+      if (StartsWith(name, "read_imageui")) return Type::Vector(ScalarKind::kUInt, 4);
+      if (StartsWith(name, "write_image")) return Type::VoidTy();
+      if (StartsWith(name, "get_image")) return Type::IntTy();
+      if (StartsWith(name, "tex")) {
+        // Result is the texture's texel type; sema refines using the bound
+        // texture reference. float4-by-default keeps typing sound.
+        if (!args.empty() && args[0] && args[0]->is_texture()) {
+          if (args[0]->vector_width() == 1)
+            return Type::Scalar(args[0]->scalar_kind());
+          return Type::Vector(args[0]->scalar_kind(), args[0]->vector_width());
+        }
+        return Type::FloatTy();
+      }
+      return Type::IntTy();
+    }
+    case BuiltinClass::kVector: {
+      ScalarKind k;
+      int w;
+      if (StartsWith(name, "make_") &&
+          ParseVectorTypeName(name.substr(5), &k, &w))
+        return Type::Vector(k, w);
+      if (StartsWith(name, "convert_")) {
+        std::string rest = name.substr(8);
+        if (ParseVectorTypeName(rest, &k, &w)) return Type::Vector(k, w);
+      }
+      if (StartsWith(name, "as_")) {
+        std::string rest = name.substr(3);
+        if (ParseVectorTypeName(rest, &k, &w)) return Type::Vector(k, w);
+      }
+      return arg0();
+    }
+    case BuiltinClass::kWarp:
+      return name == "__ballot" ? Type::UIntTy()
+             : name[2] == 's'   ? arg0()  // __shfl*
+                                : Type::IntTy();
+    case BuiltinClass::kClock:
+      return name == "clock64" ? Type::Scalar(ScalarKind::kLongLong)
+                               : Type::IntTy();
+    case BuiltinClass::kAssert:
+      return Type::VoidTy();
+    case BuiltinClass::kOther:
+      return Type::IntTy();
+  }
+  return Type::IntTy();
+}
+
+}  // namespace bridgecl::lang

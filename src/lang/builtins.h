@@ -1,0 +1,54 @@
+// Catalog of device-code built-in functions and variables in both dialects.
+// Shared by sema (typing), the interpreter (dispatch), and the translator
+// (one-to-one mapping plus detection of model-specific features, §3.7).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/dialect.h"
+#include "lang/type.h"
+
+namespace bridgecl::lang {
+
+enum class BuiltinClass {
+  kWorkItem,    // get_global_id / threadIdx ...
+  kSync,        // barrier / __syncthreads / mem_fence / __threadfence
+  kMath,        // sqrt, exp, fmin, ...
+  kIntOps,      // min/max/abs/clamp/__popc/__clz/mul24
+  kAtomic,      // atomic_* / atomic*
+  kImage,       // read_imagef / write_imagef / tex2D ...
+  kVector,      // make_float4, convert_int4, as_float, vload/vstore
+  kWarp,        // CUDA __shfl/__all/__any/__ballot  (no OpenCL counterpart)
+  kClock,       // CUDA clock()/clock64()            (no OpenCL counterpart)
+  kAssert,      // CUDA assert/printf                (no OpenCL counterpart)
+  kOther,
+};
+
+struct BuiltinInfo {
+  std::string name;
+  BuiltinClass cls = BuiltinClass::kOther;
+  /// Which dialects expose this spelling.
+  bool in_opencl = false;
+  bool in_cuda = false;
+  /// True for CUDA built-ins with no OpenCL counterpart (Table 3: "no
+  /// corresponding functions").
+  bool cuda_hw_specific = false;
+};
+
+/// Look up a built-in *function* by its spelling in the given dialect.
+/// Handles generic families (convert_*, as_*, vload*/vstore*, make_*).
+std::optional<BuiltinInfo> FindBuiltinFunction(const std::string& name,
+                                               Dialect dialect);
+
+/// Built-in *variables* (CUDA threadIdx/blockIdx/blockDim/gridDim/warpSize).
+/// Returns the variable's type or null.
+Type::Ptr BuiltinVariableType(const std::string& name, Dialect dialect);
+
+/// Result type of a built-in call given argument types. Permissive: returns
+/// a best-effort type (never null) for known builtins.
+Type::Ptr BuiltinResultType(const std::string& name, Dialect dialect,
+                            const std::vector<Type::Ptr>& args);
+
+}  // namespace bridgecl::lang

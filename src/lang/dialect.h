@@ -1,0 +1,15 @@
+// Surface dialects of the kernel language.
+#pragma once
+
+namespace bridgecl::lang {
+
+enum class Dialect {
+  kOpenCL,  // OpenCL C 1.2 kernel code
+  kCUDA,    // CUDA C/C++ device code (compute capability 3.5 era)
+};
+
+inline const char* DialectName(Dialect d) {
+  return d == Dialect::kOpenCL ? "OpenCL" : "CUDA";
+}
+
+}  // namespace bridgecl::lang

@@ -1,0 +1,351 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace bridgecl::lang {
+namespace {
+
+/// Character-level cursor with line/column tracking.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  bool done() const { return pos_ >= s_.size(); }
+  char peek(size_t ahead = 0) const {
+    size_t p = pos_ + ahead;
+    return p < s_.size() ? s_[p] : '\0';
+  }
+  char advance() {
+    char c = s_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  SourceLoc loc() const { return {line_, col_}; }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+};
+
+bool IsIdentStart(char c) { return std::isalpha((unsigned char)c) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum((unsigned char)c) || c == '_'; }
+
+/// Multi-character punctuation, longest first.
+const char* const kPuncts[] = {
+    "<<<", ">>>", "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}", "#",
+};
+
+struct RawToken {
+  Token tok;
+};
+
+/// Pass 1: strip comments and process preprocessor lines, expanding
+/// object-like macros textually. Produces a cleaned source string plus a
+/// macro table applied during tokenization (identifier-level expansion).
+Status Preprocess(const std::string& in, DiagnosticEngine& diags,
+                  std::string* out,
+                  std::unordered_map<std::string, std::string>* macros) {
+  out->reserve(in.size());
+  size_t i = 0;
+  uint32_t line = 1;
+  bool at_line_start = true;
+  while (i < in.size()) {
+    char c = in[i];
+    // Comments.
+    if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+      while (i < in.size() && in[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < in.size() && !(in[i] == '*' && in[i + 1] == '/')) {
+        if (in[i] == '\n') {
+          ++line;
+          out->push_back('\n');  // keep line numbers stable
+        }
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    // Line continuation.
+    if (c == '\\' && i + 1 < in.size() && in[i + 1] == '\n') {
+      i += 2;
+      ++line;
+      out->push_back('\n');
+      continue;
+    }
+    // Preprocessor directive.
+    if (c == '#' && at_line_start) {
+      size_t end = in.find('\n', i);
+      if (end == std::string::npos) end = in.size();
+      // Honor line continuations inside the directive.
+      while (end > i && end < in.size() && in[end - 1] == '\\') {
+        end = in.find('\n', end + 1);
+        if (end == std::string::npos) end = in.size();
+      }
+      std::string dir(in.substr(i, end - i));
+      dir = ReplaceAll(dir, "\\\n", " ");
+      std::string_view body = StripAsciiWhitespace(std::string_view(dir).substr(1));
+      if (StartsWith(body, "define")) {
+        std::string_view rest = StripAsciiWhitespace(body.substr(6));
+        size_t j = 0;
+        while (j < rest.size() && IsIdentChar(rest[j])) ++j;
+        std::string name(rest.substr(0, j));
+        if (name.empty()) {
+          diags.Error({line, 1}, "malformed #define");
+          return InvalidArgumentError("malformed #define");
+        }
+        if (j < rest.size() && rest[j] == '(') {
+          diags.Error({line, 1},
+                      "function-like macros are not supported: " + name);
+          return UnimplementedError("function-like macro " + name);
+        }
+        std::string value(StripAsciiWhitespace(rest.substr(j)));
+        (*macros)[name] = value;
+      }
+      // #pragma, #include, #undef, #if* are skipped: our corpus keeps
+      // conditional code out of kernels. Emit newlines for line tracking.
+      for (size_t k = i; k < end; ++k)
+        if (in[k] == '\n') {
+          ++line;
+          out->push_back('\n');
+        }
+      i = end;
+      continue;
+    }
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    } else if (!std::isspace((unsigned char)c)) {
+      at_line_start = false;
+    }
+    out->push_back(c);
+    ++i;
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(const std::string& source,
+                                 DiagnosticEngine& diags,
+                                 const LexOptions& opts) {
+  std::string clean;
+  std::unordered_map<std::string, std::string> macros;
+  BRIDGECL_RETURN_IF_ERROR(Preprocess(source, diags, &clean, &macros));
+
+  std::vector<Token> toks;
+  Cursor cur(clean);
+  while (!cur.done()) {
+    char c = cur.peek();
+    if (std::isspace((unsigned char)c)) {
+      cur.advance();
+      continue;
+    }
+    SourceLoc loc = cur.loc();
+
+    // Identifier / keyword / macro use.
+    if (IsIdentStart(c)) {
+      std::string name;
+      while (!cur.done() && IsIdentChar(cur.peek())) name += cur.advance();
+      auto it = macros.find(name);
+      if (it != macros.end() && !it->second.empty()) {
+        // Expand by re-lexing the macro body (bounded chain depth).
+        std::string body = it->second;
+        for (int depth = 0; depth < 16; ++depth) {
+          auto it2 = macros.find(body);
+          if (it2 == macros.end()) break;
+          body = it2->second;
+        }
+        DiagnosticEngine sub;
+        auto subtoks = Lex(body, sub, opts);
+        if (!subtoks.ok()) return subtoks.status();
+        for (Token t : *subtoks) {
+          if (t.kind == TokKind::kEnd) break;
+          t.loc = loc;
+          toks.push_back(std::move(t));
+        }
+        continue;
+      }
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = std::move(name);
+      t.loc = loc;
+      toks.push_back(std::move(t));
+      continue;
+    }
+
+    // Numeric literal.
+    if (std::isdigit((unsigned char)c) ||
+        (c == '.' && std::isdigit((unsigned char)cur.peek(1)))) {
+      std::string num;
+      bool is_float = false;
+      bool is_hex = false;
+      if (c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+        num += cur.advance();
+        num += cur.advance();
+        is_hex = true;
+        while (!cur.done() && std::isxdigit((unsigned char)cur.peek()))
+          num += cur.advance();
+      } else {
+        while (!cur.done() && std::isdigit((unsigned char)cur.peek()))
+          num += cur.advance();
+        if (cur.peek() == '.') {
+          is_float = true;
+          num += cur.advance();
+          while (!cur.done() && std::isdigit((unsigned char)cur.peek()))
+            num += cur.advance();
+        }
+        if (cur.peek() == 'e' || cur.peek() == 'E') {
+          char n1 = cur.peek(1);
+          char n2 = cur.peek(2);
+          if (std::isdigit((unsigned char)n1) ||
+              ((n1 == '+' || n1 == '-') && std::isdigit((unsigned char)n2))) {
+            is_float = true;
+            num += cur.advance();  // e
+            if (cur.peek() == '+' || cur.peek() == '-') num += cur.advance();
+            while (!cur.done() && std::isdigit((unsigned char)cur.peek()))
+              num += cur.advance();
+          }
+        }
+      }
+      Token t;
+      t.loc = loc;
+      // Suffixes.
+      bool suf_f = false, suf_u = false, suf_l = false;
+      while (!cur.done()) {
+        char s = cur.peek();
+        if ((s == 'f' || s == 'F') && (is_float || !is_hex)) {
+          if (!is_float && !is_hex) {
+            // "1f" is not valid C; treat as identifier boundary.
+            break;
+          }
+          suf_f = true;
+          num += cur.advance();
+        } else if (s == 'u' || s == 'U') {
+          suf_u = true;
+          num += cur.advance();
+        } else if (s == 'l' || s == 'L') {
+          suf_l = true;
+          num += cur.advance();
+        } else {
+          break;
+        }
+      }
+      t.text = num;
+      if (is_float || suf_f) {
+        t.kind = TokKind::kFloatLit;
+        t.float_value = std::strtod(num.c_str(), nullptr);
+        t.float_is_float = suf_f;
+      } else {
+        t.kind = TokKind::kIntLit;
+        t.int_value = std::strtoull(num.c_str(), nullptr, 0);
+        t.int_is_unsigned = suf_u;
+        t.int_is_long = suf_l;
+      }
+      toks.push_back(std::move(t));
+      continue;
+    }
+
+    // String literal (kept verbatim; needed by the host rewriter).
+    if (c == '"') {
+      std::string text;
+      text += cur.advance();
+      while (!cur.done() && cur.peek() != '"') {
+        if (cur.peek() == '\\') text += cur.advance();
+        if (!cur.done()) text += cur.advance();
+      }
+      if (cur.done()) {
+        diags.Error(loc, "unterminated string literal");
+        return InvalidArgumentError("unterminated string literal");
+      }
+      text += cur.advance();
+      Token t;
+      t.kind = TokKind::kStringLit;
+      t.text = std::move(text);
+      t.loc = loc;
+      toks.push_back(std::move(t));
+      continue;
+    }
+
+    // Character literal.
+    if (c == '\'') {
+      std::string text;
+      text += cur.advance();
+      while (!cur.done() && cur.peek() != '\'') {
+        if (cur.peek() == '\\') text += cur.advance();
+        if (!cur.done()) text += cur.advance();
+      }
+      if (cur.done()) {
+        diags.Error(loc, "unterminated character literal");
+        return InvalidArgumentError("unterminated character literal");
+      }
+      text += cur.advance();
+      Token t;
+      t.kind = TokKind::kCharLit;
+      t.text = std::move(text);
+      t.loc = loc;
+      // Value of simple 'c' / '\n' forms.
+      if (t.text.size() == 3) t.int_value = (unsigned char)t.text[1];
+      toks.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuation (longest match).
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      size_t n = std::strlen(p);
+      bool ok = true;
+      for (size_t k = 0; k < n; ++k)
+        if (cur.peek(k) != p[k]) {
+          ok = false;
+          break;
+        }
+      if (!ok) continue;
+      std::string spelling = p;
+      if ((spelling == "<<<" || spelling == ">>>") &&
+          !opts.cuda_launch_brackets) {
+        continue;  // fall through to shorter matches
+      }
+      for (size_t k = 0; k < n; ++k) cur.advance();
+      Token t;
+      t.kind = spelling == "<<<"   ? TokKind::kLaunchOpen
+               : spelling == ">>>" ? TokKind::kLaunchClose
+                                   : TokKind::kPunct;
+      t.text = std::move(spelling);
+      t.loc = loc;
+      toks.push_back(std::move(t));
+      matched = true;
+      break;
+    }
+    if (matched) continue;
+
+    diags.Error(loc, std::string("unexpected character '") + c + "'");
+    return InvalidArgumentError(std::string("unexpected character '") + c +
+                                "'");
+  }
+
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.loc = cur.loc();
+  toks.push_back(std::move(end));
+  return toks;
+}
+
+}  // namespace bridgecl::lang

@@ -1,0 +1,64 @@
+// Tokenizer for the kernel language. Handles both dialects' punctuation
+// (including CUDA's `<<<` / `>>>` launch brackets, which the host-code
+// rewriter needs) and a preprocessor-lite pass: comments, object-like
+// `#define`, and `#pragma`/`#include` line skipping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/source_location.h"
+#include "support/status.h"
+
+namespace bridgecl::lang {
+
+enum class TokKind : uint8_t {
+  kEnd,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kCharLit,
+  kPunct,        // operator / punctuation; spelling disambiguates
+  kLaunchOpen,   // <<<   (CUDA kernel launch)
+  kLaunchClose,  // >>>
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // identifier name, literal spelling, punct spelling
+  SourceLoc loc;
+  uint64_t int_value = 0;
+  double float_value = 0;
+  bool int_is_unsigned = false;
+  bool int_is_long = false;
+  bool float_is_float = false;  // 'f' suffix
+
+  bool is(TokKind k) const { return kind == k; }
+  bool is_punct(const char* s) const {
+    return kind == TokKind::kPunct && text == s;
+  }
+  bool is_ident(const char* s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+struct LexOptions {
+  /// When true, `>>>` is kept as a launch token; otherwise it lexes as
+  /// `>>` `>`. Device-code lexing leaves this off; host-code lexing for
+  /// the CUDA host rewriter turns it on.
+  bool cuda_launch_brackets = false;
+};
+
+/// Lex `source` into tokens. Applies the preprocessor-lite pass first:
+/// strips // and /**/ comments, expands object-like #define macros
+/// (including chained ones), drops #pragma and #include lines, and
+/// honors line continuations. Function-like macros are reported as
+/// unimplemented (our corpus does not need them).
+StatusOr<std::vector<Token>> Lex(const std::string& source,
+                                 DiagnosticEngine& diags,
+                                 const LexOptions& opts = {});
+
+}  // namespace bridgecl::lang

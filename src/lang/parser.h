@@ -1,0 +1,31 @@
+// Recursive-descent parser producing a TranslationUnit from kernel-language
+// source in either dialect. The parser normalizes dialect surface syntax:
+//   * OpenCL `__kernel` and CUDA `__global__`   -> FunctionQuals::is_kernel
+//   * OpenCL `__local` and CUDA `__shared__`    -> AddressSpace::kLocal
+//   * OpenCL `__constant` / CUDA `__constant__` -> AddressSpace::kConstant
+//   * OpenCL `__global` / CUDA `__device__`     -> AddressSpace::kGlobal
+//   * pointer address-space position difference (§3.6) is normalized to the
+//     OpenCL meaning (space of the pointee)
+// so that rewriters transform one canonical AST.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/dialect.h"
+#include "support/source_location.h"
+#include "support/status.h"
+
+namespace bridgecl::lang {
+
+struct ParseOptions {
+  Dialect dialect = Dialect::kOpenCL;
+};
+
+/// Parse a whole device-code source file.
+StatusOr<std::unique_ptr<TranslationUnit>> ParseTranslationUnit(
+    const std::string& source, const ParseOptions& opts,
+    DiagnosticEngine& diags);
+
+}  // namespace bridgecl::lang

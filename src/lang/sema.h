@@ -1,0 +1,35 @@
+// Semantic analysis: name resolution, struct layout, expression typing,
+// swizzle resolution, CUDA pointer address-space inference (§3.6), and the
+// per-kernel register estimate that feeds the occupancy model (§6.3).
+//
+// Sema is deliberately permissive where C would be strict (implicit
+// conversions are applied silently); it is strict about the things the
+// translator and interpreter rely on: every DeclRef resolves, every
+// expression gets a type, every struct gets a layout.
+#pragma once
+
+#include "lang/ast.h"
+#include "lang/dialect.h"
+#include "support/source_location.h"
+#include "support/status.h"
+
+namespace bridgecl::lang {
+
+struct SemaOptions {
+  Dialect dialect = Dialect::kOpenCL;
+};
+
+/// Analyze and annotate `tu` in place.
+Status Analyze(TranslationUnit& tu, const SemaOptions& opts,
+               DiagnosticEngine& diags);
+
+/// Resolve a swizzle spelling against a vector width: "x","xy","lo","hi",
+/// "even","odd","s0".."sF"/"S0".."SF" sequences. Returns component indices
+/// or empty if `member` is not a valid swizzle for that width.
+std::vector<int> ResolveSwizzle(const std::string& member, int width);
+
+/// Usual-arithmetic-conversions result of combining two types (vectors
+/// broadcast scalars; ranks follow C). Exposed for tests and the rewriters.
+Type::Ptr ArithmeticResultType(const Type::Ptr& a, const Type::Ptr& b);
+
+}  // namespace bridgecl::lang

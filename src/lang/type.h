@@ -1,0 +1,171 @@
+// Type system for the BridgeCL kernel language: a C dialect rich enough to
+// express both OpenCL C kernels and CUDA device code, including the
+// features whose translation the paper studies -- vector types of widths
+// 1/2/3/4/8/16, address-space-qualified pointers, images/samplers and
+// texture references, and (CUDA-only) reference types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bridgecl::lang {
+
+struct StructDecl;  // ast.h
+
+/// Scalar element kinds. `kLongLong` is CUDA-only (the paper maps CUDA
+/// longlong vectors onto OpenCL long vectors, §3.6); `kSizeT` is kept
+/// distinct so printers can round-trip `size_t`.
+enum class ScalarKind : uint8_t {
+  kVoid,
+  kBool,
+  kChar,
+  kUChar,
+  kShort,
+  kUShort,
+  kInt,
+  kUInt,
+  kLong,
+  kULong,
+  kLongLong,
+  kULongLong,
+  kFloat,
+  kDouble,
+  kSizeT,
+};
+
+bool IsIntegerScalar(ScalarKind k);
+bool IsSignedScalar(ScalarKind k);
+bool IsFloatScalar(ScalarKind k);
+/// Size in bytes on the (LP64) device ABI both models share.
+size_t ScalarByteSize(ScalarKind k);
+/// Canonical dialect-neutral name ("uint", "longlong", ...).
+const char* ScalarName(ScalarKind k);
+
+/// Address spaces as the *device* sees them. `kPrivate` is default.
+/// NOTE on pointers (§3.6): in OpenCL the qualifier names the space of the
+/// *pointee*; in CUDA it names the space of the pointer variable itself.
+/// The AST stores the OpenCL interpretation (pointee space) canonically;
+/// the CUDA parser/printer performs the adjustment.
+enum class AddressSpace : uint8_t {
+  kPrivate,
+  kLocal,     // CUDA: shared
+  kGlobal,    // CUDA: device
+  kConstant,
+};
+
+const char* AddressSpaceName(AddressSpace s);
+
+enum class TypeKind : uint8_t {
+  kScalar,
+  kVector,    // scalar element + width in {1,2,3,4,8,16}
+  kPointer,   // pointee type + pointee address space
+  kArray,     // element type + constant extent
+  kStruct,    // user-defined aggregate
+  kImage,     // OpenCL image1d_t / image2d_t / image3d_t (opaque handle)
+  kSampler,   // OpenCL sampler_t (opaque handle)
+  kTexture,   // CUDA texture reference type (opaque; device-side handle)
+  kNamed,     // unresolved name: template parameter (CUDA C++) or typedef
+};
+
+/// Immutable structural type. Shared (interned per-parse via TypeFactory
+/// below is unnecessary: types are small shared_ptr trees and compared
+/// structurally).
+class Type {
+ public:
+  using Ptr = std::shared_ptr<const Type>;
+
+  // -- factories ----------------------------------------------------------
+  static Ptr Scalar(ScalarKind k);
+  static Ptr Vector(ScalarKind elem, int width);
+  static Ptr Pointer(Ptr pointee, AddressSpace pointee_space);
+  static Ptr Array(Ptr elem, size_t extent);
+  static Ptr Struct(const StructDecl* decl);
+  static Ptr Image(int dims);                  // 1, 2, or 3
+  static Ptr Sampler();
+  /// CUDA `texture<Elem, Dims, ReadMode>` reference type.
+  static Ptr Texture(ScalarKind elem, int elem_width, int dims);
+  /// Placeholder for a template type parameter or unresolved typedef.
+  static Ptr Named(std::string name);
+
+  static Ptr VoidTy() { return Scalar(ScalarKind::kVoid); }
+  static Ptr IntTy() { return Scalar(ScalarKind::kInt); }
+  static Ptr UIntTy() { return Scalar(ScalarKind::kUInt); }
+  static Ptr FloatTy() { return Scalar(ScalarKind::kFloat); }
+  static Ptr BoolTy() { return Scalar(ScalarKind::kBool); }
+  static Ptr SizeTy() { return Scalar(ScalarKind::kSizeT); }
+
+  // -- observers ----------------------------------------------------------
+  TypeKind kind() const { return kind_; }
+  bool is_scalar() const { return kind_ == TypeKind::kScalar; }
+  bool is_vector() const { return kind_ == TypeKind::kVector; }
+  bool is_pointer() const { return kind_ == TypeKind::kPointer; }
+  bool is_array() const { return kind_ == TypeKind::kArray; }
+  bool is_struct() const { return kind_ == TypeKind::kStruct; }
+  bool is_image() const { return kind_ == TypeKind::kImage; }
+  bool is_sampler() const { return kind_ == TypeKind::kSampler; }
+  bool is_texture() const { return kind_ == TypeKind::kTexture; }
+  bool is_named() const { return kind_ == TypeKind::kNamed; }
+  bool is_void() const {
+    return is_scalar() && scalar_ == ScalarKind::kVoid;
+  }
+  bool is_integer() const {
+    return is_scalar() && IsIntegerScalar(scalar_);
+  }
+  bool is_float() const { return is_scalar() && IsFloatScalar(scalar_); }
+  bool is_arithmetic() const {
+    return is_scalar() && scalar_ != ScalarKind::kVoid;
+  }
+
+  ScalarKind scalar_kind() const { return scalar_; }  // scalar/vector/texture
+  int vector_width() const { return width_; }          // vector/texture
+  int image_dims() const { return dims_; }             // image/texture
+  const Ptr& pointee() const { return elem_; }         // pointer
+  const Ptr& element() const { return elem_; }         // array
+  AddressSpace pointee_space() const { return space_; }
+  size_t array_extent() const { return extent_; }
+  const StructDecl* struct_decl() const { return struct_; }
+  const std::string& name() const { return name_; }  // kNamed
+
+  /// Byte size under the shared device ABI. Vectors of width 3 occupy the
+  /// space of width 4 (OpenCL rule; CUDA has no native 3-vectors beyond
+  /// alignment quirks we normalize away). Opaque handle types are
+  /// pointer-sized.
+  size_t ByteSize() const;
+  size_t Alignment() const;
+
+  /// Dialect-neutral spelling used in diagnostics and tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Type& a, const Type& b);
+  friend bool operator!=(const Type& a, const Type& b) { return !(a == b); }
+
+ private:
+  Type() = default;
+
+  TypeKind kind_ = TypeKind::kScalar;
+  ScalarKind scalar_ = ScalarKind::kVoid;
+  int width_ = 1;          // vector width
+  int dims_ = 0;           // image/texture dimensionality
+  Ptr elem_;               // pointee / array element
+  AddressSpace space_ = AddressSpace::kPrivate;
+  size_t extent_ = 0;      // array extent
+  const StructDecl* struct_ = nullptr;
+  std::string name_;       // kNamed
+};
+
+/// Structural equality on Type::Ptr (null-safe).
+bool SameType(const Type::Ptr& a, const Type::Ptr& b);
+
+/// Parse a vector-type spelling ("float4", "uchar16", "longlong2",
+/// "double3") into element kind and width. Width 1 spellings ("int1") are
+/// CUDA-only one-component vectors. Returns false if `name` is not a
+/// vector-type spelling.
+bool ParseVectorTypeName(const std::string& name, ScalarKind* elem,
+                         int* width);
+
+/// Compose a vector-type spelling in the given dialect-neutral form.
+std::string VectorTypeName(ScalarKind elem, int width);
+
+}  // namespace bridgecl::lang

@@ -1,0 +1,355 @@
+#include <cstring>
+#include <unordered_map>
+
+#include "interp/executor.h"
+#include "interp/image.h"
+#include "interp/module.h"
+#include "mcuda/cuda_api.h"
+#include "support/strings.h"
+
+namespace bridgecl::mcuda {
+namespace {
+
+using interp::ImageDesc;
+using interp::KernelArg;
+using interp::Module;
+using lang::ScalarKind;
+using simgpu::Device;
+using simgpu::Dim3;
+
+struct ArrayRec {
+  uint64_t data_va = 0;
+  size_t width = 0, height = 1;
+  ChannelDesc desc;
+  size_t byte_size = 0;
+};
+
+struct TextureRec {
+  uint64_t desc_va = 0;  // ImageDesc in device memory
+};
+
+class NativeCudaApi final : public CudaApi {
+ public:
+  explicit NativeCudaApi(Device& device) : device_(device) {
+    device_.set_bank_mode(device_.profile().cuda_bank_mode);
+  }
+
+  Status RegisterModule(const std::string& cuda_source) override {
+    // Static compilation: no run-time build cost is charged (CUDA embeds
+    // compiled device code in the executable, §3.4).
+    DiagnosticEngine diags;
+    auto m = Module::Compile(cuda_source, lang::Dialect::kCUDA, diags);
+    if (!m.ok())
+      return Status(m.status().code(),
+                    m.status().message() + "\n" + diags.ToString());
+    BRIDGECL_RETURN_IF_ERROR((*m)->LoadOn(device_));
+    modules_.push_back(std::move(*m));
+    return OkStatus();
+  }
+
+  StatusOr<void*> Malloc(size_t size) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, device_.vm().AllocGlobal(size));
+    return reinterpret_cast<void*>(va);
+  }
+
+  Status Free(void* ptr) override {
+    device_.ChargeApiCall();
+    return device_.vm().FreeGlobal(reinterpret_cast<uint64_t>(ptr));
+  }
+
+  Status Memcpy(void* dst, const void* src, size_t size,
+                MemcpyKind kind) override {
+    device_.ChargeApiCall();
+    switch (kind) {
+      case MemcpyKind::kHostToDevice: {
+        BRIDGECL_ASSIGN_OR_RETURN(
+            std::byte * p,
+            device_.vm().Resolve(reinterpret_cast<uint64_t>(dst), size));
+        std::memcpy(p, src, size);
+        device_.ChargeCopy(size);
+        device_.stats().host_to_device_bytes += size;
+        return OkStatus();
+      }
+      case MemcpyKind::kDeviceToHost: {
+        BRIDGECL_ASSIGN_OR_RETURN(
+            std::byte * p,
+            device_.vm().Resolve(reinterpret_cast<uint64_t>(src), size));
+        std::memcpy(dst, p, size);
+        device_.ChargeCopy(size);
+        device_.stats().device_to_host_bytes += size;
+        return OkStatus();
+      }
+      case MemcpyKind::kDeviceToDevice: {
+        BRIDGECL_ASSIGN_OR_RETURN(
+            std::byte * ps,
+            device_.vm().Resolve(reinterpret_cast<uint64_t>(src), size));
+        BRIDGECL_ASSIGN_OR_RETURN(
+            std::byte * pd,
+            device_.vm().Resolve(reinterpret_cast<uint64_t>(dst), size));
+        std::memmove(pd, ps, size);
+        device_.ChargeCopy(size / 4);
+        device_.stats().device_to_device_bytes += size;
+        return OkStatus();
+      }
+      case MemcpyKind::kHostToHost:
+        std::memmove(dst, src, size);
+        return OkStatus();
+    }
+    return InvalidArgumentError("bad memcpy kind");
+  }
+
+  Status MemcpyToSymbol(const std::string& symbol, const void* src,
+                        size_t size, size_t offset) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(Module::Symbol sym, FindSymbol(symbol));
+    if (offset + size > sym.size)
+      return OutOfRangeError("copy beyond symbol '" + symbol + "'");
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                              device_.vm().Resolve(sym.va + offset, size));
+    std::memcpy(p, src, size);
+    device_.ChargeCopy(size);
+    device_.stats().host_to_device_bytes += size;
+    return OkStatus();
+  }
+
+  Status MemcpyFromSymbol(void* dst, const std::string& symbol, size_t size,
+                          size_t offset) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(Module::Symbol sym, FindSymbol(symbol));
+    if (offset + size > sym.size)
+      return OutOfRangeError("copy beyond symbol '" + symbol + "'");
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                              device_.vm().Resolve(sym.va + offset, size));
+    std::memcpy(dst, p, size);
+    device_.ChargeCopy(size);
+    device_.stats().device_to_host_bytes += size;
+    return OkStatus();
+  }
+
+  StatusOr<std::pair<size_t, size_t>> MemGetInfo() override {
+    device_.ChargeApiCall();
+    size_t total = device_.vm().global_capacity();
+    return std::make_pair(total - device_.vm().global_in_use(), total);
+  }
+
+  Status LaunchKernel(const std::string& kernel, Dim3 grid, Dim3 block,
+                      size_t shared_bytes,
+                      std::span<const LaunchArg> args) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(Module * m, FindKernelModule(kernel));
+    interp::LaunchConfig cfg;
+    cfg.grid = grid;
+    cfg.block = block;
+    cfg.dynamic_shared_bytes = shared_bytes;
+    std::vector<KernelArg> kargs;
+    kargs.reserve(args.size());
+    for (const LaunchArg& a : args) kargs.push_back(KernelArg::Bytes(a.bytes));
+    return interp::LaunchKernel(device_, *m, kernel, cfg, kargs).status();
+  }
+
+  Status DeviceSynchronize() override {
+    device_.ChargeApiCall();
+    return OkStatus();
+  }
+
+  StatusOr<CudaDeviceProps> GetDeviceProperties() override {
+    // Native CUDA fills the whole struct in a single driver query.
+    device_.ChargeApiCall();
+    device_.AdvanceUs(device_.profile().device_query_us);
+    const auto& p = device_.profile();
+    CudaDeviceProps props;
+    props.name = p.name;
+    props.total_global_mem = p.global_mem_size;
+    props.shared_mem_per_block = p.shared_mem_per_block;
+    props.total_const_mem = p.constant_mem_size;
+    props.regs_per_block = p.max_registers_per_cu;
+    props.warp_size = p.warp_size;
+    props.max_threads_per_block = p.max_threads_per_block;
+    props.multi_processor_count = p.compute_units;
+    props.clock_rate_khz = static_cast<int>(p.clock_ghz * 1e6);
+    props.max_texture1d_linear = p.cuda_max_tex1d_linear_width;
+    return props;
+  }
+
+  Status BindTexture(const std::string& texref, void* device_ptr,
+                     size_t bytes, const ChannelDesc& desc,
+                     bool normalized) override {
+    device_.ChargeApiCall();
+    size_t texel = lang::ScalarByteSize(desc.elem) * desc.channels;
+    size_t width = bytes / texel;
+    if (width > device_.profile().cuda_max_tex1d_linear_width)
+      return InvalidArgumentError(
+          "1D linear texture exceeds the 2^27 texel limit");
+    uint32_t sampler = normalized ? uint32_t{interp::kSamplerNormalizedCoords} : 0u;
+    sampler |= interp::kSamplerAddressClamp;
+    return MakeBinding(texref, reinterpret_cast<uint64_t>(device_ptr), width,
+                       1, width * texel, desc, sampler);
+  }
+
+  Status BindTexture2D(const std::string& texref, void* device_ptr,
+                       size_t width, size_t height, size_t pitch,
+                       const ChannelDesc& desc) override {
+    device_.ChargeApiCall();
+    return MakeBinding(texref, reinterpret_cast<uint64_t>(device_ptr), width,
+                       height, pitch, desc, interp::kSamplerAddressClamp);
+  }
+
+  StatusOr<void*> MallocArray(const ChannelDesc& desc, size_t width,
+                              size_t height) override {
+    device_.ChargeApiCall();
+    size_t texel = lang::ScalarByteSize(desc.elem) * desc.channels;
+    size_t bytes = width * std::max<size_t>(height, 1) * texel;
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, device_.vm().AllocGlobal(bytes));
+    ArrayRec rec;
+    rec.data_va = va;
+    rec.width = width;
+    rec.height = std::max<size_t>(height, 1);
+    rec.desc = desc;
+    rec.byte_size = bytes;
+    arrays_[va] = rec;
+    return reinterpret_cast<void*>(va);
+  }
+
+  Status MemcpyToArray(void* array, const void* src, size_t bytes) override {
+    device_.ChargeApiCall();
+    auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
+    if (it == arrays_.end()) return InvalidArgumentError("unknown cudaArray");
+    if (bytes > it->second.byte_size)
+      return OutOfRangeError("copy beyond array end");
+    BRIDGECL_ASSIGN_OR_RETURN(
+        std::byte * p, device_.vm().Resolve(it->second.data_va, bytes));
+    std::memcpy(p, src, bytes);
+    device_.ChargeCopy(bytes);
+    device_.stats().host_to_device_bytes += bytes;
+    return OkStatus();
+  }
+
+  Status BindTextureToArray(const std::string& texref, void* array,
+                            bool filter_linear, bool normalized) override {
+    device_.ChargeApiCall();
+    auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
+    if (it == arrays_.end()) return InvalidArgumentError("unknown cudaArray");
+    const ArrayRec& a = it->second;
+    uint32_t sampler = interp::kSamplerAddressClamp;
+    if (filter_linear) sampler |= interp::kSamplerFilterLinear;
+    if (normalized) sampler |= interp::kSamplerNormalizedCoords;
+    size_t texel = lang::ScalarByteSize(a.desc.elem) * a.desc.channels;
+    return MakeBinding(texref, a.data_va, a.width, a.height, a.width * texel,
+                       a.desc, sampler);
+  }
+
+  Status UnbindTexture(const std::string& texref) override {
+    device_.ChargeApiCall();
+    auto it = textures_.find(texref);
+    if (it == textures_.end()) return OkStatus();  // CUDA tolerates this
+    BRIDGECL_RETURN_IF_ERROR(device_.vm().FreeGlobal(it->second.desc_va));
+    textures_.erase(it);
+    return OkStatus();
+  }
+
+  StatusOr<void*> EventCreate() override {
+    device_.ChargeApiCall();
+    uint64_t id = next_event_++;
+    events_[id] = -1.0;  // created but not recorded
+    return reinterpret_cast<void*>(id);
+  }
+
+  Status EventRecord(void* event) override {
+    device_.ChargeApiCall();
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end()) return InvalidArgumentError("unknown event");
+    it->second = device_.now_us();
+    return OkStatus();
+  }
+
+  StatusOr<double> EventElapsedUs(void* start, void* end) override {
+    device_.ChargeApiCall();
+    auto s = events_.find(reinterpret_cast<uint64_t>(start));
+    auto e = events_.find(reinterpret_cast<uint64_t>(end));
+    if (s == events_.end() || e == events_.end())
+      return InvalidArgumentError("unknown event");
+    if (s->second < 0 || e->second < 0)
+      return FailedPreconditionError("event was never recorded");
+    return e->second - s->second;
+  }
+
+  Status EventDestroy(void* event) override {
+    device_.ChargeApiCall();
+    return events_.erase(reinterpret_cast<uint64_t>(event)) == 1
+               ? OkStatus()
+               : InvalidArgumentError("unknown event");
+  }
+
+  Status SetKernelRegisters(const std::string& kernel, int regs) override {
+    for (auto& m : modules_) {
+      if (m->FindKernel(kernel) != nullptr) {
+        m->SetRegisterOverride(kernel, regs);
+        return OkStatus();
+      }
+    }
+    return NotFoundError("no kernel '" + kernel + "' registered");
+  }
+
+  double NowUs() const override { return device_.now_us(); }
+
+ private:
+  StatusOr<Module::Symbol> FindSymbol(const std::string& symbol) {
+    for (auto& m : modules_) {
+      auto s = m->FindSymbol(symbol);
+      if (s.ok()) return s;
+    }
+    return NotFoundError("no device symbol '" + symbol + "'");
+  }
+
+  StatusOr<Module*> FindKernelModule(const std::string& kernel) {
+    for (auto& m : modules_)
+      if (m->FindKernel(kernel) != nullptr) return m.get();
+    return NotFoundError("no kernel '" + kernel + "' registered");
+  }
+
+  Status MakeBinding(const std::string& texref, uint64_t data_va,
+                     size_t width, size_t height, size_t pitch,
+                     const ChannelDesc& desc, uint32_t sampler_bits) {
+    // Locate the texture reference in a registered module.
+    Module* owner = nullptr;
+    for (auto& m : modules_)
+      if (m->FindTextureRef(texref) != nullptr) owner = m.get();
+    if (owner == nullptr)
+      return NotFoundError("no texture reference '" + texref + "'");
+    BRIDGECL_RETURN_IF_ERROR(UnbindTexture(texref));
+    ImageDesc d;
+    d.data_va = data_va;
+    d.width = static_cast<uint32_t>(width);
+    d.height = static_cast<uint32_t>(height);
+    d.depth = 1;
+    d.channels = static_cast<uint32_t>(desc.channels);
+    d.elem_kind = static_cast<uint32_t>(desc.elem);
+    d.row_pitch = static_cast<uint32_t>(pitch);
+    d.slice_pitch = static_cast<uint32_t>(pitch * height);
+    d.sampler_bits = sampler_bits;
+    d.dims = height > 1 ? 2 : 1;
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t desc_va,
+                              device_.vm().AllocGlobal(sizeof(d)));
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                              device_.vm().Resolve(desc_va, sizeof(d)));
+    std::memcpy(p, &d, sizeof(d));
+    textures_[texref] = TextureRec{desc_va};
+    return owner->BindTexture(texref, desc_va);
+  }
+
+  Device& device_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::unordered_map<uint64_t, ArrayRec> arrays_;
+  std::unordered_map<std::string, TextureRec> textures_;
+  uint64_t next_event_ = 0x6000'0000'0000'0000ull;
+  std::unordered_map<uint64_t, double> events_;
+};
+
+}  // namespace
+
+std::unique_ptr<CudaApi> CreateNativeCudaApi(Device& device) {
+  return std::make_unique<NativeCudaApi>(device);
+}
+
+}  // namespace bridgecl::mcuda

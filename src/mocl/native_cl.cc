@@ -1,0 +1,528 @@
+#include <cstring>
+#include <unordered_map>
+
+#include "interp/executor.h"
+#include "interp/image.h"
+#include "interp/module.h"
+#include "mocl/cl_api.h"
+#include "support/strings.h"
+
+namespace bridgecl::mocl {
+namespace {
+
+using interp::ImageDesc;
+using interp::KernelArg;
+using interp::Module;
+using lang::AddressSpace;
+using lang::ScalarKind;
+using simgpu::Device;
+using simgpu::Dim3;
+
+/// Fixed simulated cost of an on-line clBuildProgram (front end + codegen).
+constexpr double kBuildCostUs = 4000.0;
+
+struct BufferRec {
+  uint64_t va = 0;
+  size_t size = 0;
+  MemFlags flags = MemFlags::kReadWrite;
+};
+
+struct ImageRec {
+  uint64_t desc_va = 0;
+  uint64_t data_va = 0;
+  bool owns_data = true;
+  size_t width = 0, height = 1;
+  ClImageFormat format;
+  size_t byte_size = 0;
+};
+
+struct ProgramRec {
+  std::string source;
+  std::unique_ptr<Module> module;
+  std::string build_log;
+};
+
+struct KernelRec {
+  uint64_t program = 0;
+  std::string name;
+  std::vector<KernelArg> args;  // indexed by parameter position
+  std::vector<bool> set;
+};
+
+class NativeClApi final : public OpenClApi {
+ public:
+  explicit NativeClApi(Device& device) : device_(device) {
+    device_.set_bank_mode(device_.profile().opencl_bank_mode);
+  }
+
+  std::string PlatformName() const override {
+    return "BridgeCL mini-OpenCL 1.2";
+  }
+
+  StatusOr<std::string> QueryDeviceInfoString(ClDeviceAttr attr) override {
+    ChargeQuery();
+    switch (attr) {
+      case ClDeviceAttr::kName:
+        return device_.profile().name;
+      case ClDeviceAttr::kVendor:
+        return device_.profile().vendor;
+      default:
+        return InvalidArgumentError("attribute is not a string");
+    }
+  }
+
+  StatusOr<uint64_t> QueryDeviceInfoUint(ClDeviceAttr attr) override {
+    ChargeQuery();
+    const auto& p = device_.profile();
+    switch (attr) {
+      case ClDeviceAttr::kMaxComputeUnits:
+        return static_cast<uint64_t>(p.compute_units);
+      case ClDeviceAttr::kMaxWorkGroupSize:
+        return static_cast<uint64_t>(p.max_threads_per_block);
+      case ClDeviceAttr::kLocalMemSize:
+        return static_cast<uint64_t>(p.shared_mem_per_block);
+      case ClDeviceAttr::kGlobalMemSize:
+        return static_cast<uint64_t>(p.global_mem_size);
+      case ClDeviceAttr::kMaxConstantBufferSize:
+        return static_cast<uint64_t>(p.constant_mem_size);
+      case ClDeviceAttr::kImage2dMaxWidth:
+        return static_cast<uint64_t>(p.max_image2d_width);
+      case ClDeviceAttr::kImage2dMaxHeight:
+        return static_cast<uint64_t>(p.max_image2d_height);
+      case ClDeviceAttr::kImage1dMaxBufferWidth:
+        return static_cast<uint64_t>(p.max_image1d_width);
+      case ClDeviceAttr::kMaxClockFrequency:
+        return static_cast<uint64_t>(p.clock_ghz * 1000);
+      default:
+        return InvalidArgumentError("attribute is not an integer");
+    }
+  }
+
+  StatusOr<int> CreateSubDevices(int n) override {
+    device_.ChargeApiCall();
+    if (n <= 0 || n > device_.profile().compute_units)
+      return InvalidArgumentError("invalid sub-device partition count");
+    // Equal partition by compute units; we only model the bookkeeping.
+    return n;
+  }
+
+  // -- buffers ---------------------------------------------------------------
+  StatusOr<ClMem> CreateBuffer(MemFlags flags, size_t size,
+                               const void* host_ptr) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, device_.vm().AllocGlobal(size));
+    if (host_ptr != nullptr) {
+      BRIDGECL_ASSIGN_OR_RETURN(std::byte * p, device_.vm().Resolve(va, size));
+      std::memcpy(p, host_ptr, size);
+      device_.ChargeCopy(size);
+      device_.stats().host_to_device_bytes += size;
+    }
+    uint64_t id = next_id_++;
+    buffers_[id] = BufferRec{va, size, flags};
+    return ClMem{id};
+  }
+
+  Status ReleaseMemObject(ClMem mem) override {
+    device_.ChargeApiCall();
+    if (auto it = buffers_.find(mem.handle); it != buffers_.end()) {
+      BRIDGECL_RETURN_IF_ERROR(device_.vm().FreeGlobal(it->second.va));
+      buffers_.erase(it);
+      return OkStatus();
+    }
+    if (auto it = images_.find(mem.handle); it != images_.end()) {
+      if (it->second.owns_data)
+        BRIDGECL_RETURN_IF_ERROR(device_.vm().FreeGlobal(it->second.data_va));
+      BRIDGECL_RETURN_IF_ERROR(device_.vm().FreeGlobal(it->second.desc_va));
+      images_.erase(it);
+      return OkStatus();
+    }
+    return InvalidArgumentError("unknown memory object");
+  }
+
+  Status EnqueueWriteBuffer(ClMem mem, size_t offset, size_t size,
+                            const void* src) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+    if (offset + size > b->size)
+      return OutOfRangeError("write beyond buffer end");
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                              device_.vm().Resolve(b->va + offset, size));
+    std::memcpy(p, src, size);
+    device_.ChargeCopy(size);
+    device_.stats().host_to_device_bytes += size;
+    return OkStatus();
+  }
+
+  Status EnqueueReadBuffer(ClMem mem, size_t offset, size_t size,
+                           void* dst) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+    if (offset + size > b->size)
+      return OutOfRangeError("read beyond buffer end");
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                              device_.vm().Resolve(b->va + offset, size));
+    std::memcpy(dst, p, size);
+    device_.ChargeCopy(size);
+    device_.stats().device_to_host_bytes += size;
+    return OkStatus();
+  }
+
+  Status EnqueueCopyBuffer(ClMem src, ClMem dst, size_t src_offset,
+                           size_t dst_offset, size_t size) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * d, FindBuffer(dst));
+    if (src_offset + size > s->size || dst_offset + size > d->size)
+      return OutOfRangeError("copy beyond buffer end");
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * sp,
+                              device_.vm().Resolve(s->va + src_offset, size));
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * dp,
+                              device_.vm().Resolve(d->va + dst_offset, size));
+    std::memmove(dp, sp, size);
+    device_.ChargeCopy(size / 4);  // on-device copies are faster
+    device_.stats().device_to_device_bytes += size;
+    return OkStatus();
+  }
+
+  // -- images ----------------------------------------------------------------
+  StatusOr<ClMem> CreateImage2D(MemFlags flags, const ClImageFormat& format,
+                                size_t width, size_t height,
+                                const void* host_ptr) override {
+    device_.ChargeApiCall();
+    const auto& p = device_.profile();
+    if (width > static_cast<size_t>(p.max_image2d_width) ||
+        height > static_cast<size_t>(p.max_image2d_height))
+      return InvalidArgumentError(
+          StrFormat("image size %zux%zu exceeds device limits", width,
+                    height));
+    return MakeImage(flags, format, width, height, host_ptr, /*buffer=*/{});
+  }
+
+  StatusOr<ClMem> CreateImage1D(MemFlags flags, const ClImageFormat& format,
+                                size_t width, const void* host_ptr) override {
+    device_.ChargeApiCall();
+    if (width > device_.profile().max_image1d_width)
+      return InvalidArgumentError(
+          StrFormat("1D image width %zu exceeds device maximum %zu (§5)",
+                    width, device_.profile().max_image1d_width));
+    return MakeImage(flags, format, width, 1, host_ptr, /*buffer=*/{});
+  }
+
+  StatusOr<ClMem> CreateImage1DFromBuffer(const ClImageFormat& format,
+                                          size_t width,
+                                          ClMem buffer) override {
+    device_.ChargeApiCall();
+    if (width > device_.profile().max_image1d_width)
+      return InvalidArgumentError(
+          StrFormat("1D image buffer width %zu exceeds device maximum %zu; "
+                    "CUDA linear textures reach 2^27 (§5)",
+                    width, device_.profile().max_image1d_width));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(buffer));
+    size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
+    if (width * texel > b->size)
+      return OutOfRangeError("image view larger than the backing buffer");
+    return MakeImage(MemFlags::kReadWrite, format, width, 1, nullptr, buffer);
+  }
+
+  Status EnqueueWriteImage(ClMem image, const void* src) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        std::byte * p, device_.vm().Resolve(img->data_va, img->byte_size));
+    std::memcpy(p, src, img->byte_size);
+    device_.ChargeCopy(img->byte_size);
+    device_.stats().host_to_device_bytes += img->byte_size;
+    return OkStatus();
+  }
+
+  Status EnqueueReadImage(ClMem image, void* dst) override {
+    device_.ChargeApiCall();
+    BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        std::byte * p, device_.vm().Resolve(img->data_va, img->byte_size));
+    std::memcpy(dst, p, img->byte_size);
+    device_.ChargeCopy(img->byte_size);
+    device_.stats().device_to_host_bytes += img->byte_size;
+    return OkStatus();
+  }
+
+  StatusOr<uint64_t> CreateSampler(const ClSamplerDesc& desc) override {
+    device_.ChargeApiCall();
+    uint64_t bits = 0;
+    if (desc.normalized_coords) bits |= interp::kSamplerNormalizedCoords;
+    if (desc.address_clamp) bits |= interp::kSamplerAddressClamp;
+    if (desc.filter_linear) bits |= interp::kSamplerFilterLinear;
+    return bits;
+  }
+
+  // -- programs & kernels -----------------------------------------------------
+  StatusOr<ClProgram> CreateProgramWithSource(
+      const std::string& source) override {
+    device_.ChargeApiCall();
+    uint64_t id = next_id_++;
+    programs_[id].source = source;
+    return ClProgram{id};
+  }
+
+  Status BuildProgram(ClProgram program) override {
+    device_.ChargeApiCall();
+    auto it = programs_.find(program.handle);
+    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    DiagnosticEngine diags;
+    auto m = Module::Compile(it->second.source, lang::Dialect::kOpenCL, diags);
+    it->second.build_log = diags.ToString();
+    if (!m.ok()) return m.status();
+    BRIDGECL_RETURN_IF_ERROR((*m)->LoadOn(device_));
+    it->second.module = std::move(*m);
+    build_time_us_ += kBuildCostUs;
+    device_.AdvanceUs(kBuildCostUs);
+    return OkStatus();
+  }
+
+  StatusOr<std::string> GetProgramBuildLog(ClProgram program) override {
+    auto it = programs_.find(program.handle);
+    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    return it->second.build_log;
+  }
+
+  StatusOr<ClKernel> CreateKernel(ClProgram program,
+                                  const std::string& name) override {
+    device_.ChargeApiCall();
+    auto it = programs_.find(program.handle);
+    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it->second.module == nullptr)
+      return FailedPreconditionError("program is not built");
+    const lang::FunctionDecl* fn = it->second.module->FindKernel(name);
+    if (fn == nullptr)
+      return NotFoundError("no kernel '" + name + "' in program");
+    uint64_t id = next_id_++;
+    KernelRec& k = kernels_[id];
+    k.program = program.handle;
+    k.name = name;
+    k.args.resize(fn->params.size());
+    k.set.assign(fn->params.size(), false);
+    return ClKernel{id};
+  }
+
+  Status SetKernelArg(ClKernel kernel, int index, size_t size,
+                      const void* value) override {
+    device_.ChargeApiCall();
+    auto it = kernels_.find(kernel.handle);
+    if (it == kernels_.end()) return InvalidArgumentError("unknown kernel");
+    KernelRec& k = it->second;
+    Module* module = programs_[k.program].module.get();
+    const lang::FunctionDecl* fn = module->FindKernel(k.name);
+    if (index < 0 || index >= static_cast<int>(fn->params.size()))
+      return OutOfRangeError(
+          StrFormat("argument index %d out of range for kernel '%s'", index,
+                    k.name.c_str()));
+    const lang::VarDecl* param = fn->params[index].get();
+    const lang::Type::Ptr& t = param->type;
+
+    if (value == nullptr) {
+      // Dynamic __local allocation (§4.1).
+      if (!t->is_pointer() || t->pointee_space() != AddressSpace::kLocal)
+        return InvalidArgumentError(
+            "null arg value on a non-__local parameter");
+      k.args[index] = KernelArg::LocalAlloc(size);
+      k.set[index] = true;
+      return OkStatus();
+    }
+    if (t->is_pointer() && t->pointee_space() != AddressSpace::kPrivate) {
+      if (size != sizeof(ClMem))
+        return InvalidArgumentError("memory-object argument size mismatch");
+      ClMem mem;
+      std::memcpy(&mem, value, sizeof(mem));
+      BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, VaOfMemObject(mem));
+      k.args[index] = KernelArg::Pointer(va);
+      k.set[index] = true;
+      return OkStatus();
+    }
+    if (t->is_image()) {
+      ClMem mem;
+      std::memcpy(&mem, value, sizeof(mem));
+      BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(mem));
+      k.args[index] = KernelArg::Pointer(img->desc_va);
+      k.set[index] = true;
+      return OkStatus();
+    }
+    // Samplers and plain data: raw bytes.
+    std::vector<std::byte> bytes(size);
+    std::memcpy(bytes.data(), value, size);
+    if (t->is_sampler() && size < 8) bytes.resize(8);
+    k.args[index] = KernelArg::Bytes(std::move(bytes));
+    k.set[index] = true;
+    return OkStatus();
+  }
+
+  Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
+                              const size_t* gws, const size_t* lws) override {
+    device_.ChargeApiCall();
+    auto it = kernels_.find(kernel.handle);
+    if (it == kernels_.end()) return InvalidArgumentError("unknown kernel");
+    KernelRec& k = it->second;
+    for (size_t i = 0; i < k.set.size(); ++i)
+      if (!k.set[i])
+        return FailedPreconditionError(
+            StrFormat("kernel '%s': argument %zu was never set",
+                      k.name.c_str(), i));
+    if (work_dim < 1 || work_dim > 3)
+      return InvalidArgumentError("work_dim must be 1..3");
+    Dim3 g(1, 1, 1), l(1, 1, 1);
+    uint32_t* gp[3] = {&g.x, &g.y, &g.z};
+    uint32_t* lp[3] = {&l.x, &l.y, &l.z};
+    for (int d = 0; d < work_dim; ++d) {
+      *gp[d] = static_cast<uint32_t>(gws[d]);
+      *lp[d] = lws != nullptr ? static_cast<uint32_t>(lws[d])
+                              : std::min<uint32_t>(*gp[d], 64);
+    }
+    Dim3 grid;
+    if (!simgpu::NdrangeToGrid(g, l, &grid))
+      return InvalidArgumentError(
+          "global work size is not a multiple of the local work size");
+    interp::LaunchConfig cfg;
+    cfg.grid = grid;
+    cfg.block = l;
+    Module* module = programs_[k.program].module.get();
+    BRIDGECL_ASSIGN_OR_RETURN(
+        interp::LaunchResult r,
+        interp::LaunchKernel(device_, *module, k.name, cfg, k.args));
+    (void)r;
+    return OkStatus();
+  }
+
+  Status Finish() override {
+    device_.ChargeApiCall();
+    return OkStatus();
+  }
+
+  StatusOr<ClEvent> EnqueueNDRangeKernelWithEvent(
+      ClKernel kernel, int work_dim, const size_t* gws,
+      const size_t* lws) override {
+    double queued = device_.now_us();
+    BRIDGECL_RETURN_IF_ERROR(
+        EnqueueNDRangeKernel(kernel, work_dim, gws, lws));
+    uint64_t id = next_id_++;
+    events_[id] = {queued, device_.now_us()};
+    return ClEvent{id};
+  }
+
+  Status GetEventProfiling(ClEvent event, double* queued_us,
+                           double* end_us) override {
+    device_.ChargeApiCall();
+    auto it = events_.find(event.handle);
+    if (it == events_.end()) return InvalidArgumentError("unknown event");
+    *queued_us = it->second.first;
+    *end_us = it->second.second;
+    return OkStatus();
+  }
+
+  Status SetProgramKernelRegisters(ClProgram program,
+                                   const std::string& kernel,
+                                   int regs) override {
+    auto it = programs_.find(program.handle);
+    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it->second.module == nullptr)
+      return FailedPreconditionError("program is not built");
+    if (it->second.module->FindKernel(kernel) == nullptr)
+      return NotFoundError("no kernel '" + kernel + "' in program");
+    it->second.module->SetRegisterOverride(kernel, regs);
+    return OkStatus();
+  }
+
+  double NowUs() const override { return device_.now_us(); }
+  double BuildTimeUs() const override { return build_time_us_; }
+
+ private:
+  void ChargeQuery() {
+    device_.ChargeApiCall();
+    device_.AdvanceUs(device_.profile().device_query_us);
+  }
+
+  StatusOr<BufferRec*> FindBuffer(ClMem mem) {
+    auto it = buffers_.find(mem.handle);
+    if (it == buffers_.end())
+      return InvalidArgumentError("unknown buffer object");
+    return &it->second;
+  }
+
+  StatusOr<ImageRec*> FindImage(ClMem mem) {
+    auto it = images_.find(mem.handle);
+    if (it == images_.end())
+      return InvalidArgumentError("unknown image object");
+    return &it->second;
+  }
+
+  StatusOr<uint64_t> VaOfMemObject(ClMem mem) {
+    if (auto it = buffers_.find(mem.handle); it != buffers_.end())
+      return it->second.va;
+    if (auto it = images_.find(mem.handle); it != images_.end())
+      return it->second.desc_va;
+    return InvalidArgumentError("argument is not a memory object");
+  }
+
+  StatusOr<ClMem> MakeImage(MemFlags, const ClImageFormat& format,
+                            size_t width, size_t height, const void* host_ptr,
+                            ClMem backing_buffer) {
+    size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
+    size_t bytes = width * height * texel;
+    uint64_t data_va;
+    bool owns = !backing_buffer.ok();
+    if (owns) {
+      BRIDGECL_ASSIGN_OR_RETURN(data_va, device_.vm().AllocGlobal(bytes));
+    } else {
+      BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(backing_buffer));
+      data_va = b->va;
+    }
+    ImageDesc desc;
+    desc.data_va = data_va;
+    desc.width = static_cast<uint32_t>(width);
+    desc.height = static_cast<uint32_t>(height);
+    desc.depth = 1;
+    desc.channels = static_cast<uint32_t>(format.channels);
+    desc.elem_kind = static_cast<uint32_t>(format.elem);
+    desc.row_pitch = static_cast<uint32_t>(width * texel);
+    desc.slice_pitch = static_cast<uint32_t>(bytes);
+    desc.dims = height > 1 ? 2 : 1;
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t desc_va,
+                              device_.vm().AllocGlobal(sizeof(desc)));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        std::byte * dp, device_.vm().Resolve(desc_va, sizeof(desc)));
+    std::memcpy(dp, &desc, sizeof(desc));
+    if (host_ptr != nullptr) {
+      BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                                device_.vm().Resolve(data_va, bytes));
+      std::memcpy(p, host_ptr, bytes);
+      device_.ChargeCopy(bytes);
+      device_.stats().host_to_device_bytes += bytes;
+    }
+    uint64_t id = next_id_++;
+    ImageRec rec;
+    rec.desc_va = desc_va;
+    rec.data_va = data_va;
+    rec.owns_data = owns;
+    rec.width = width;
+    rec.height = height;
+    rec.format = format;
+    rec.byte_size = bytes;
+    images_[id] = rec;
+    return ClMem{id};
+  }
+
+  Device& device_;
+  uint64_t next_id_ = 1;
+  double build_time_us_ = 0;
+  std::unordered_map<uint64_t, BufferRec> buffers_;
+  std::unordered_map<uint64_t, ImageRec> images_;
+  std::unordered_map<uint64_t, ProgramRec> programs_;
+  std::unordered_map<uint64_t, KernelRec> kernels_;
+  std::unordered_map<uint64_t, std::pair<double, double>> events_;
+};
+
+}  // namespace
+
+std::unique_ptr<OpenClApi> CreateNativeClApi(Device& device) {
+  return std::make_unique<NativeClApi>(device);
+}
+
+}  // namespace bridgecl::mocl

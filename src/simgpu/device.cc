@@ -1,0 +1,47 @@
+#include "simgpu/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bridgecl::simgpu {
+
+void Device::ChargeCopy(size_t bytes) {
+  clock_us_ += profile_.copy_latency_us +
+               static_cast<double>(bytes) /
+                   (profile_.copy_bandwidth_gbps * 1e3);  // GB/s → bytes/us
+}
+
+double Device::OccupancyFor(int regs_per_thread) const {
+  if (regs_per_thread <= 0) regs_per_thread = 16;
+  int by_regs = profile_.max_registers_per_cu / regs_per_thread;
+  // Warp-granular allocation.
+  by_regs = by_regs / profile_.warp_size * profile_.warp_size;
+  int active = std::clamp(by_regs, profile_.warp_size,
+                          profile_.max_threads_per_cu);
+  return static_cast<double>(active) / profile_.max_threads_per_cu;
+}
+
+void Device::ChargeKernel(double total_cycles, int regs_per_thread,
+                          uint64_t work_items) {
+  ++stats_.kernels_launched;
+  stats_.work_items_executed += work_items;
+  double occupancy = OccupancyFor(regs_per_thread);
+  // Machine throughput: CUs x effective lanes, derated by occupancy
+  // (latency hiding). Cycles are per-work-item-summed, so dividing by
+  // parallel lanes yields elapsed cycles.
+  double lanes = static_cast<double>(profile_.compute_units) *
+                 profile_.effective_lanes_per_cu * occupancy;
+  double elapsed_cycles = total_cycles / std::max(1.0, lanes);
+  double us = elapsed_cycles / (profile_.clock_ghz * 1e3);
+  clock_us_ += profile_.launch_overhead_us + us;
+}
+
+int Device::SharedAccessBankWords(uint64_t va, size_t bytes) const {
+  if (bytes == 0) return 0;
+  size_t word = bank_mode_ == BankMode::k32Bit ? 4 : 8;
+  uint64_t first = va / word;
+  uint64_t last = (va + bytes - 1) / word;
+  return static_cast<int>(last - first + 1);
+}
+
+}  // namespace bridgecl::simgpu

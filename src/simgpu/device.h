@@ -1,0 +1,93 @@
+// The simulated compute device: virtual memory, a deterministic simulated
+// clock, an execution-cost accountant implementing the timing model, and
+// run statistics. Both mini-runtimes (mocl, mcuda) own a Device each (or
+// share one) and advance its clock through every API call, so "measured"
+// times in the benchmarks are reproducible simulation outputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simgpu/device_profile.h"
+#include "simgpu/dim3.h"
+#include "simgpu/virtual_memory.h"
+#include "support/status.h"
+
+namespace bridgecl::simgpu {
+
+/// Counters accumulated across kernel launches; benchmarks and tests read
+/// these to verify modeled effects (bank conflicts, transfer counts).
+struct DeviceStats {
+  uint64_t kernels_launched = 0;
+  uint64_t work_items_executed = 0;
+  uint64_t global_accesses = 0;
+  uint64_t shared_accesses = 0;
+  uint64_t shared_bank_words = 0;  // words after bank-mode expansion
+  uint64_t constant_accesses = 0;
+  uint64_t image_accesses = 0;
+  uint64_t atomics = 0;
+  uint64_t barriers = 0;
+  uint64_t host_to_device_bytes = 0;
+  uint64_t device_to_host_bytes = 0;
+  uint64_t device_to_device_bytes = 0;
+  uint64_t api_calls = 0;
+  uint64_t ops_executed = 0;
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceProfile& profile)
+      : profile_(profile), vm_(profile.global_mem_size) {}
+
+  const DeviceProfile& profile() const { return profile_; }
+  VirtualMemory& vm() { return vm_; }
+  const VirtualMemory& vm() const { return vm_; }
+  DeviceStats& stats() { return stats_; }
+  const DeviceStats& stats() const { return stats_; }
+
+  /// Active shared-memory bank mode. Runtimes set this when they attach
+  /// (mocl → profile.opencl_bank_mode, mcuda → profile.cuda_bank_mode).
+  BankMode bank_mode() const { return bank_mode_; }
+  void set_bank_mode(BankMode m) { bank_mode_ = m; }
+
+  // -- simulated time -----------------------------------------------------
+  double now_us() const { return clock_us_; }
+  void AdvanceUs(double us) { clock_us_ += us; }
+
+  /// Charge one host API call (the paper's wrapper-overhead unit).
+  void ChargeApiCall(double multiplier = 1.0) {
+    ++stats_.api_calls;
+    clock_us_ += profile_.api_overhead_us * multiplier;
+  }
+  /// Charge a host<->device or device<->device copy of `bytes`.
+  void ChargeCopy(size_t bytes);
+  /// Charge a kernel launch: fixed overhead plus compute time derived from
+  /// the accumulated work-cycles and the kernel's occupancy.
+  /// `total_cycles` is the sum over all work-items of their op costs;
+  /// `regs_per_thread` feeds the occupancy model (§6.3).
+  void ChargeKernel(double total_cycles, int regs_per_thread,
+                    uint64_t work_items);
+
+  /// Occupancy for a register count, as CUDA's occupancy calculator would
+  /// report it: active threads per CU over the maximum.
+  double OccupancyFor(int regs_per_thread) const;
+
+  /// Cost in "bank words" of a shared-memory access of `bytes` at `va`
+  /// under the active bank mode: the number of bank words the access
+  /// spans (32-bit mode: 4-byte words; 64-bit mode: 8-byte words). An
+  /// 8-byte access costs 2 words in 32-bit mode (two-way conflict for a
+  /// warp of doubles) but 1 word in 64-bit mode — the FT effect (§6.2).
+  int SharedAccessBankWords(uint64_t va, size_t bytes) const;
+
+  void ResetStats() { stats_ = DeviceStats{}; }
+  void ResetClock() { clock_us_ = 0; }
+
+ private:
+  DeviceProfile profile_;
+  VirtualMemory vm_;
+  DeviceStats stats_;
+  BankMode bank_mode_ = BankMode::k32Bit;
+  double clock_us_ = 0;
+};
+
+}  // namespace bridgecl::simgpu

@@ -1,0 +1,79 @@
+// Simulated device profiles. Two are provided, mirroring Table 2 of the
+// paper: an NVIDIA GeForce GTX Titan-like profile and an AMD Radeon
+// HD7970-like profile. All timing constants are model parameters, not
+// measurements; they are chosen so that the *relative* effects the paper
+// reports (bank modes, occupancy, wrapper overhead, transfer costs) have
+// realistic magnitudes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bridgecl::simgpu {
+
+/// Shared-memory addressing mode (CUDA C Programming Guide, cc 3.x). The
+/// paper discovered (§6.2) that on the Titan, OpenCL uses the 32-bit mode
+/// while CUDA uses the 64-bit mode — the source of FT's 2-way bank
+/// conflicts on doubles under OpenCL.
+enum class BankMode { k32Bit, k64Bit };
+
+struct DeviceProfile {
+  std::string name;
+  std::string vendor;
+  // -- structure --
+  int compute_units = 14;           // SMX / CU count
+  int warp_size = 32;               // warp / wavefront
+  int shared_mem_banks = 32;
+  size_t shared_mem_per_block = 48 * 1024;
+  size_t constant_mem_size = 64 * 1024;
+  size_t global_mem_size = 6ull * 1024 * 1024 * 1024;
+  int max_threads_per_block = 1024;
+  int max_threads_per_cu = 2048;
+  int max_registers_per_cu = 65536;
+  int max_image2d_width = 65536;
+  int max_image2d_height = 65535;
+  /// Maximum width of a 1D image (buffer). The §5 discrepancy: CUDA linear
+  /// 1D textures go to 2^27 texels; OpenCL 1D image buffers stop at the 2D
+  /// image width. This is what makes kmeans/leukocyte/hybridsort
+  /// untranslatable (Fig. 8a discussion).
+  size_t max_image1d_width = 65536;
+  size_t cuda_max_tex1d_linear_width = 1ull << 27;
+  // -- timing model (cycles unless noted) --
+  double clock_ghz = 0.837;
+  double cost_alu = 1.0;            // int/float add/mul and friends
+  double cost_div = 8.0;            // divides / transcendental lite
+  double cost_math = 12.0;          // sqrt/exp/sin/...
+  double cost_global_access = 40.0; // per coalesced 16-byte segment
+  double cost_shared_access = 8.0;  // per bank word touched (a conflicted
+                                    // word serializes the whole warp)
+  double cost_constant_access = 4.0;
+  double cost_image_access = 24.0;  // texture path (cached)
+  double cost_barrier = 20.0;
+  double cost_atomic = 60.0;
+  // -- host-side costs (microseconds) --
+  double copy_bandwidth_gbps = 10.0;  // PCIe-like
+  double copy_latency_us = 3.0;
+  double launch_overhead_us = 2.0;
+  /// Effective retirement lanes per CU for the throughput model: the
+  /// interpreter charges per-work-item costs that already include memory
+  /// serialization, so a CU behaves like a modest SIMD engine rather than
+  /// warp_size independent lanes.
+  int effective_lanes_per_cu = 8;
+  double api_overhead_us = 0.02;      // per host API call ("wrapper" cost)
+  double device_query_us = 1.2;       // per device-info attribute query
+  /// Default shared-memory bank mode per API; runtimes may override.
+  BankMode opencl_bank_mode = BankMode::k32Bit;
+  BankMode cuda_bank_mode = BankMode::k64Bit;
+};
+
+/// NVIDIA GeForce GTX Titan-like profile (paper Table 2).
+const DeviceProfile& TitanProfile();
+/// AMD Radeon HD7970-like profile (paper Table 2). Different CU count,
+/// wavefront 64, different memory cost balance, no CUDA support.
+const DeviceProfile& HD7970Profile();
+
+/// Render the Table 2-style system configuration block for bench headers.
+std::string SystemConfigurationTable();
+
+}  // namespace bridgecl::simgpu

@@ -1,0 +1,51 @@
+// 3-component extents shared by both execution models: an OpenCL NDRange
+// (global work size) or a CUDA grid/block (§3.1 / Figure 1). The paper's
+// key dimension-mismatch — an NDRange counts work-items while a grid
+// counts blocks — is handled by the conversion helpers below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bridgecl::simgpu {
+
+struct Dim3 {
+  uint32_t x = 1, y = 1, z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(uint32_t x_, uint32_t y_ = 1, uint32_t z_ = 1)
+      : x(x_), y(y_), z(z_) {}
+
+  constexpr uint64_t Count() const {
+    return static_cast<uint64_t>(x) * y * z;
+  }
+  constexpr uint32_t operator[](int i) const {
+    return i == 0 ? x : i == 1 ? y : z;
+  }
+  friend constexpr bool operator==(const Dim3& a, const Dim3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  std::string ToString() const {
+    return "(" + std::to_string(x) + "," + std::to_string(y) + "," +
+           std::to_string(z) + ")";
+  }
+};
+
+/// OpenCL global/local work sizes → CUDA grid size (number of blocks).
+/// Requires each gws component to be a multiple of the lws component (the
+/// OpenCL 1.x rule); returns false otherwise.
+inline bool NdrangeToGrid(const Dim3& gws, const Dim3& lws, Dim3* grid) {
+  if (lws.x == 0 || lws.y == 0 || lws.z == 0) return false;
+  if (gws.x == 0 || gws.y == 0 || gws.z == 0) return false;  // CL rule
+  if (gws.x % lws.x || gws.y % lws.y || gws.z % lws.z) return false;
+  *grid = Dim3(gws.x / lws.x, gws.y / lws.y, gws.z / lws.z);
+  return true;
+}
+
+/// CUDA grid/block → OpenCL global work size (number of work-items).
+inline Dim3 GridToNdrange(const Dim3& grid, const Dim3& block) {
+  return Dim3(grid.x * block.x, grid.y * block.y, grid.z * block.z);
+}
+
+}  // namespace bridgecl::simgpu

@@ -1,0 +1,83 @@
+#include "simgpu/virtual_memory.h"
+
+#include "support/strings.h"
+
+namespace bridgecl::simgpu {
+
+StatusOr<uint64_t> VirtualMemory::AllocGlobal(size_t bytes) {
+  if (bytes == 0) return InvalidArgumentError("zero-size allocation");
+  if (global_in_use_ + bytes > global_capacity_)
+    return ResourceExhaustedError(
+        StrFormat("device global memory exhausted: %zu in use, %zu requested,"
+                  " %zu capacity",
+                  global_in_use_, bytes, global_capacity_));
+  // Bump allocation with a 256-byte alignment and a guard gap so that
+  // out-of-bounds accesses fall into unmapped space and fail loudly.
+  uint64_t base = (next_global_ + 255) & ~255ull;
+  next_global_ = base + bytes + 256;
+  Region r;
+  r.storage.resize(bytes);
+  global_allocs_.emplace(base, std::move(r));
+  global_in_use_ += bytes;
+  return base;
+}
+
+Status VirtualMemory::FreeGlobal(uint64_t va) {
+  auto it = global_allocs_.find(va);
+  if (it == global_allocs_.end())
+    return InvalidArgumentError(
+        StrFormat("free of unknown device pointer 0x%llx",
+                  static_cast<unsigned long long>(va)));
+  global_in_use_ -= it->second.storage.size();
+  global_allocs_.erase(it);
+  return OkStatus();
+}
+
+void VirtualMemory::MapConstant(size_t bytes) {
+  constant_.storage.assign(bytes, std::byte{0});
+}
+void VirtualMemory::MapShared(size_t bytes) {
+  shared_.storage.assign(bytes, std::byte{0});
+}
+void VirtualMemory::MapPrivate(size_t bytes) {
+  private_.storage.assign(bytes, std::byte{0});
+}
+
+StatusOr<std::byte*> VirtualMemory::Resolve(uint64_t va, size_t len) {
+  auto in = [&](uint64_t base, Region& r) -> std::byte* {
+    if (va >= base && va + len <= base + r.storage.size())
+      return r.storage.data() + (va - base);
+    return nullptr;
+  };
+  // Order: constant (highest base) > shared > private > global.
+  if (va >= kConstantBase) {
+    if (std::byte* p = in(kConstantBase, constant_)) return p;
+  } else if (va >= kSharedBase) {
+    if (std::byte* p = in(kSharedBase, shared_)) return p;
+  } else if (va >= kPrivateBase) {
+    if (std::byte* p = in(kPrivateBase, private_)) return p;
+  } else if (va >= kGlobalBase) {
+    auto it = global_allocs_.upper_bound(va);
+    if (it != global_allocs_.begin()) {
+      --it;
+      uint64_t base = it->first;
+      Region& r = it->second;
+      if (va + len <= base + r.storage.size())
+        return r.storage.data() + (va - base);
+    }
+  }
+  return InternalError(
+      StrFormat("device memory fault: access of %zu bytes at 0x%llx", len,
+                static_cast<unsigned long long>(va)));
+}
+
+StatusOr<Segment> VirtualMemory::SegmentOf(uint64_t va) const {
+  if (va >= kConstantBase) return Segment::kConstant;
+  if (va >= kSharedBase) return Segment::kShared;
+  if (va >= kPrivateBase) return Segment::kPrivate;
+  if (va >= kGlobalBase) return Segment::kGlobal;
+  return InternalError(StrFormat("address 0x%llx is in no segment",
+                                 static_cast<unsigned long long>(va)));
+}
+
+}  // namespace bridgecl::simgpu

@@ -1,0 +1,77 @@
+// A flat 64-bit virtual address space for one simulated device. Device
+// pointers are plain virtual addresses, which is what lets translated
+// kernels do everything real GPU code does with pointers: arithmetic,
+// casts, pointers embedded in structs (the heartwall failure case), and
+// the paper's cl_mem ⇄ void* handle casting in wrappers (§4).
+//
+// Layout:
+//   [kGlobalBase ...)     dynamically allocated global-memory buffers
+//   [kConstantBase ...)   per-module constant memory region
+//   [kSharedBase ...)     the shared/local memory of the block currently
+//                         executing (blocks run one at a time)
+//   [kPrivateBase ...)    per-work-item private stacks of the current block
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "support/status.h"
+
+namespace bridgecl::simgpu {
+
+enum class Segment : uint8_t { kGlobal, kConstant, kShared, kPrivate };
+
+class VirtualMemory {
+ public:
+  static constexpr uint64_t kNullGuard = 0x1000;  // VA 0..4K never mapped
+  static constexpr uint64_t kGlobalBase = 0x0000'0001'0000'0000ull;
+  static constexpr uint64_t kConstantBase = 0x0000'7F00'0000'0000ull;
+  static constexpr uint64_t kSharedBase = 0x0000'7E00'0000'0000ull;
+  static constexpr uint64_t kPrivateBase = 0x0000'7D00'0000'0000ull;
+
+  explicit VirtualMemory(size_t global_capacity)
+      : global_capacity_(global_capacity) {}
+
+  /// Allocate a global-memory buffer; returns its base VA.
+  StatusOr<uint64_t> AllocGlobal(size_t bytes);
+  /// Free a buffer previously returned by AllocGlobal.
+  Status FreeGlobal(uint64_t va);
+
+  /// (Re)map the fixed regions. Shared/private are remapped per block by
+  /// the launcher; constant is mapped once per loaded module.
+  void MapConstant(size_t bytes);
+  void MapShared(size_t bytes);
+  void MapPrivate(size_t bytes);
+
+  /// Resolve `va..va+len` to host memory. Fails on unmapped or
+  /// out-of-bounds accesses (the simulated segfault).
+  StatusOr<std::byte*> Resolve(uint64_t va, size_t len);
+  /// Segment of a mapped address (for access-cost classification).
+  StatusOr<Segment> SegmentOf(uint64_t va) const;
+
+  size_t global_in_use() const { return global_in_use_; }
+  size_t global_capacity() const { return global_capacity_; }
+  /// Number of live global allocations (leak checks in tests).
+  size_t global_allocation_count() const { return global_allocs_.size(); }
+
+  uint64_t constant_base() const { return kConstantBase; }
+  uint64_t shared_base() const { return kSharedBase; }
+  uint64_t private_base() const { return kPrivateBase; }
+
+ private:
+  struct Region {
+    std::vector<std::byte> storage;
+  };
+
+  size_t global_capacity_;
+  size_t global_in_use_ = 0;
+  uint64_t next_global_ = kGlobalBase;
+  std::map<uint64_t, Region> global_allocs_;  // base VA -> region
+  Region constant_;
+  Region shared_;
+  Region private_;
+};
+
+}  // namespace bridgecl::simgpu

@@ -1,0 +1,53 @@
+#include "support/status.h"
+
+namespace bridgecl {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kUntranslatable: return "untranslatable";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+Status UntranslatableError(std::string msg) {
+  return Status(StatusCode::kUntranslatable, std::move(msg));
+}
+
+}  // namespace bridgecl

@@ -1,0 +1,127 @@
+// Lightweight Status / StatusOr error-propagation types used at every
+// library boundary in BridgeCL. Modeled on absl::Status but dependency-free.
+//
+// Conventions (per C++ Core Guidelines E.*): recoverable, expected failures
+// (bad source code, unsupported features, API misuse) travel as Status;
+// programming errors inside the library are assertions.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bridgecl {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity does not exist
+  kUnimplemented,     // feature recognized but not supported
+  kFailedPrecondition,// object in wrong state for the call
+  kOutOfRange,        // index/size beyond limits
+  kResourceExhausted, // allocation limits exceeded
+  kInternal,          // invariant violation surfaced as an error
+  kUntranslatable,    // source program uses a model-specific feature
+};
+
+/// Human-readable name of a status code ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result with a message. Cheap to move, comparable.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() / OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>"; for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+Status InvalidArgumentError(std::string msg);
+Status NotFoundError(std::string msg);
+Status UnimplementedError(std::string msg);
+Status FailedPreconditionError(std::string msg);
+Status OutOfRangeError(std::string msg);
+Status ResourceExhaustedError(std::string msg);
+Status InternalError(std::string msg);
+Status UntranslatableError(std::string msg);
+
+/// Holds either a value of T or a non-ok Status. Dereferencing a non-ok
+/// StatusOr is a programming error (asserts).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr must not be constructed from an ok Status");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagate a non-ok Status to the caller.
+#define BRIDGECL_RETURN_IF_ERROR(expr)              \
+  do {                                              \
+    ::bridgecl::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Evaluate a StatusOr expression; bind the value or propagate the error.
+#define BRIDGECL_ASSIGN_OR_RETURN(lhs, expr)        \
+  BRIDGECL_ASSIGN_OR_RETURN_IMPL_(                  \
+      BRIDGECL_CONCAT_(_statusor_, __LINE__), lhs, expr)
+#define BRIDGECL_CONCAT_INNER_(a, b) a##b
+#define BRIDGECL_CONCAT_(a, b) BRIDGECL_CONCAT_INNER_(a, b)
+#define BRIDGECL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace bridgecl

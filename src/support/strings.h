@@ -1,0 +1,31 @@
+// Small string helpers shared across modules. No dependencies.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bridgecl {
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Join pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace bridgecl

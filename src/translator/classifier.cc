@@ -1,0 +1,176 @@
+#include "translator/classifier.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.h"
+#include "translator/host_rewriter.h"
+
+namespace bridgecl::translator {
+
+const char* FailureCategoryName(FailureCategory c) {
+  switch (c) {
+    case FailureCategory::kNoCorrespondingFunctions:
+      return "No corresponding functions";
+    case FailureCategory::kUnsupportedLibraries:
+      return "Unsupported libraries";
+    case FailureCategory::kUnsupportedLanguageExtensions:
+      return "Unsupported language extensions";
+    case FailureCategory::kOpenGlBinding:
+      return "OpenGL binding";
+    case FailureCategory::kUseOfPtx:
+      return "Use of PTX";
+    case FailureCategory::kUseOfUva:
+      return "Use of unified virtual address space";
+  }
+  return "?";
+}
+
+std::vector<FailureCategory> Classification::Categories() const {
+  std::set<FailureCategory> seen;
+  for (const auto& i : issues) seen.insert(i.category);
+  return {seen.begin(), seen.end()};
+}
+
+namespace {
+
+struct Pattern {
+  const char* needle;
+  FailureCategory category;
+};
+
+/// Host-level blockers: library calls, interop, PTX, UVA. Device-level
+/// blockers are detected by the translator itself, but the same spellings
+/// are matched here too so that apps whose device code also fails to parse
+/// (C++ classes etc.) are still categorized.
+const Pattern kHostPatterns[] = {
+    // -- no corresponding functions (host side) --
+    {"cudaMemGetInfo", FailureCategory::kNoCorrespondingFunctions},
+    {"cudaFuncGetAttributes", FailureCategory::kNoCorrespondingFunctions},
+    // -- unsupported language extensions left on the host side: device
+    // qualifiers inside C++ classes the splitter cannot extract --
+    {"__device__", FailureCategory::kUnsupportedLanguageExtensions},
+    {"__global__", FailureCategory::kUnsupportedLanguageExtensions},
+    // -- unsupported libraries --
+    {"thrust::", FailureCategory::kUnsupportedLibraries},
+    {"cufft", FailureCategory::kUnsupportedLibraries},
+    {"cublas", FailureCategory::kUnsupportedLibraries},
+    {"curand", FailureCategory::kUnsupportedLibraries},
+    {"cudpp", FailureCategory::kUnsupportedLibraries},
+    {"nppi", FailureCategory::kUnsupportedLibraries},
+    // -- OpenGL binding --
+    {"cudaGraphicsGLRegisterBuffer", FailureCategory::kOpenGlBinding},
+    {"cudaGraphicsGLRegisterImage", FailureCategory::kOpenGlBinding},
+    {"cudaGLMapBufferObject", FailureCategory::kOpenGlBinding},
+    {"cudaGLRegisterBufferObject", FailureCategory::kOpenGlBinding},
+    {"glutInit", FailureCategory::kOpenGlBinding},
+    {"glBindBuffer", FailureCategory::kOpenGlBinding},
+    {"glDrawArrays", FailureCategory::kOpenGlBinding},
+    // -- PTX --
+    {"cuModuleLoad", FailureCategory::kUseOfPtx},
+    {"cuModuleLoadData", FailureCategory::kUseOfPtx},
+    {"cuLinkCreate", FailureCategory::kUseOfPtx},
+    {"nvrtc", FailureCategory::kUseOfPtx},
+    {".ptx", FailureCategory::kUseOfPtx},
+    {"asm volatile", FailureCategory::kUseOfPtx},
+    {"asm(", FailureCategory::kUseOfPtx},
+    // -- unified virtual address space / zero copy / P2P --
+    {"cudaHostAlloc", FailureCategory::kUseOfUva},
+    {"cudaHostGetDevicePointer", FailureCategory::kUseOfUva},
+    {"cudaHostRegister", FailureCategory::kUseOfUva},
+    {"cudaMemcpyDefault", FailureCategory::kUseOfUva},
+    {"cudaDeviceEnablePeerAccess", FailureCategory::kUseOfUva},
+    {"cudaMemcpyPeer", FailureCategory::kUseOfUva},
+};
+
+/// Device-code spellings mapped onto categories. Used both for mapping the
+/// translator's kUntranslatable diagnostics and as a fallback when device
+/// code cannot even be parsed (real C++ classes etc.).
+const Pattern kDevicePatterns[] = {
+    {"__shfl", FailureCategory::kNoCorrespondingFunctions},
+    {"__all", FailureCategory::kNoCorrespondingFunctions},
+    {"__any", FailureCategory::kNoCorrespondingFunctions},
+    {"__ballot", FailureCategory::kNoCorrespondingFunctions},
+    {"clock()", FailureCategory::kNoCorrespondingFunctions},
+    {"clock64", FailureCategory::kNoCorrespondingFunctions},
+    {"assert(", FailureCategory::kNoCorrespondingFunctions},
+    {"warpSize", FailureCategory::kNoCorrespondingFunctions},
+    {"atomicInc", FailureCategory::kNoCorrespondingFunctions},
+    {"atomicDec", FailureCategory::kNoCorrespondingFunctions},
+    {"asm volatile", FailureCategory::kUseOfPtx},
+    {"asm(", FailureCategory::kUseOfPtx},
+    {"printf", FailureCategory::kUnsupportedLanguageExtensions},
+    {"class ", FailureCategory::kUnsupportedLanguageExtensions},
+    {"new ", FailureCategory::kUnsupportedLanguageExtensions},
+    {"delete ", FailureCategory::kUnsupportedLanguageExtensions},
+    {"virtual ", FailureCategory::kUnsupportedLanguageExtensions},
+    {"operator", FailureCategory::kUnsupportedLanguageExtensions},
+    {"(*", FailureCategory::kUnsupportedLanguageExtensions},
+};
+
+void MatchPatterns(const std::string& text, const Pattern* patterns,
+                   size_t count, std::vector<ClassificationIssue>* out) {
+  for (size_t i = 0; i < count; ++i) {
+    if (text.find(patterns[i].needle) != std::string::npos) {
+      out->push_back(
+          {patterns[i].category, std::string(patterns[i].needle)});
+    }
+  }
+}
+
+/// Map a translator diagnostic onto a Table 3 category.
+FailureCategory CategoryForDiagnostic(const std::string& message) {
+  if (message.find("no corresponding OpenCL function") != std::string::npos ||
+      message.find("warpSize") != std::string::npos ||
+      message.find("atomicInc") != std::string::npos ||
+      message.find("atomicDec") != std::string::npos ||
+      message.find("wrap-around") != std::string::npos)
+    return FailureCategory::kNoCorrespondingFunctions;
+  // Everything else the device translator rejects is a language-extension
+  // problem: function pointers, C++ classes, struct-of-pointer kernel
+  // params, multi-space pointers, unexpandable vector forms.
+  return FailureCategory::kUnsupportedLanguageExtensions;
+}
+
+}  // namespace
+
+Classification ClassifyCudaApplication(const std::string& cuda_source,
+                                       const TranslateOptions& opts) {
+  Classification result;
+  auto [device, host] = SplitCudaSource(cuda_source);
+
+  // Host-side blockers.
+  MatchPatterns(host, kHostPatterns, std::size(kHostPatterns),
+                &result.issues);
+
+  // Device-side: ask the translator.
+  DiagnosticEngine diags;
+  auto tr = TranslateCudaToOpenCl(device, diags, opts);
+  if (tr.ok()) {
+    result.translation = std::move(*tr);
+  } else {
+    std::string msg = diags.has_errors() ? diags.diagnostics().back().message
+                                         : tr.status().message();
+    // Prefer precise pattern evidence over the generic diagnostic.
+    std::vector<ClassificationIssue> dev_issues;
+    MatchPatterns(device, kDevicePatterns, std::size(kDevicePatterns),
+                  &dev_issues);
+    if (dev_issues.empty()) {
+      result.issues.push_back({CategoryForDiagnostic(msg), msg});
+    } else {
+      for (auto& i : dev_issues) result.issues.push_back(std::move(i));
+    }
+  }
+
+  result.translatable = result.issues.empty() && tr.ok();
+  // Stable Table 3 ordering.
+  std::stable_sort(result.issues.begin(), result.issues.end(),
+                   [](const ClassificationIssue& a,
+                      const ClassificationIssue& b) {
+                     return static_cast<int>(a.category) <
+                            static_cast<int>(b.category);
+                   });
+  return result;
+}
+
+}  // namespace bridgecl::translator

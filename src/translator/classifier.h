@@ -1,0 +1,47 @@
+// Translatability classifier: decides whether a CUDA application can be
+// translated to OpenCL, and if not, why — the six failure categories of
+// the paper's Table 3. Device code is judged by actually running the
+// CUDA→OpenCL translator on it; host-level blockers (libraries, OpenGL,
+// PTX, UVA, cudaMemGetInfo) are detected by scanning the host side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "translator/translate.h"
+
+namespace bridgecl::translator {
+
+/// Table 3 row labels, in the paper's order.
+enum class FailureCategory {
+  kNoCorrespondingFunctions,   // __shfl/__all/clock/assert/cudaMemGetInfo...
+  kUnsupportedLibraries,       // Thrust, cuFFT, cuBLAS, cuRAND, CUDPP
+  kUnsupportedLanguageExtensions,  // device C++ classes, fn ptrs, printf...
+  kOpenGlBinding,              // CUDA-GL interop
+  kUseOfPtx,                   // inline PTX / driver-level module loading
+  kUseOfUva,                   // unified virtual address space / zero-copy
+};
+
+const char* FailureCategoryName(FailureCategory c);
+
+struct ClassificationIssue {
+  FailureCategory category;
+  std::string evidence;  // the feature that triggered the classification
+};
+
+struct Classification {
+  bool translatable = true;
+  std::vector<ClassificationIssue> issues;  // empty when translatable
+  /// Populated when translatable: the translated device code metadata.
+  TranslationResult translation;
+
+  /// All distinct categories, in Table 3 order.
+  std::vector<FailureCategory> Categories() const;
+};
+
+/// Classify a mixed CUDA source file (host + device).
+Classification ClassifyCudaApplication(const std::string& cuda_source,
+                                       const TranslateOptions& opts = {});
+
+}  // namespace bridgecl::translator

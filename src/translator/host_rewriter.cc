@@ -1,0 +1,351 @@
+#include "translator/host_rewriter.h"
+
+#include <cctype>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace bridgecl::translator {
+namespace {
+
+/// Byte-level scanner that understands comments and string/char literals,
+/// so rewrites never fire inside them.
+class Scan {
+ public:
+  explicit Scan(const std::string& s) : s_(s) {}
+
+  size_t size() const { return s_.size(); }
+  char at(size_t i) const { return i < s_.size() ? s_[i] : '\0'; }
+
+  /// Advance `i` past any comment or literal starting there. Returns true
+  /// if something was skipped.
+  bool SkipNonCode(size_t& i) const {
+    if (at(i) == '/' && at(i + 1) == '/') {
+      while (i < s_.size() && s_[i] != '\n') ++i;
+      return true;
+    }
+    if (at(i) == '/' && at(i + 1) == '*') {
+      i += 2;
+      while (i + 1 < s_.size() && !(s_[i] == '*' && s_[i + 1] == '/')) ++i;
+      i += 2;
+      return true;
+    }
+    if (at(i) == '"' || at(i) == '\'') {
+      char q = s_[i++];
+      while (i < s_.size() && s_[i] != q) {
+        if (s_[i] == '\\') ++i;
+        ++i;
+      }
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  /// Position just past the matching closer for the opener at `i`.
+  size_t MatchBalanced(size_t i, char open, char close) const {
+    int depth = 0;
+    while (i < s_.size()) {
+      if (SkipNonCode(i)) continue;
+      if (s_[i] == open) ++depth;
+      if (s_[i] == close) {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    return std::string::npos;
+  }
+
+  /// Split `s_[begin, end)` on top-level commas.
+  std::vector<std::string> SplitArgs(size_t begin, size_t end) const {
+    std::vector<std::string> out;
+    int depth = 0;
+    size_t start = begin;
+    for (size_t i = begin; i < end;) {
+      if (SkipNonCode(i)) continue;
+      char c = s_[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == ',' && depth == 0) {
+        out.emplace_back(StripAsciiWhitespace(
+            std::string_view(s_).substr(start, i - start)));
+        start = i + 1;
+      }
+      ++i;
+    }
+    if (end > start)
+      out.emplace_back(StripAsciiWhitespace(
+          std::string_view(s_).substr(start, end - start)));
+    return out;
+  }
+
+  const std::string& str() const { return s_; }
+
+ private:
+  const std::string& s_;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Whether the identifier `word` appears at position `i` (word-aligned).
+bool WordAt(const std::string& s, size_t i, const std::string& word) {
+  if (s.compare(i, word.size(), word) != 0) return false;
+  if (i > 0 && IsIdentChar(s[i - 1])) return false;
+  size_t after = i + word.size();
+  return after >= s.size() || !IsIdentChar(s[after]);
+}
+
+/// Extent of the top-level declaration starting at `begin` (ends after the
+/// matching `};` / `}` / `;`).
+size_t DeclEnd(const Scan& scan, size_t begin) {
+  size_t i = begin;
+  const std::string& s = scan.str();
+  while (i < s.size()) {
+    if (scan.SkipNonCode(i)) continue;
+    char c = s[i];
+    if (c == ';') return i + 1;
+    if (c == '=') {
+      // Initializer: run to the terminating ';' (skipping braces).
+      while (i < s.size()) {
+        if (scan.SkipNonCode(i)) continue;
+        if (s[i] == '{') {
+          i = scan.MatchBalanced(i, '{', '}');
+          continue;
+        }
+        if (s[i] == ';') return i + 1;
+        ++i;
+      }
+      return s.size();
+    }
+    if (c == '{') {
+      size_t close = scan.MatchBalanced(i, '{', '}');
+      if (close == std::string::npos) return s.size();
+      // Optional trailing ';' (struct definitions).
+      size_t j = close;
+      while (j < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[j])))
+        ++j;
+      return (j < s.size() && s[j] == ';') ? j + 1 : close;
+    }
+    ++i;
+  }
+  return s.size();
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> SplitCudaSource(
+    const std::string& cuda_source) {
+  Scan scan(cuda_source);
+  const std::string& s = cuda_source;
+  std::string device, host;
+  size_t i = 0;
+  size_t decl_start = 0;
+  int depth = 0;
+  auto flush = [&](size_t end, bool to_device) {
+    std::string piece = s.substr(decl_start, end - decl_start);
+    (to_device ? device : host) += piece;
+    decl_start = end;
+  };
+  while (i < s.size()) {
+    if (scan.SkipNonCode(i)) continue;
+    char c = s[i];
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (depth == 0 &&
+        (WordAt(s, i, "__global__") || WordAt(s, i, "__device__") ||
+         WordAt(s, i, "__constant__") ||
+         (WordAt(s, i, "texture") && scan.at(i + 7) == '<'))) {
+      // Rewind to the start of this declaration (just after the previous
+      // one): everything between decl_start and the first
+      // non-whitespace belongs to the preceding host region.
+      size_t decl_begin = i;
+      while (decl_begin > decl_start &&
+             (std::isspace(static_cast<unsigned char>(s[decl_begin - 1])) ||
+              IsIdentChar(s[decl_begin - 1]) || s[decl_begin - 1] == '*'))
+        --decl_begin;  // pull in leading qualifiers like `static`/`extern`
+      // A preceding `template <...>` header belongs to the device decl.
+      {
+        size_t j = decl_begin;
+        while (j > decl_start &&
+               std::isspace(static_cast<unsigned char>(s[j - 1])))
+          --j;
+        if (j > decl_start && s[j - 1] == '>') {
+          size_t lt = s.rfind('<', j - 1);
+          if (lt != std::string::npos && lt >= decl_start) {
+            size_t k = lt;
+            while (k > decl_start &&
+                   std::isspace(static_cast<unsigned char>(s[k - 1])))
+              --k;
+            if (k >= 8 && s.compare(k - 8, 8, "template") == 0)
+              decl_begin = k - 8;
+          }
+        }
+      }
+      flush(decl_begin, /*to_device=*/false);
+      size_t end = DeclEnd(scan, i);
+      flush(end, /*to_device=*/true);
+      device += "\n";
+      i = end;
+      continue;
+    }
+    ++i;
+  }
+  flush(s.size(), /*to_device=*/false);
+  return {device, host};
+}
+
+StatusOr<HostRewriteResult> RewriteCudaHostCode(
+    const std::string& cuda_source, DiagnosticEngine& diags,
+    const TranslateOptions& opts) {
+  HostRewriteResult result;
+  auto [device, host] = SplitCudaSource(cuda_source);
+
+  // Translate the device side (Figure 3's .cu.cl file).
+  BRIDGECL_ASSIGN_OR_RETURN(result.translation,
+                            TranslateCudaToOpenCl(device, diags, opts));
+  result.device_source = result.translation.source;
+
+  // ---- rewrite the host side ----
+  Scan scan(host);
+  std::string out;
+  out +=
+      "/* Generated by the BridgeCL CUDA->OpenCL host rewriter (see paper "
+      "S3.2):\n"
+      " * kernel launches and cudaMemcpyTo/FromSymbol are statically\n"
+      " * rewritten; every other CUDA call resolves to the wrapper\n"
+      " * library at link time. */\n"
+      "extern cl_command_queue __bridgecl_queue;\n"
+      "extern cl_kernel __bridgecl_kernel(const char* name);\n"
+      "extern cl_mem __bridgecl_symbol(const char* name);\n"
+      "extern cl_mem __bridgecl_texture_image(const char* name);\n"
+      "extern cl_sampler __bridgecl_texture_sampler(const char* name);\n"
+      "extern void __bridgecl_ndrange(dim3 grid, dim3 block, size_t* gws,"
+      " size_t* lws);\n\n";
+
+  size_t i = 0;
+  size_t copied = 0;
+  auto copy_to = [&](size_t end) {
+    out += host.substr(copied, end - copied);
+    copied = end;
+  };
+
+  while (i < host.size()) {
+    if (scan.SkipNonCode(i)) continue;
+    // ---- cudaMemcpyToSymbol / cudaMemcpyFromSymbol ----
+    if (WordAt(host, i, "cudaMemcpyToSymbol") ||
+        WordAt(host, i, "cudaMemcpyFromSymbol")) {
+      bool to = WordAt(host, i, "cudaMemcpyToSymbol");
+      size_t open = host.find('(', i);
+      if (open == std::string::npos) break;
+      size_t close = scan.MatchBalanced(open, '(', ')');
+      if (close == std::string::npos)
+        return InvalidArgumentError("unbalanced cudaMemcpy*Symbol call");
+      std::vector<std::string> args = scan.SplitArgs(open + 1, close - 1);
+      if (args.size() < 3)
+        return InvalidArgumentError("cudaMemcpy*Symbol needs 3+ arguments");
+      std::string symbol = args[to ? 0 : 1];
+      std::string hostptr = args[to ? 1 : 0];
+      std::string count = args[2];
+      std::string offset = args.size() > 3 ? args[3] : "0";
+      // Accept both quoted ("sym") and unquoted (sym) spellings.
+      if (symbol.size() >= 2 && symbol.front() == '"')
+        symbol = symbol.substr(1, symbol.size() - 2);
+      copy_to(i);
+      out += StrFormat(
+          "%s(__bridgecl_queue, __bridgecl_symbol(\"%s\"), CL_TRUE, "
+          "%s, %s, %s, 0, NULL, NULL)",
+          to ? "clEnqueueWriteBuffer" : "clEnqueueReadBuffer",
+          symbol.c_str(), offset.c_str(), count.c_str(), hostptr.c_str());
+      copied = close;
+      i = close;
+      continue;
+    }
+    // ---- kernel launch: name<<<grid, block[, shmem]>>>(args) ----
+    if (host.compare(i, 3, "<<<") == 0) {
+      // Back up over the kernel name.
+      size_t name_end = i;
+      size_t name_begin = name_end;
+      while (name_begin > 0 && IsIdentChar(host[name_begin - 1]))
+        --name_begin;
+      std::string kernel = host.substr(name_begin, name_end - name_begin);
+      if (kernel.empty())
+        return InvalidArgumentError("malformed kernel launch");
+      size_t cfg_close = host.find(">>>", i + 3);
+      if (cfg_close == std::string::npos)
+        return InvalidArgumentError("unterminated <<<...>>>");
+      std::vector<std::string> cfg = scan.SplitArgs(i + 3, cfg_close);
+      if (cfg.empty() || cfg.size() > 4)
+        return InvalidArgumentError("launch configuration arity");
+      size_t args_open = host.find('(', cfg_close + 3);
+      if (args_open == std::string::npos)
+        return InvalidArgumentError("kernel launch without arguments");
+      size_t args_close = scan.MatchBalanced(args_open, '(', ')');
+      std::vector<std::string> args =
+          scan.SplitArgs(args_open + 1, args_close - 1);
+      if (args.size() == 1 && args[0].empty()) args.clear();
+      // Statement should end with ';'.
+      size_t stmt_end = args_close;
+      while (stmt_end < host.size() &&
+             std::isspace(static_cast<unsigned char>(host[stmt_end])))
+        ++stmt_end;
+      if (stmt_end < host.size() && host[stmt_end] == ';') ++stmt_end;
+
+      const KernelTranslationInfo* info = result.translation.Find(kernel);
+      copy_to(name_begin);
+      std::string rep = "{\n";
+      rep += StrFormat("  cl_kernel __bridgecl_k = __bridgecl_kernel(\"%s\");\n",
+                       kernel.c_str());
+      int index = 0;
+      for (const std::string& a : args) {
+        rep += StrFormat(
+            "  clSetKernelArg(__bridgecl_k, %d, sizeof(%s), &(%s));\n",
+            index++, a.c_str(), a.c_str());
+      }
+      if (info != nullptr && info->has_dynamic_shared) {
+        std::string shmem = cfg.size() > 2 ? cfg[2] : "0";
+        rep += StrFormat("  clSetKernelArg(__bridgecl_k, %d, %s, NULL);\n",
+                         index++, shmem.c_str());
+      }
+      if (info != nullptr) {
+        for (const std::string& tex : info->texture_params) {
+          rep += StrFormat(
+              "  clSetKernelArg(__bridgecl_k, %d, sizeof(cl_mem), "
+              "&__bridgecl_texture_image(\"%s\"));\n",
+              index++, tex.c_str());
+          rep += StrFormat(
+              "  clSetKernelArg(__bridgecl_k, %d, sizeof(cl_sampler), "
+              "&__bridgecl_texture_sampler(\"%s\"));\n",
+              index++, tex.c_str());
+        }
+        for (const auto& sym : info->symbol_params) {
+          rep += StrFormat(
+              "  clSetKernelArg(__bridgecl_k, %d, sizeof(cl_mem), "
+              "&__bridgecl_symbol(\"%s\"));\n",
+              index++, sym.name.c_str());
+        }
+      }
+      rep += "  size_t __bridgecl_gws[3];\n  size_t __bridgecl_lws[3];\n";
+      rep += StrFormat(
+          "  __bridgecl_ndrange(%s, %s, __bridgecl_gws, __bridgecl_lws);\n",
+          cfg[0].c_str(), cfg.size() > 1 ? cfg[1].c_str() : "1");
+      rep +=
+          "  clEnqueueNDRangeKernel(__bridgecl_queue, __bridgecl_k, 3, "
+          "NULL, __bridgecl_gws, __bridgecl_lws, 0, NULL, NULL);\n";
+      rep += "}";
+      out += rep;
+      copied = stmt_end;
+      i = stmt_end;
+      continue;
+    }
+    ++i;
+  }
+  copy_to(host.size());
+  result.host_source = std::move(out);
+  return result;
+}
+
+}  // namespace bridgecl::translator

@@ -1,0 +1,43 @@
+// Static CUDA host-code translation — the part of the hybrid framework
+// that wrappers cannot cover (§3.2): kernel launches (`<<<...>>>` cannot
+// parse under a non-CUDA compiler), cudaMemcpyToSymbol(), and
+// cudaMemcpyFromSymbol(). Also performs the §3.4 Figure 3 file split: one
+// mixed .cu file becomes a host .cpp file (rewritten) and a device .cl
+// file (translated by TranslateCudaToOpenCl).
+//
+// The rewriter is textual and position-preserving, like the clang-based
+// tooling it models: untouched host code passes through byte-for-byte.
+#pragma once
+
+#include <string>
+
+#include "support/source_location.h"
+#include "support/status.h"
+#include "translator/translate.h"
+
+namespace bridgecl::translator {
+
+struct HostRewriteResult {
+  /// Rewritten host source (the main.cu.cpp of Figure 3). Launches are
+  /// expanded to clSetKernelArg sequences + clEnqueueNDRangeKernel;
+  /// cudaMemcpyTo/FromSymbol become clEnqueueWrite/ReadBuffer on the
+  /// symbol's dynamically allocated buffer (§4.3).
+  std::string host_source;
+  /// Translated OpenCL device source (the main.cu.cl of Figure 3).
+  std::string device_source;
+  /// Device-code translation metadata (argument marshalling info).
+  TranslationResult translation;
+};
+
+/// Split `cuda_source` (mixed host+device) and rewrite the host side.
+StatusOr<HostRewriteResult> RewriteCudaHostCode(
+    const std::string& cuda_source, DiagnosticEngine& diags,
+    const TranslateOptions& opts = {});
+
+/// Exposed for tests: extract the device entities (__global__/__device__
+/// functions, __constant__/__device__ variables, texture references) from
+/// a mixed .cu source. Returns {device_code, host_code}.
+std::pair<std::string, std::string> SplitCudaSource(
+    const std::string& cuda_source);
+
+}  // namespace bridgecl::translator

@@ -1,0 +1,102 @@
+// Bidirectional device-code translation between OpenCL C and CUDA — the
+// paper's core contribution (§3-§5). Both directions parse the source,
+// rewrite the AST, and print target-dialect text plus the per-kernel
+// metadata the runtime wrapper libraries need to marshal arguments.
+//
+// OpenCL → CUDA (§3.4 Fig 2, §4, §5):
+//   * work-item built-ins → threadIdx/blockIdx/blockDim/gridDim forms
+//   * barrier() → __syncthreads(); mem_fence → __threadfence_block()
+//   * dynamic __local params → size_t params + one extern __shared__
+//     arena (__OC2CU_shared_mem) carved by offsets (Fig 5)
+//   * dynamic __constant params → size_t params + a fixed __constant__
+//     arena (__OC2CU_const_mem) carved by offsets (Fig 5)
+//   * 8/16-component vectors → C structs; OpenCL-only swizzles expanded
+//   * image/sampler built-ins → __oc2cu_* device wrapper functions
+//   * atomic_inc/atomic_dec → atomicInc/atomicDec with a max limit
+//
+// CUDA → OpenCL (§3.4 Fig 3, §4, §5):
+//   * threadIdx.x → get_local_id(0) etc.; __syncthreads → barrier
+//   * texture references → appended image + sampler kernel parameters;
+//     tex1Dfetch/tex1D/tex2D/tex3D → read_image{f,i,ui}
+//   * extern __shared__ → appended __local pointer parameter
+//   * __device__ globals / runtime-initialized __constant__ globals →
+//     appended pointer parameters (static allocation is impossible in
+//     OpenCL, §4.2-§4.3)
+//   * C++: references → pointers, templates → specializations,
+//     C++ casts → C casts
+//   * float1-style vectors → scalars; longlong → long
+//   * model-specific features (__shfl, __all, clock, assert, printf,
+//     atomicInc/Dec wrap semantics) → kUntranslatable (Table 3), unless
+//     atomic emulation is explicitly enabled (an extension beyond the
+//     paper)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/dialect.h"
+#include "support/source_location.h"
+#include "support/status.h"
+
+namespace bridgecl::translator {
+
+struct TranslateOptions {
+  /// Extension beyond the paper: emulate CUDA atomicInc/atomicDec wrap
+  /// semantics in OpenCL with an atomic_cmpxchg loop instead of failing.
+  bool allow_atomic_emulation = false;
+};
+
+/// Argument-marshalling metadata for one translated kernel.
+struct KernelTranslationInfo {
+  std::string name;
+  int original_param_count = 0;
+
+  // ---- OpenCL→CUDA (consumed by the cl2cu wrapper) ----
+  /// Role of each ORIGINAL parameter position after translation.
+  enum class ParamRole {
+    kPlain,         // passes through unchanged
+    kDynLocalSize,  // was __local T*; now size_t, wrapper passes the size
+    kDynConstSize,  // was __constant T*; now size_t, wrapper copies the
+                    // buffer into the constant arena and passes the size
+  };
+  std::vector<ParamRole> param_roles;
+  /// Image-typed ORIGINAL parameters (image1d_t/image2d_t/image3d_t): the
+  /// wrapper must substitute the CLImage descriptor pointer for the
+  /// cl_mem handle at these positions (§5, Fig 6).
+  std::vector<bool> param_is_image;
+
+  // ---- CUDA→OpenCL (consumed by the cu2cl wrapper) ----
+  /// Appended-parameter order is: dynamic-shared pointer (if any), then
+  /// one (image, sampler) pair per texture, then one pointer per symbol.
+  bool has_dynamic_shared = false;
+  std::vector<std::string> texture_params;  // texref names, in append order
+  struct SymbolParam {
+    std::string name;
+    size_t byte_size = 0;
+    bool is_constant = false;  // __constant__ vs __device__
+  };
+  std::vector<SymbolParam> symbol_params;
+};
+
+struct TranslationResult {
+  std::string source;  // target-dialect device code
+  std::vector<KernelTranslationInfo> kernels;
+
+  const KernelTranslationInfo* Find(const std::string& kernel) const {
+    for (const auto& k : kernels)
+      if (k.name == kernel) return &k;
+    return nullptr;
+  }
+};
+
+/// Translate OpenCL C kernel source to CUDA device code.
+StatusOr<TranslationResult> TranslateOpenClToCuda(
+    const std::string& source, DiagnosticEngine& diags,
+    const TranslateOptions& opts = {});
+
+/// Translate CUDA device code to OpenCL C kernel source.
+StatusOr<TranslationResult> TranslateCudaToOpenCl(
+    const std::string& source, DiagnosticEngine& diags,
+    const TranslateOptions& opts = {});
+
+}  // namespace bridgecl::translator

@@ -1,0 +1,186 @@
+// Whole-suite equivalence tests: every benchmark app runs under the native
+// binding and under the wrapper binding (the translated path), and the
+// output checksums must agree bit-for-bit. This is the correctness side of
+// the paper's evaluation — Figures 7/8 assume translated programs compute
+// the same results.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "cl2cu/cl_on_cuda.h"
+#include "cu2cl/cuda_on_cl.h"
+#include "simgpu/device.h"
+
+namespace bridgecl::apps {
+namespace {
+
+using simgpu::Device;
+using simgpu::HD7970Profile;
+using simgpu::TitanProfile;
+
+std::vector<std::string> AllAppNames() {
+  std::vector<std::string> names;
+  for (auto maker : {RodiniaApps, NpbApps, ToolkitApps}) {
+    for (auto& app : maker()) names.push_back(app->name());
+  }
+  return names;
+}
+
+class AppEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppEquivalenceTest, ::testing::ValuesIn(AllAppNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST_P(AppEquivalenceTest, OpenClNativeVsWrapper) {
+  AppPtr app = FindApp(GetParam());
+  ASSERT_NE(app, nullptr);
+  if (!app->has_opencl()) GTEST_SKIP() << "no OpenCL version";
+
+  Device native_dev(TitanProfile());
+  auto native = mocl::CreateNativeClApi(native_dev);
+  double native_sum = 0;
+  Status st = app->RunCl(*native, &native_sum);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  Device wrapped_dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(wrapped_dev);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  double wrapped_sum = 0;
+  st = app->RunCl(*wrapped, &wrapped_sum);
+  ASSERT_TRUE(st.ok()) << "OpenCL->CUDA wrapper run failed: "
+                       << st.ToString();
+  EXPECT_EQ(native_sum, wrapped_sum);
+}
+
+TEST_P(AppEquivalenceTest, CudaNativeVsWrapper) {
+  AppPtr app = FindApp(GetParam());
+  ASSERT_NE(app, nullptr);
+  if (!app->has_cuda()) GTEST_SKIP() << "no CUDA version";
+
+  Device native_dev(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(native_dev);
+  double native_sum = 0;
+  Status st = app->RunCuda(*native, &native_sum);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  Device wrapped_dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(wrapped_dev);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  double wrapped_sum = 0;
+  st = app->RunCuda(*wrapped, &wrapped_sum);
+  ASSERT_TRUE(st.ok()) << "CUDA->OpenCL wrapper run failed: "
+                       << st.ToString();
+  EXPECT_EQ(native_sum, wrapped_sum);
+}
+
+TEST_P(AppEquivalenceTest, BothDialectVersionsAgree) {
+  // Rodinia/Toolkit ship both versions of each app; on identical inputs
+  // they must compute identical results (the paper's same-app comparison).
+  AppPtr app = FindApp(GetParam());
+  ASSERT_NE(app, nullptr);
+  if (!app->has_opencl() || !app->has_cuda())
+    GTEST_SKIP() << "single-dialect app";
+
+  Device dev_cl(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_cl);
+  double sum_cl = 0;
+  ASSERT_TRUE(app->RunCl(*cl, &sum_cl).ok());
+
+  Device dev_cu(TitanProfile());
+  auto cu = mcuda::CreateNativeCudaApi(dev_cu);
+  double sum_cu = 0;
+  ASSERT_TRUE(app->RunCuda(*cu, &sum_cu).ok());
+  EXPECT_EQ(sum_cl, sum_cu) << app->name();
+}
+
+TEST_P(AppEquivalenceTest, TranslatedOpenClRunsOnAmd) {
+  // Fig 8(a)'s fourth bar: translated OpenCL code runs on the HD7970,
+  // which has no CUDA support at all.
+  AppPtr app = FindApp(GetParam());
+  ASSERT_NE(app, nullptr);
+  if (!app->has_cuda()) GTEST_SKIP() << "no CUDA version";
+
+  Device titan(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(titan);
+  double titan_sum = 0;
+  ASSERT_TRUE(app->RunCuda(*native, &titan_sum).ok());
+
+  Device amd(HD7970Profile());
+  auto cl = mocl::CreateNativeClApi(amd);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  double amd_sum = 0;
+  Status st = app->RunCuda(*wrapped, &amd_sum);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // deviceQuery's output IS the device properties, which legitimately
+  // differ across GPUs (so does the real sample's output).
+  if (app->name() != "deviceQuery") {
+    EXPECT_EQ(titan_sum, amd_sum);
+  }
+}
+
+TEST(UntranslatableAppsTest, FailuresMatchPaperReasons) {
+  // The seven Rodinia CUDA apps of Fig 8(a): all run natively (except
+  // dwt2d, whose device-side C++ even nvcc-mini rejects) but fail on the
+  // CUDA->OpenCL wrapper path.
+  for (auto& app : RodiniaUntranslatableApps()) {
+    SCOPED_TRACE(app->name());
+    ASSERT_TRUE(app->has_cuda());
+    Device native_dev(TitanProfile());
+    auto native = mcuda::CreateNativeCudaApi(native_dev);
+    double sum = 0;
+    Status native_st = app->RunCuda(*native, &sum);
+    if (app->name() != "dwt2d") {
+      EXPECT_TRUE(native_st.ok())
+          << app->name() << ": " << native_st.ToString();
+    }
+
+    Device wrapped_dev(TitanProfile());
+    auto cl = mocl::CreateNativeClApi(wrapped_dev);
+    auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+    double wsum = 0;
+    Status st = app->RunCuda(*wrapped, &wsum);
+    EXPECT_FALSE(st.ok()) << app->name()
+                          << " unexpectedly translated to OpenCL";
+  }
+}
+
+TEST(UntranslatableAppsTest, OpenClVersionsStillTranslateAndMatch) {
+  // Fig 7a: every Rodinia OpenCL version translates to CUDA — including
+  // the apps whose CUDA versions fail in the other direction.
+  for (auto& app : RodiniaUntranslatableApps()) {
+    if (!app->has_opencl()) continue;
+    SCOPED_TRACE(app->name());
+    Device native_dev(TitanProfile());
+    auto native = mocl::CreateNativeClApi(native_dev);
+    double native_sum = 0;
+    ASSERT_TRUE(app->RunCl(*native, &native_sum).ok());
+
+    Device wrapped_dev(TitanProfile());
+    auto cuda = mcuda::CreateNativeCudaApi(wrapped_dev);
+    auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+    double wrapped_sum = 0;
+    Status st = app->RunCl(*wrapped, &wrapped_sum);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(native_sum, wrapped_sum);
+  }
+}
+
+TEST(SuiteInventoryTest, CountsMatchDesign) {
+  EXPECT_EQ(RodiniaApps().size(), 15u);   // 14 dual + hybridsort
+  EXPECT_EQ(NpbApps().size(), 7u);        // paper: 7 SNU NPB apps
+  EXPECT_EQ(ToolkitApps().size(), 11u);
+  EXPECT_EQ(RodiniaUntranslatableApps().size(), 7u);  // Fig 8(a)
+  // NPB is OpenCL-only (§6.1).
+  for (auto& app : NpbApps()) {
+    EXPECT_TRUE(app->has_opencl());
+    EXPECT_FALSE(app->has_cuda());
+  }
+}
+
+}  // namespace
+}  // namespace bridgecl::apps

@@ -1,0 +1,135 @@
+// Profiling-event APIs: cl_event-style kernel profiling in the OpenCL
+// model, cudaEvent_t pairs in the CUDA model — under both native and
+// wrapper bindings (the paper's timing methodology relies on being able
+// to measure execution windows on either side).
+#include <gtest/gtest.h>
+
+#include "cl2cu/cl_on_cuda.h"
+#include "cu2cl/cuda_on_cl.h"
+#include "mcuda/cuda_api.h"
+#include "mocl/cl_api.h"
+#include "simgpu/device.h"
+
+namespace bridgecl {
+namespace {
+
+using mocl::ClEvent;
+using mocl::ClMem;
+using mocl::MemFlags;
+using simgpu::Device;
+using simgpu::Dim3;
+using simgpu::TitanProfile;
+
+constexpr char kClKernel[] =
+    "__kernel void spin(__global float* g, int iters) {"
+    "  int i = get_global_id(0);"
+    "  float acc = g[i];"
+    "  for (int k = 0; k < iters; k++) acc = acc * 1.0001f + 0.5f;"
+    "  g[i] = acc;"
+    "}";
+
+StatusOr<double> TimeClKernel(mocl::OpenClApi& cl, int iters) {
+  BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(kClKernel));
+  BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+  BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl.CreateKernel(prog, "spin"));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem g, cl.CreateBuffer(MemFlags::kReadWrite, 64 * 4, nullptr));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(ClMem), &g));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 1, sizeof(int), &iters));
+  size_t gws = 64, lws = 32;
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClEvent ev, cl.EnqueueNDRangeKernelWithEvent(kernel, 1, &gws, &lws));
+  double queued = 0, end = 0;
+  BRIDGECL_RETURN_IF_ERROR(cl.GetEventProfiling(ev, &queued, &end));
+  return end - queued;
+}
+
+TEST(EventsTest, ProfilingWindowCoversKernelTime) {
+  Device dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev);
+  auto short_run = TimeClKernel(*cl, 8);
+  ASSERT_TRUE(short_run.ok()) << short_run.status().ToString();
+  auto long_run = TimeClKernel(*cl, 4096);
+  ASSERT_TRUE(long_run.ok());
+  EXPECT_GT(*short_run, 0.0);
+  EXPECT_GT(*long_run, *short_run * 3);  // scales with kernel work
+}
+
+TEST(EventsTest, WrapperProfilingAgreesWithNative) {
+  Device native_dev(TitanProfile());
+  auto native = mocl::CreateNativeClApi(native_dev);
+  auto t_native = TimeClKernel(*native, 64);
+  ASSERT_TRUE(t_native.ok());
+
+  Device wrapped_dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(wrapped_dev);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto t_wrapped = TimeClKernel(*wrapped, 64);
+  ASSERT_TRUE(t_wrapped.ok()) << t_wrapped.status().ToString();
+  // The translated kernel performs the same work; windows are within 20%.
+  EXPECT_NEAR(*t_wrapped, *t_native, *t_native * 0.2);
+}
+
+TEST(EventsTest, UnknownEventRejected) {
+  Device dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev);
+  double a = 0, b = 0;
+  EXPECT_FALSE(cl->GetEventProfiling(ClEvent{12345}, &a, &b).ok());
+}
+
+StatusOr<double> TimeCudaKernel(mcuda::CudaApi& cu, int iters) {
+  BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(
+      "__global__ void spin(float* g, int iters) {"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;"
+      "  float acc = g[i];"
+      "  for (int k = 0; k < iters; k++) acc = acc * 1.0001f + 0.5f;"
+      "  g[i] = acc;"
+      "}"));
+  BRIDGECL_ASSIGN_OR_RETURN(void* g, cu.Malloc(64 * 4));
+  BRIDGECL_ASSIGN_OR_RETURN(void* start, cu.EventCreate());
+  BRIDGECL_ASSIGN_OR_RETURN(void* stop, cu.EventCreate());
+  BRIDGECL_RETURN_IF_ERROR(cu.EventRecord(start));
+  std::vector<mcuda::LaunchArg> args = {mcuda::LaunchArg::Ptr(g),
+                                        mcuda::LaunchArg::Value<int>(iters)};
+  BRIDGECL_RETURN_IF_ERROR(cu.LaunchKernel("spin", Dim3(2), Dim3(32), 0,
+                                           args));
+  BRIDGECL_RETURN_IF_ERROR(cu.EventRecord(stop));
+  BRIDGECL_ASSIGN_OR_RETURN(double us, cu.EventElapsedUs(start, stop));
+  BRIDGECL_RETURN_IF_ERROR(cu.EventDestroy(start));
+  BRIDGECL_RETURN_IF_ERROR(cu.EventDestroy(stop));
+  return us;
+}
+
+TEST(EventsTest, CudaEventsNativeAndWrapped) {
+  Device native_dev(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(native_dev);
+  auto t_native = TimeCudaKernel(*native, 128);
+  ASSERT_TRUE(t_native.ok()) << t_native.status().ToString();
+  EXPECT_GT(*t_native, 0.0);
+
+  Device wrapped_dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(wrapped_dev);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  auto t_wrapped = TimeCudaKernel(*wrapped, 128);
+  ASSERT_TRUE(t_wrapped.ok()) << t_wrapped.status().ToString();
+  // The wrapper window includes the deferred first-use build (§3.4);
+  // subtracting it, the windows agree within 25%.
+  double adjusted = *t_wrapped - cl->BuildTimeUs();
+  EXPECT_NEAR(adjusted, *t_native, *t_native * 0.25);
+}
+
+TEST(EventsTest, UnrecordedEventRejected) {
+  Device dev(TitanProfile());
+  auto cu = mcuda::CreateNativeCudaApi(dev);
+  auto a = cu->EventCreate();
+  auto b = cu->EventCreate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto r = cu->EventElapsedUs(*a, *b);  // never recorded
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(cu->EventDestroy(*a).ok());
+  EXPECT_FALSE(cu->EventDestroy(*a).ok());  // double destroy
+}
+
+}  // namespace
+}  // namespace bridgecl

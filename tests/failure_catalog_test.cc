@@ -1,0 +1,68 @@
+// Verifies that the classifier reproduces the paper's Table 3: every
+// failing Toolkit sample's snippet is detected as untranslatable and is
+// assigned the paper's categories. Parameterized over the whole corpus.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/failure_catalog.h"
+
+namespace bridgecl::apps {
+namespace {
+
+using translator::Classification;
+using translator::ClassifyCudaApplication;
+using translator::FailureCategory;
+using translator::FailureCategoryName;
+
+class CatalogTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSamples, CatalogTest,
+    ::testing::Range(0, static_cast<int>(FailureCatalog().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return FailureCatalog()[info.param].name;
+    });
+
+TEST_P(CatalogTest, ClassifiedAsInTable3) {
+  const CatalogEntry& entry = FailureCatalog()[GetParam()];
+  Classification c = ClassifyCudaApplication(entry.source);
+  EXPECT_FALSE(c.translatable) << entry.name << " should be untranslatable";
+  std::set<FailureCategory> got;
+  for (FailureCategory cat : c.Categories()) got.insert(cat);
+  for (FailureCategory expected : entry.expected_categories) {
+    EXPECT_TRUE(got.count(expected))
+        << entry.name << ": expected category '"
+        << FailureCategoryName(expected) << "' missing; got "
+        << (c.issues.empty() ? "<none>" : c.issues[0].evidence);
+  }
+}
+
+TEST(CatalogTotalsTest, MatchesTableThree) {
+  EXPECT_EQ(FailureCatalog().size(), 56u);  // 81 - 25 translated (§6.3)
+  EXPECT_EQ(ToolkitTotalCount() - ToolkitTranslatableCount(), 56);
+
+  // Per-category Table 3 counts (apps failing for several reasons appear
+  // in several rows, like particles / Mandelbrot / nbody / smokeParticles
+  // in the paper).
+  std::map<FailureCategory, int> rows;
+  for (const CatalogEntry& e : FailureCatalog())
+    for (FailureCategory c : e.expected_categories) ++rows[c];
+  EXPECT_EQ(rows[FailureCategory::kNoCorrespondingFunctions], 6);
+  EXPECT_EQ(rows[FailureCategory::kUnsupportedLibraries], 5);
+  EXPECT_GE(rows[FailureCategory::kUnsupportedLanguageExtensions], 19);
+  EXPECT_GE(rows[FailureCategory::kOpenGlBinding], 15);
+  EXPECT_EQ(rows[FailureCategory::kUseOfPtx], 7);
+  EXPECT_EQ(rows[FailureCategory::kUseOfUva], 4);
+}
+
+TEST(CatalogTotalsTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const CatalogEntry& e : FailureCatalog()) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate: " << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace bridgecl::apps

@@ -1,0 +1,231 @@
+// Failure-injection tests: every resource limit and error path must fail
+// loudly with the right status — simulated devices fault deterministically
+// instead of corrupting memory.
+#include <gtest/gtest.h>
+
+#include "interp/executor.h"
+#include "interp/module.h"
+#include "mocl/cl_api.h"
+#include "simgpu/device.h"
+#include "support/strings.h"
+
+namespace bridgecl {
+namespace {
+
+using interp::KernelArg;
+using interp::Module;
+using lang::Dialect;
+using simgpu::Device;
+using simgpu::Dim3;
+using simgpu::TitanProfile;
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  Device device_{TitanProfile()};
+
+  StatusOr<std::unique_ptr<Module>> Compile(const std::string& src,
+                                            Dialect d) {
+    DiagnosticEngine diags;
+    auto m = Module::Compile(src, d, diags);
+    if (!m.ok())
+      return Status(m.status().code(),
+                    m.status().message() + "\n" + diags.ToString());
+    BRIDGECL_RETURN_IF_ERROR((*m)->LoadOn(device_));
+    return m;
+  }
+
+  Status Launch(Module& m, const std::string& kernel, Dim3 grid, Dim3 block,
+                std::vector<KernelArg> args, size_t shmem = 0) {
+    interp::LaunchConfig cfg;
+    cfg.grid = grid;
+    cfg.block = block;
+    cfg.dynamic_shared_bytes = shmem;
+    return interp::LaunchKernel(device_, m, kernel, cfg, args).status();
+  }
+};
+
+TEST_F(FailureInjectionTest, SharedMemoryOverflowRejectedAtLaunch) {
+  // 48KB/block limit: a 64KB static tile must be rejected, with the sizes
+  // in the message.
+  auto m = Compile(
+      "__kernel void k(__global int* o) {"
+      "  __local int tile[16384];"  // 64KB
+      "  tile[get_local_id(0)] = 1;"
+      "  o[0] = tile[0];"
+      "}",
+      Dialect::kOpenCL);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto out = device_.vm().AllocGlobal(64);
+  ASSERT_TRUE(out.ok());
+  Status st = Launch(**m, "k", Dim3(1), Dim3(32),
+                     {KernelArg::Pointer(*out)});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("shared memory"), std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, DynamicSharedOverflowRejected) {
+  auto m = Compile(
+      "__global__ void k(int* o) {"
+      "  extern __shared__ int t[];"
+      "  t[threadIdx.x] = 1;"
+      "  o[0] = t[0];"
+      "}",
+      Dialect::kCUDA);
+  ASSERT_TRUE(m.ok());
+  auto out = device_.vm().AllocGlobal(64);
+  ASSERT_TRUE(out.ok());
+  Status st = Launch(**m, "k", Dim3(1), Dim3(32),
+                     {KernelArg::Pointer(*out)}, /*shmem=*/64 * 1024);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailureInjectionTest, ConstantMemoryExhaustedAtLoad) {
+  // Two 48KB constant arrays exceed the 64KB constant region.
+  auto m = Compile(
+      "__constant float a[12288];"
+      "__constant float b[12288];"
+      "__kernel void k(__global float* o) { o[0] = a[0] + b[0]; }",
+      Dialect::kOpenCL);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(m.status().message().find("constant memory"),
+            std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, GlobalMemoryExhaustionSurfaces) {
+  // A profile with a tiny global memory: consume nearly everything, then
+  // one more allocation must fail.
+  simgpu::DeviceProfile profile = TitanProfile();
+  profile.global_mem_size = 1 << 20;
+  Device small(profile);
+  auto big = small.vm().AllocGlobal((1 << 20) - 1024);
+  ASSERT_TRUE(big.ok());
+  auto more = small.vm().AllocGlobal(64 * 1024);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kResourceExhausted);
+  // Freeing recovers the capacity.
+  ASSERT_TRUE(small.vm().FreeGlobal(*big).ok());
+  EXPECT_TRUE(small.vm().AllocGlobal(64 * 1024).ok());
+}
+
+TEST_F(FailureInjectionTest, DeviceRecursionDepthLimited) {
+  auto m = Compile(
+      "__device__ int spin(int n) {"
+      "  if (n <= 0) return 0;"
+      "  return spin(n - 1) + 1;"  // 1000 levels deep
+      "}"
+      "__global__ void k(int* o) { o[0] = spin(1000); }",
+      Dialect::kCUDA);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto out = device_.vm().AllocGlobal(64);
+  ASSERT_TRUE(out.ok());
+  Status st = Launch(**m, "k", Dim3(1), Dim3(1), {KernelArg::Pointer(*out)});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("stack"), std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, DivisionByZeroFaults) {
+  auto m = Compile(
+      "__kernel void k(__global int* o, int d) { o[0] = 10 / d; }",
+      Dialect::kOpenCL);
+  ASSERT_TRUE(m.ok());
+  auto out = device_.vm().AllocGlobal(64);
+  ASSERT_TRUE(out.ok());
+  Status st = Launch(**m, "k", Dim3(1), Dim3(1),
+                     {KernelArg::Pointer(*out), KernelArg::Value<int>(0)});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("division by zero"), std::string::npos);
+  // Non-zero divisor works on the same module.
+  EXPECT_TRUE(Launch(**m, "k", Dim3(1), Dim3(1),
+                     {KernelArg::Pointer(*out), KernelArg::Value<int>(2)})
+                  .ok());
+}
+
+TEST_F(FailureInjectionTest, NullPointerDereferenceFaults) {
+  auto m = Compile("__kernel void k(__global int* o) { o[0] = 1; }",
+                   Dialect::kOpenCL);
+  ASSERT_TRUE(m.ok());
+  Status st = Launch(**m, "k", Dim3(1), Dim3(1), {KernelArg::Pointer(0)});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("memory fault"), std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, BarrierInsideHelperFunctionWorks) {
+  // Barriers reached through a __device__ helper must still synchronize
+  // the whole group (the scheduler is group-global, not frame-local).
+  auto m = Compile(
+      "__device__ void sync_helper() { __syncthreads(); }"
+      "__global__ void k(int* o) {"
+      "  __shared__ int t[16];"
+      "  int i = threadIdx.x;"
+      "  t[i] = i * 3;"
+      "  sync_helper();"
+      "  o[i] = t[15 - i];"
+      "}",
+      Dialect::kCUDA);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto out = device_.vm().AllocGlobal(16 * 4);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(
+      Launch(**m, "k", Dim3(1), Dim3(16), {KernelArg::Pointer(*out)}).ok());
+  int vals[16];
+  std::memcpy(vals, *device_.vm().Resolve(*out, 64), 64);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(vals[i], (15 - i) * 3);
+}
+
+TEST_F(FailureInjectionTest, DeviceAssertPropagates) {
+  auto m = Compile(
+      "__global__ void k(int* o, int v) {"
+      "  assert(v > 0);"
+      "  o[0] = v;"
+      "}",
+      Dialect::kCUDA);
+  ASSERT_TRUE(m.ok());
+  auto out = device_.vm().AllocGlobal(64);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(Launch(**m, "k", Dim3(1), Dim3(1),
+                     {KernelArg::Pointer(*out), KernelArg::Value<int>(5)})
+                  .ok());
+  Status st = Launch(**m, "k", Dim3(1), Dim3(1),
+                     {KernelArg::Pointer(*out), KernelArg::Value<int>(-1)});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("assert"), std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, OpenClBuildErrorsKeepRuntimeUsable) {
+  auto cl = mocl::CreateNativeClApi(device_);
+  // A failing build must not poison later builds.
+  auto bad = cl->CreateProgramWithSource("__kernel broken(");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(cl->BuildProgram(*bad).ok());
+  auto good = cl->CreateProgramWithSource("__kernel void ok() {}");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(cl->BuildProgram(*good).ok());
+  auto k = cl->CreateKernel(*good, "ok");
+  ASSERT_TRUE(k.ok());
+  size_t gws = 8, lws = 8;
+  EXPECT_TRUE(cl->EnqueueNDRangeKernel(*k, 1, &gws, &lws).ok());
+}
+
+TEST_F(FailureInjectionTest, PrivateStackOverflowSurfaces) {
+  // A 128KB private array exceeds the 64KB per-item private budget.
+  auto m = Compile(
+      "__kernel void k(__global float* o) {"
+      "  float big[32768];"
+      "  big[0] = 1.0f;"
+      "  o[0] = big[0];"
+      "}",
+      Dialect::kOpenCL);
+  ASSERT_TRUE(m.ok());
+  auto out = device_.vm().AllocGlobal(64);
+  ASSERT_TRUE(out.ok());
+  Status st = Launch(**m, "k", Dim3(1), Dim3(1), {KernelArg::Pointer(*out)});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("private"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bridgecl

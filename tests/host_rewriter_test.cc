@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "translator/classifier.h"
+#include "translator/host_rewriter.h"
+
+namespace bridgecl::translator {
+namespace {
+
+bool Contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+constexpr char kMixedSource[] = R"(
+#include <cstdio>
+
+__constant__ float coef[4];
+__device__ int flag;
+
+__global__ void vadd(float* a, float* b, float* c, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) c[i] = a[i] + b[i] * coef[0];
+}
+
+int main() {
+  float *d_a, *d_b, *d_c;
+  int n = 1024;
+  cudaMalloc((void**)&d_a, n * sizeof(float));
+  cudaMalloc((void**)&d_b, n * sizeof(float));
+  cudaMalloc((void**)&d_c, n * sizeof(float));
+  float host_coef[4] = {1, 2, 3, 4};
+  cudaMemcpyToSymbol(coef, host_coef, 4 * sizeof(float));
+  vadd<<<n / 256, 256>>>(d_a, d_b, d_c, n);
+  int f = 0;
+  cudaMemcpyFromSymbol(&f, flag, sizeof(int));
+  printf("done %d\n", f);
+  return 0;
+}
+)";
+
+TEST(SplitTest, SeparatesDeviceFromHost) {
+  auto [device, host] = SplitCudaSource(kMixedSource);
+  EXPECT_TRUE(Contains(device, "__global__ void vadd")) << device;
+  EXPECT_TRUE(Contains(device, "__constant__ float coef[4];")) << device;
+  EXPECT_TRUE(Contains(device, "__device__ int flag;")) << device;
+  EXPECT_FALSE(Contains(device, "int main")) << device;
+  EXPECT_TRUE(Contains(host, "int main")) << host;
+  EXPECT_FALSE(Contains(host, "__global__")) << host;
+  EXPECT_FALSE(Contains(host, "blockIdx")) << host;
+  // The host side keeps the launch (it gets rewritten later).
+  EXPECT_TRUE(Contains(host, "vadd<<<")) << host;
+}
+
+TEST(SplitTest, TextureAndTemplateGoToDevice) {
+  auto [device, host] = SplitCudaSource(
+      "texture<float, 2, cudaReadModeElementType> tex;\n"
+      "template <typename T> __device__ T ident(T v) { return v; }\n"
+      "int main() { return 0; }\n");
+  EXPECT_TRUE(Contains(device, "texture<float, 2")) << device;
+  EXPECT_TRUE(Contains(device, "template <typename T> __device__"))
+      << device;
+  EXPECT_FALSE(Contains(host, "texture")) << host;
+  EXPECT_FALSE(Contains(host, "template")) << host;
+}
+
+TEST(HostRewriterTest, LaunchBecomesSetArgSequence) {
+  DiagnosticEngine diags;
+  auto r = RewriteCudaHostCode(kMixedSource, diags);
+  ASSERT_TRUE(r.ok()) << diags.ToString();
+  const std::string& h = r->host_source;
+  EXPECT_FALSE(Contains(h, "<<<")) << h;
+  EXPECT_TRUE(Contains(h, "__bridgecl_kernel(\"vadd\")")) << h;
+  EXPECT_TRUE(Contains(
+      h, "clSetKernelArg(__bridgecl_k, 0, sizeof(d_a), &(d_a));"))
+      << h;
+  EXPECT_TRUE(Contains(
+      h, "clSetKernelArg(__bridgecl_k, 3, sizeof(n), &(n));"))
+      << h;
+  // The coef/flag symbols became appended arguments (§4.3).
+  EXPECT_TRUE(Contains(h, "__bridgecl_symbol(\"coef\")")) << h;
+  EXPECT_TRUE(Contains(h, "__bridgecl_ndrange(n / 256, 256,")) << h;
+  EXPECT_TRUE(Contains(h, "clEnqueueNDRangeKernel(__bridgecl_queue,")) << h;
+}
+
+TEST(HostRewriterTest, MemcpySymbolsRewritten) {
+  DiagnosticEngine diags;
+  auto r = RewriteCudaHostCode(kMixedSource, diags);
+  ASSERT_TRUE(r.ok()) << diags.ToString();
+  const std::string& h = r->host_source;
+  EXPECT_FALSE(Contains(h, "cudaMemcpyToSymbol")) << h;
+  EXPECT_FALSE(Contains(h, "cudaMemcpyFromSymbol")) << h;
+  EXPECT_TRUE(Contains(
+      h,
+      "clEnqueueWriteBuffer(__bridgecl_queue, __bridgecl_symbol(\"coef\"), "
+      "CL_TRUE, 0, 4 * sizeof(float), host_coef, 0, NULL, NULL)"))
+      << h;
+  EXPECT_TRUE(Contains(
+      h,
+      "clEnqueueReadBuffer(__bridgecl_queue, __bridgecl_symbol(\"flag\"), "
+      "CL_TRUE, 0, sizeof(int), &f, 0, NULL, NULL)"))
+      << h;
+  // Untouched host code passes through.
+  EXPECT_TRUE(Contains(h, "cudaMalloc((void**)&d_a, n * sizeof(float));"))
+      << h;
+  EXPECT_TRUE(Contains(h, "printf(\"done %d\\n\", f);")) << h;
+}
+
+TEST(HostRewriterTest, DeviceSourceIsTranslated) {
+  DiagnosticEngine diags;
+  auto r = RewriteCudaHostCode(kMixedSource, diags);
+  ASSERT_TRUE(r.ok()) << diags.ToString();
+  EXPECT_TRUE(Contains(r->device_source, "__kernel void vadd"))
+      << r->device_source;
+  EXPECT_TRUE(Contains(r->device_source, "get_local_id(0)"))
+      << r->device_source;
+}
+
+TEST(HostRewriterTest, DynamicSharedLaunchConfig) {
+  DiagnosticEngine diags;
+  auto r = RewriteCudaHostCode(
+      "__global__ void k(float* d) {"
+      "  extern __shared__ float tile[];"
+      "  tile[threadIdx.x] = d[threadIdx.x];"
+      "}"
+      "void run(float* d, int n) {"
+      "  k<<<1, n, n * sizeof(float)>>>(d);"
+      "}",
+      diags);
+  ASSERT_TRUE(r.ok()) << diags.ToString();
+  // The third <<<>>> parameter becomes a null clSetKernelArg (§4.1).
+  EXPECT_TRUE(Contains(r->host_source,
+                       "clSetKernelArg(__bridgecl_k, 1, n * sizeof(float), "
+                       "NULL);"))
+      << r->host_source;
+}
+
+TEST(HostRewriterTest, Dim3VariablesAndLoopLaunch) {
+  DiagnosticEngine diags;
+  auto r = RewriteCudaHostCode(
+      "__global__ void step(float* d, int n) {"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;"
+      "  if (i < n) d[i] += 1.0f;"
+      "}"
+      "void run(float* d, int n, int iters) {"
+      "  dim3 grid(n / 256);"
+      "  dim3 block(256);"
+      "  for (int it = 0; it < iters; ++it) {"
+      "    step<<<grid, block>>>(d, n);"
+      "    cudaDeviceSynchronize();"
+      "  }"
+      "}",
+      diags);
+  ASSERT_TRUE(r.ok()) << diags.ToString();
+  const std::string& h = r->host_source;
+  // The launch configuration expressions pass through verbatim.
+  EXPECT_TRUE(Contains(
+      h, "__bridgecl_ndrange(grid, block, __bridgecl_gws, __bridgecl_lws)"))
+      << h;
+  // Loop structure is preserved around the expansion.
+  EXPECT_TRUE(Contains(h, "for (int it = 0; it < iters; ++it)")) << h;
+  EXPECT_TRUE(Contains(h, "cudaDeviceSynchronize();")) << h;
+  EXPECT_FALSE(Contains(h, "<<<")) << h;
+}
+
+TEST(HostRewriterTest, MultipleLaunchesAllRewritten) {
+  DiagnosticEngine diags;
+  auto r = RewriteCudaHostCode(
+      "__global__ void a(int* p) { p[0] = 1; }"
+      "__global__ void b(int* p) { p[1] = 2; }"
+      "void run(int* p) {"
+      "  a<<<1, 32>>>(p);"
+      "  b<<<2, 64>>>(p);"
+      "  a<<<4, 128>>>(p);"
+      "}",
+      diags);
+  ASSERT_TRUE(r.ok()) << diags.ToString();
+  const std::string& h = r->host_source;
+  size_t count = 0;
+  for (size_t pos = h.find("clEnqueueNDRangeKernel");
+       pos != std::string::npos;
+       pos = h.find("clEnqueueNDRangeKernel", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 3u) << h;
+  EXPECT_TRUE(Contains(h, "__bridgecl_kernel(\"a\")")) << h;
+  EXPECT_TRUE(Contains(h, "__bridgecl_kernel(\"b\")")) << h;
+}
+
+TEST(HostRewriterTest, LaunchInsideStringUntouched) {
+  DiagnosticEngine diags;
+  auto r = RewriteCudaHostCode(
+      "__global__ void k(int* d) { d[0] = 1; }"
+      "const char* msg = \"not a launch: k<<<1,1>>>(x);\";"
+      "void run(int* d) { k<<<1, 1>>>(d); }",
+      diags);
+  ASSERT_TRUE(r.ok()) << diags.ToString();
+  EXPECT_TRUE(Contains(r->host_source, "\"not a launch: k<<<1,1>>>(x);\""))
+      << r->host_source;
+  // Exactly one launch expansion.
+  size_t first = r->host_source.find("__bridgecl_kernel(\"k\")");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(r->host_source.find("__bridgecl_kernel(\"k\")", first + 1),
+            std::string::npos);
+}
+
+// ===========================================================================
+// Classifier (Table 3)
+// ===========================================================================
+
+TEST(ClassifierTest, TranslatableApp) {
+  auto c = ClassifyCudaApplication(
+      "__global__ void k(float* d, int n) {"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;"
+      "  if (i < n) d[i] *= 2.0f;"
+      "}"
+      "void run(float* d, int n) { k<<<n / 64, 64>>>(d, n); }");
+  EXPECT_TRUE(c.translatable)
+      << (c.issues.empty() ? "" : c.issues[0].evidence);
+  EXPECT_TRUE(c.issues.empty());
+  EXPECT_NE(c.translation.Find("k"), nullptr);
+}
+
+TEST(ClassifierTest, NoCorrespondingFunctions) {
+  auto c = ClassifyCudaApplication(
+      "__global__ void k(int* d) { d[0] = __shfl(d[1], 0); }"
+      "int main() { return 0; }");
+  ASSERT_FALSE(c.translatable);
+  auto cats = c.Categories();
+  ASSERT_EQ(cats.size(), 1u);
+  EXPECT_EQ(cats[0], FailureCategory::kNoCorrespondingFunctions);
+}
+
+TEST(ClassifierTest, HostMemGetInfo) {
+  auto c = ClassifyCudaApplication(
+      "__global__ void k(int* d) { d[0] = 1; }"
+      "int main() { size_t f, t; cudaMemGetInfo(&f, &t); return 0; }");
+  ASSERT_FALSE(c.translatable);
+  EXPECT_EQ(c.Categories()[0], FailureCategory::kNoCorrespondingFunctions);
+}
+
+TEST(ClassifierTest, UnsupportedLibraries) {
+  auto c = ClassifyCudaApplication(
+      "__global__ void k(int* d) { d[0] = 1; }"
+      "int main() { /* thrust::sort(v.begin(), v.end()); */"
+      "  thrust::device_vector<int> v; return 0; }");
+  ASSERT_FALSE(c.translatable);
+  EXPECT_EQ(c.Categories()[0], FailureCategory::kUnsupportedLibraries);
+}
+
+TEST(ClassifierTest, OpenGlBinding) {
+  auto c = ClassifyCudaApplication(
+      "__global__ void k(int* d) { d[0] = 1; }"
+      "int main() { glutInit(0, 0); glBindBuffer(0, 0);"
+      " cudaGLMapBufferObject(0, 0); return 0; }");
+  ASSERT_FALSE(c.translatable);
+  EXPECT_EQ(c.Categories()[0], FailureCategory::kOpenGlBinding);
+}
+
+TEST(ClassifierTest, UseOfPtx) {
+  auto c = ClassifyCudaApplication(
+      "int main() { cuModuleLoad(0, \"kernel.ptx\"); return 0; }");
+  ASSERT_FALSE(c.translatable);
+  EXPECT_EQ(c.Categories()[0], FailureCategory::kUseOfPtx);
+}
+
+TEST(ClassifierTest, UseOfUva) {
+  auto c = ClassifyCudaApplication(
+      "__global__ void k(int* d) { d[0] = 1; }"
+      "int main() { void* p; cudaHostAlloc(&p, 64, 0); return 0; }");
+  ASSERT_FALSE(c.translatable);
+  EXPECT_EQ(c.Categories()[0], FailureCategory::kUseOfUva);
+}
+
+TEST(ClassifierTest, LanguageExtensions) {
+  auto c = ClassifyCudaApplication(
+      "__device__ int apply(int (*fn)(int), int v) { return fn(v); }"
+      "__global__ void k(int* d) { d[0] = 2; }"
+      "int main() { return 0; }");
+  ASSERT_FALSE(c.translatable);
+  EXPECT_EQ(c.Categories()[0],
+            FailureCategory::kUnsupportedLanguageExtensions);
+}
+
+TEST(ClassifierTest, MultipleReasonsReported) {
+  // Like particles in the paper: libraries + OpenGL.
+  auto c = ClassifyCudaApplication(
+      "__global__ void k(int* d) { d[0] = 1; }"
+      "int main() {"
+      "  thrust::device_vector<int> v;"
+      "  glutInit(0, 0);"
+      "  return 0;"
+      "}");
+  ASSERT_FALSE(c.translatable);
+  auto cats = c.Categories();
+  ASSERT_EQ(cats.size(), 2u);
+  EXPECT_EQ(cats[0], FailureCategory::kUnsupportedLibraries);
+  EXPECT_EQ(cats[1], FailureCategory::kOpenGlBinding);
+}
+
+}  // namespace
+}  // namespace bridgecl::translator

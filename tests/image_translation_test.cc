@@ -1,0 +1,218 @@
+// §5 coverage: "We support all OpenCL image-related functions, such as
+// image creation, image read, image write, etc." — image writes and
+// dimension queries must survive OpenCL→CUDA translation (becoming
+// __oc2cu_* wrapper device functions), and CUDA 3D texture fetches must
+// translate to read_imagef with a 4-component coordinate.
+#include <gtest/gtest.h>
+
+#include "cl2cu/cl_on_cuda.h"
+#include "interp/executor.h"
+#include "interp/image.h"
+#include "interp/module.h"
+#include "mcuda/cuda_api.h"
+#include "mocl/cl_api.h"
+#include "simgpu/device.h"
+#include "translator/translate.h"
+
+namespace bridgecl {
+namespace {
+
+using mocl::ClImageFormat;
+using mocl::ClMem;
+using mocl::MemFlags;
+using simgpu::Device;
+using simgpu::Dim3;
+using simgpu::TitanProfile;
+
+/// OpenCL host program writing to an image and querying its dimensions,
+/// run under a given binding.
+StatusOr<std::vector<float>> RunImageWriter(mocl::OpenClApi& cl) {
+  const char* src =
+      "__kernel void fill(__write_only image2d_t img, float base) {"
+      "  int x = get_global_id(0);"
+      "  int y = get_global_id(1);"
+      "  float4 texel = (float4)(base + (float)(y * 4 + x), 0.0f, 0.0f,"
+      "                          1.0f);"
+      "  write_imagef(img, (int2)(x, y), texel);"
+      "}"
+      "__kernel void dims(__read_only image2d_t img, __global int* out) {"
+      "  out[0] = get_image_width(img);"
+      "  out[1] = get_image_height(img);"
+      "}";
+  BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(src));
+  BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+  ClImageFormat fmt;
+  fmt.elem = lang::ScalarKind::kFloat;
+  fmt.channels = 1;
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem img, cl.CreateImage2D(MemFlags::kReadWrite, fmt, 4, 2, nullptr));
+  BRIDGECL_ASSIGN_OR_RETURN(auto fill, cl.CreateKernel(prog, "fill"));
+  float base = 10.0f;
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(fill, 0, sizeof(ClMem), &img));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(fill, 1, sizeof(float), &base));
+  size_t gws[2] = {4, 2}, lws[2] = {4, 2};
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueNDRangeKernel(fill, 2, gws, lws));
+
+  BRIDGECL_ASSIGN_OR_RETURN(auto dims, cl.CreateKernel(prog, "dims"));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem out, cl.CreateBuffer(MemFlags::kWriteOnly, 8, nullptr));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(dims, 0, sizeof(ClMem), &img));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(dims, 1, sizeof(ClMem), &out));
+  size_t one = 1;
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueNDRangeKernel(dims, 1, &one, &one));
+
+  std::vector<float> texels(8);
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueReadImage(img, texels.data()));
+  int wh[2];
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueReadBuffer(out, 0, 8, wh));
+  texels.push_back(static_cast<float>(wh[0]));
+  texels.push_back(static_cast<float>(wh[1]));
+  return texels;
+}
+
+TEST(ImageTranslationTest, WriteAndQueryThroughWrapper) {
+  Device native_dev(TitanProfile());
+  auto native = mocl::CreateNativeClApi(native_dev);
+  auto r_native = RunImageWriter(*native);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+
+  Device wrapped_dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(wrapped_dev);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto r_wrapped = RunImageWriter(*wrapped);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+
+  EXPECT_EQ(*r_native, *r_wrapped);
+  EXPECT_FLOAT_EQ((*r_native)[5], 15.0f);  // texel (1,1) = 10 + 5
+  EXPECT_FLOAT_EQ((*r_native)[8], 4.0f);   // width
+  EXPECT_FLOAT_EQ((*r_native)[9], 2.0f);   // height
+}
+
+TEST(ImageTranslationTest, ProgramScopeSamplerWorks) {
+  // OpenCL allows a program-scope `__constant sampler_t` initialized with
+  // CLK_* flags; it must execute natively and survive CL→CU translation
+  // (becoming a __constant__ variable read by the wrapper device library).
+  const char* src =
+      "__constant sampler_t the_sampler ="
+      "    CLK_NORMALIZED_COORDS_FALSE | CLK_ADDRESS_CLAMP_TO_EDGE |"
+      "    CLK_FILTER_NEAREST;"
+      "__kernel void sample(__read_only image2d_t img,"
+      "                     __global float* out) {"
+      "  int x = get_global_id(0);"
+      "  float4 t = read_imagef(img, the_sampler, (int2)(x, 0));"
+      "  out[x] = t.x;"
+      "}";
+  auto run = [&](mocl::OpenClApi& cl) -> StatusOr<std::vector<float>> {
+    BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(src));
+    BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+    BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl.CreateKernel(prog, "sample"));
+    ClImageFormat fmt;
+    fmt.elem = lang::ScalarKind::kFloat;
+    fmt.channels = 1;
+    float texels[4] = {5, 6, 7, 8};
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem img, cl.CreateImage2D(MemFlags::kReadOnly, fmt, 4, 1, texels));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem out, cl.CreateBuffer(MemFlags::kWriteOnly, 16, nullptr));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(ClMem),
+                                             &img));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 1, sizeof(ClMem),
+                                             &out));
+    size_t gws = 4, lws = 4;
+    BRIDGECL_RETURN_IF_ERROR(cl.EnqueueNDRangeKernel(kernel, 1, &gws, &lws));
+    std::vector<float> result(4);
+    BRIDGECL_RETURN_IF_ERROR(cl.EnqueueReadBuffer(out, 0, 16,
+                                                  result.data()));
+    return result;
+  };
+  Device native_dev(TitanProfile());
+  auto native = mocl::CreateNativeClApi(native_dev);
+  auto r_native = run(*native);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+  EXPECT_FLOAT_EQ((*r_native)[2], 7.0f);
+
+  Device wrapped_dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(wrapped_dev);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto r_wrapped = run(*wrapped);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+}
+
+TEST(ImageTranslationTest, WriteImageBecomesWrapperCall) {
+  DiagnosticEngine diags;
+  auto tr = translator::TranslateOpenClToCuda(
+      "__kernel void fill(__write_only image2d_t img) {"
+      "  write_imagef(img, (int2)(0, 0), (float4)(1.0f, 0.0f, 0.0f, 1.0f));"
+      "}",
+      diags);
+  ASSERT_TRUE(tr.ok()) << diags.ToString();
+  EXPECT_NE(tr->source.find("__oc2cu_write_imagef"), std::string::npos)
+      << tr->source;
+  EXPECT_NE(tr->source.find("make_int2"), std::string::npos) << tr->source;
+}
+
+TEST(ImageTranslationTest, Tex3DTranslatesToFloat4Coordinate) {
+  DiagnosticEngine diags;
+  auto tr = translator::TranslateCudaToOpenCl(
+      "texture<float, 3, cudaReadModeElementType> vol;"
+      "__global__ void k(float* out) {"
+      "  out[threadIdx.x] = tex3D(vol, 1.0f, 2.0f, 3.0f);"
+      "}",
+      diags);
+  ASSERT_TRUE(tr.ok()) << diags.ToString();
+  EXPECT_NE(tr->source.find("read_imagef(vol__img, vol__sampler, "
+                            "(float4)(1.0f, 2.0f, 3.0f, 0.0f))"),
+            std::string::npos)
+      << tr->source;
+  EXPECT_NE(tr->source.find("image3d_t vol__img"), std::string::npos)
+      << tr->source;
+}
+
+TEST(ImageTranslationTest, Tex3DExecutes) {
+  // 2x2x2 volume; fetch a specific voxel through the interpreter.
+  Device device(TitanProfile());
+  DiagnosticEngine diags;
+  auto m = interp::Module::Compile(
+      "texture<float, 3, cudaReadModeElementType> vol;"
+      "__global__ void k(float* out) {"
+      "  out[0] = tex3D(vol, 1.0f, 0.0f, 1.0f);"
+      "}",
+      lang::Dialect::kCUDA, diags);
+  ASSERT_TRUE(m.ok()) << diags.ToString();
+  ASSERT_TRUE((*m)->LoadOn(device).ok());
+  float voxels[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto data = device.vm().AllocGlobal(sizeof(voxels));
+  ASSERT_TRUE(data.ok());
+  std::memcpy(*device.vm().Resolve(*data, sizeof(voxels)), voxels,
+              sizeof(voxels));
+  interp::ImageDesc desc;
+  desc.data_va = *data;
+  desc.width = 2;
+  desc.height = 2;
+  desc.depth = 2;
+  desc.channels = 1;
+  desc.elem_kind = static_cast<uint32_t>(lang::ScalarKind::kFloat);
+  desc.row_pitch = 2 * 4;
+  desc.slice_pitch = 4 * 4;
+  desc.dims = 3;
+  auto desc_va = device.vm().AllocGlobal(sizeof(desc));
+  ASSERT_TRUE(desc_va.ok());
+  std::memcpy(*device.vm().Resolve(*desc_va, sizeof(desc)), &desc,
+              sizeof(desc));
+  ASSERT_TRUE((*m)->BindTexture("vol", *desc_va).ok());
+  auto out = device.vm().AllocGlobal(16);
+  ASSERT_TRUE(out.ok());
+  interp::LaunchConfig cfg;
+  cfg.grid = Dim3(1);
+  cfg.block = Dim3(1);
+  std::vector<interp::KernelArg> args = {interp::KernelArg::Pointer(*out)};
+  auto r = interp::LaunchKernel(device, **m, "k", cfg, args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  float got;
+  std::memcpy(&got, *device.vm().Resolve(*out, 4), 4);
+  EXPECT_FLOAT_EQ(got, 5.0f);  // voxel (x=1, y=0, z=1): 1*4 + 0*2 + 1
+}
+
+}  // namespace
+}  // namespace bridgecl

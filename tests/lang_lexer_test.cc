@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+
+namespace bridgecl::lang {
+namespace {
+
+std::vector<Token> MustLex(const std::string& src, LexOptions opts = {}) {
+  DiagnosticEngine diags;
+  auto toks = Lex(src, diags, opts);
+  EXPECT_TRUE(toks.ok()) << diags.ToString();
+  return toks.ok() ? *toks : std::vector<Token>{};
+}
+
+TEST(LexerTest, Identifiers) {
+  auto t = MustLex("get_global_id __kernel _x9");
+  ASSERT_EQ(t.size(), 4u);  // 3 idents + end
+  EXPECT_EQ(t[0].text, "get_global_id");
+  EXPECT_EQ(t[1].text, "__kernel");
+  EXPECT_EQ(t[2].text, "_x9");
+  EXPECT_TRUE(t[3].is(TokKind::kEnd));
+}
+
+TEST(LexerTest, IntLiterals) {
+  auto t = MustLex("0 42 0x1F 7u 9L 12UL");
+  EXPECT_EQ(t[0].int_value, 0u);
+  EXPECT_EQ(t[1].int_value, 42u);
+  EXPECT_EQ(t[2].int_value, 31u);
+  EXPECT_TRUE(t[3].int_is_unsigned);
+  EXPECT_TRUE(t[4].int_is_long);
+  EXPECT_TRUE(t[5].int_is_unsigned);
+  EXPECT_TRUE(t[5].int_is_long);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto t = MustLex("1.5 2.0f 1e3 1.5e-2 .25f");
+  EXPECT_DOUBLE_EQ(t[0].float_value, 1.5);
+  EXPECT_TRUE(t[1].float_is_float);
+  EXPECT_DOUBLE_EQ(t[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(t[3].float_value, 0.015);
+  EXPECT_TRUE(t[4].float_is_float);
+  EXPECT_DOUBLE_EQ(t[4].float_value, 0.25);
+}
+
+TEST(LexerTest, PunctLongestMatch) {
+  auto t = MustLex("a <<= b >> c <= d < e");
+  EXPECT_TRUE(t[1].is_punct("<<="));
+  EXPECT_TRUE(t[3].is_punct(">>"));
+  EXPECT_TRUE(t[5].is_punct("<="));
+  EXPECT_TRUE(t[7].is_punct("<"));
+}
+
+TEST(LexerTest, LaunchBracketsOnlyWhenEnabled) {
+  auto plain = MustLex("k<<<grid, block>>>(x)");
+  // Without the option, <<< lexes as << and <.
+  EXPECT_TRUE(plain[1].is_punct("<<"));
+
+  LexOptions opts;
+  opts.cuda_launch_brackets = true;
+  auto host = MustLex("k<<<grid, block>>>(x)", opts);
+  EXPECT_TRUE(host[1].is(TokKind::kLaunchOpen));
+  bool has_close = false;
+  for (auto& tok : host)
+    if (tok.is(TokKind::kLaunchClose)) has_close = true;
+  EXPECT_TRUE(has_close);
+}
+
+TEST(LexerTest, CommentsStripped) {
+  auto t = MustLex("a // line comment\n b /* block\ncomment */ c");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].text, "c");
+}
+
+TEST(LexerTest, ObjectMacroExpansion) {
+  auto t = MustLex("#define N 256\nint a[N];");
+  // int a [ 256 ] ;
+  ASSERT_GE(t.size(), 6u);
+  EXPECT_EQ(t[3].int_value, 256u);
+}
+
+TEST(LexerTest, ChainedMacros) {
+  auto t = MustLex("#define A B\n#define B 7\nA");
+  EXPECT_EQ(t[0].int_value, 7u);
+}
+
+TEST(LexerTest, MacroWithExpressionBody) {
+  auto t = MustLex("#define SIZE (16*16)\nSIZE");
+  // ( 16 * 16 )
+  ASSERT_GE(t.size(), 5u);
+  EXPECT_TRUE(t[0].is_punct("("));
+  EXPECT_EQ(t[1].int_value, 16u);
+}
+
+TEST(LexerTest, PragmaAndIncludeSkipped) {
+  auto t = MustLex("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
+                   "#include <cuda.h>\nx");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].text, "x");
+}
+
+TEST(LexerTest, FunctionLikeMacroRejected) {
+  DiagnosticEngine diags;
+  auto r = Lex("#define SQ(x) ((x)*(x))\n", diags);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(LexerTest, StringAndCharLiterals) {
+  auto t = MustLex("\"hi\\n\" 'a'");
+  EXPECT_TRUE(t[0].is(TokKind::kStringLit));
+  EXPECT_EQ(t[1].int_value, (uint64_t)'a');
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto t = MustLex("a\nb\n  c");
+  EXPECT_EQ(t[0].loc.line, 1u);
+  EXPECT_EQ(t[1].loc.line, 2u);
+  EXPECT_EQ(t[2].loc.line, 3u);
+  EXPECT_EQ(t[2].loc.column, 3u);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(Lex("\"oops", diags).ok());
+}
+
+}  // namespace
+}  // namespace bridgecl::lang

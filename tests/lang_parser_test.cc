@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace bridgecl::lang {
+namespace {
+
+std::unique_ptr<TranslationUnit> MustParse(const std::string& src,
+                                           Dialect d) {
+  DiagnosticEngine diags;
+  ParseOptions opts;
+  opts.dialect = d;
+  auto tu = ParseTranslationUnit(src, opts, diags);
+  EXPECT_TRUE(tu.ok()) << diags.ToString();
+  if (!tu.ok()) return nullptr;
+  return std::move(*tu);
+}
+
+TEST(ParserTest, OpenClKernelSignature) {
+  auto tu = MustParse(
+      "__kernel void vadd(__global float* a, __global float* b, "
+      "__global float* c, int n) {}",
+      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("vadd");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->quals.is_kernel);
+  ASSERT_EQ(f->params.size(), 4u);
+  ASSERT_TRUE(f->params[0]->type->is_pointer());
+  EXPECT_EQ(f->params[0]->type->pointee_space(), AddressSpace::kGlobal);
+  EXPECT_EQ(f->params[3]->type->scalar_kind(), ScalarKind::kInt);
+}
+
+TEST(ParserTest, CudaKernelSignature) {
+  auto tu = MustParse("__global__ void vadd(float* a, float* b, int n) {}",
+                      Dialect::kCUDA);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("vadd");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->quals.is_kernel);
+  // Before sema, unqualified CUDA pointers have private (unknown) pointee.
+  EXPECT_EQ(f->params[0]->type->pointee_space(), AddressSpace::kPrivate);
+}
+
+TEST(ParserTest, OpenClLocalAndConstantParams) {
+  auto tu = MustParse(
+      "__kernel void k(__local int* tile, __constant float* coef) {}",
+      Dialect::kOpenCL);
+  auto* f = tu->FindFunction("k");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->params[0]->type->pointee_space(), AddressSpace::kLocal);
+  EXPECT_EQ(f->params[1]->type->pointee_space(), AddressSpace::kConstant);
+}
+
+TEST(ParserTest, StaticSharedArray) {
+  auto tu = MustParse(
+      "__kernel void k() { __local int tile[32]; tile[0] = 1; }",
+      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("k");
+  auto* ds = f->body->body[0]->As<DeclStmt>();
+  ASSERT_EQ(ds->vars.size(), 1u);
+  EXPECT_EQ(ds->vars[0]->quals.space, AddressSpace::kLocal);
+  ASSERT_TRUE(ds->vars[0]->type->is_array());
+  EXPECT_EQ(ds->vars[0]->type->array_extent(), 32u);
+}
+
+TEST(ParserTest, CudaExternSharedArray) {
+  auto tu = MustParse(
+      "__global__ void k() { extern __shared__ int dyn[]; dyn[0] = 1; }",
+      Dialect::kCUDA);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("k");
+  auto* ds = f->body->body[0]->As<DeclStmt>();
+  EXPECT_TRUE(ds->vars[0]->quals.is_extern);
+  EXPECT_EQ(ds->vars[0]->quals.space, AddressSpace::kLocal);
+}
+
+TEST(ParserTest, CudaConstantFileScope) {
+  auto tu = MustParse("__constant__ int table[32] = {1, 2, 3, 4};",
+                      Dialect::kCUDA);
+  ASSERT_NE(tu, nullptr);
+  auto* v = tu->decls[0]->As<VarDecl>();
+  EXPECT_EQ(v->quals.space, AddressSpace::kConstant);
+  ASSERT_NE(v->init, nullptr);
+  EXPECT_EQ(v->init->kind, ExprKind::kInitList);
+}
+
+TEST(ParserTest, CudaDeviceGlobalVariable) {
+  auto tu = MustParse("__device__ int counters[8];", Dialect::kCUDA);
+  ASSERT_NE(tu, nullptr);
+  auto* v = tu->decls[0]->As<VarDecl>();
+  EXPECT_EQ(v->quals.space, AddressSpace::kGlobal);
+}
+
+TEST(ParserTest, VectorTypesAndSwizzles) {
+  auto tu = MustParse(
+      "__kernel void k(__global float4* v) {"
+      "  float4 a = v[0];"
+      "  float2 b = a.lo;"
+      "  a.hi = b;"
+      "  float c = a.x + a.s3;"
+      "}",
+      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+}
+
+TEST(ParserTest, WideVectors) {
+  auto tu = MustParse(
+      "__kernel void k(__global float8* v, __global int16* w) {}",
+      Dialect::kOpenCL);
+  auto* f = tu->FindFunction("k");
+  EXPECT_EQ(f->params[0]->type->pointee()->vector_width(), 8);
+  EXPECT_EQ(f->params[1]->type->pointee()->vector_width(), 16);
+}
+
+TEST(ParserTest, CudaOneComponentVectorAndLonglong) {
+  auto tu = MustParse(
+      "__global__ void k(float1* a, longlong2* b) { float1 x = a[0]; }",
+      Dialect::kCUDA);
+  auto* f = tu->FindFunction("k");
+  EXPECT_EQ(f->params[0]->type->pointee()->vector_width(), 1);
+  EXPECT_EQ(f->params[1]->type->pointee()->scalar_kind(),
+            ScalarKind::kLongLong);
+}
+
+TEST(ParserTest, VectorLiteral) {
+  auto tu = MustParse(
+      "__kernel void k(__global float4* o) {"
+      "  o[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f);"
+      "}",
+      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("k");
+  auto* es = f->body->body[0]->As<ExprStmt>();
+  auto* assign = es->expr->As<AssignExpr>();
+  EXPECT_EQ(assign->rhs->kind, ExprKind::kVectorLit);
+}
+
+TEST(ParserTest, ControlFlow) {
+  auto tu = MustParse(
+      "__kernel void k(__global int* a, int n) {"
+      "  for (int i = 0; i < n; ++i) {"
+      "    if (a[i] > 0) a[i] = -a[i]; else continue;"
+      "  }"
+      "  int j = 0;"
+      "  while (j < n) { j += 2; if (j == 8) break; }"
+      "  do { j--; } while (j > 0);"
+      "}",
+      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+}
+
+TEST(ParserTest, StructAndTypedef) {
+  auto tu = MustParse(
+      "typedef struct { float x; float y; int tag; } Point;"
+      "struct Node { int value; };"
+      "__kernel void k(__global Point* p, __global struct Node* n) {"
+      "  p[0].x = 1.0f;"
+      "  n[0].value = 2;"
+      "}",
+      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+}
+
+TEST(ParserTest, CudaTemplates) {
+  auto tu = MustParse(
+      "template <typename T> __device__ T my_max(T a, T b) {"
+      "  return a > b ? a : b;"
+      "}"
+      "__global__ void k(float* o, float* a, float* b) {"
+      "  o[0] = my_max<float>(a[0], b[0]);"
+      "}",
+      Dialect::kCUDA);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("my_max");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->template_params.size(), 1u);
+  EXPECT_EQ(f->template_params[0].name, "T");
+}
+
+TEST(ParserTest, CudaReferencesAndCasts) {
+  auto tu = MustParse(
+      "__device__ void swap_vals(int& a, int& b) {"
+      "  int t = a; a = b; b = t;"
+      "}"
+      "__global__ void k(int* x) {"
+      "  float f = static_cast<float>(x[0]);"
+      "  x[1] = (int)f;"
+      "}",
+      Dialect::kCUDA);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("swap_vals");
+  ASSERT_EQ(f->param_is_reference.size(), 2u);
+  EXPECT_TRUE(f->param_is_reference[0]);
+}
+
+TEST(ParserTest, CudaTextureDecl) {
+  auto tu = MustParse(
+      "texture<float4, 2, cudaReadModeElementType> tex;"
+      "__global__ void k(float4* o) {"
+      "  o[0] = tex2D(tex, 0.5f, 0.5f);"
+      "}",
+      Dialect::kCUDA);
+  ASSERT_NE(tu, nullptr);
+  auto* t = tu->decls[0]->As<TextureRefDecl>();
+  EXPECT_EQ(t->dims, 2);
+  EXPECT_EQ(t->elem_width, 4);
+}
+
+TEST(ParserTest, OpenClImageParams) {
+  auto tu = MustParse(
+      "__kernel void k(__read_only image2d_t img, sampler_t s, "
+      "__global float4* o) {"
+      "  o[0] = read_imagef(img, s, (float2)(0.5f, 0.5f));"
+      "}",
+      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("k");
+  EXPECT_TRUE(f->params[0]->type->is_image());
+  EXPECT_TRUE(f->params[0]->quals.read_only);
+  EXPECT_TRUE(f->params[1]->type->is_sampler());
+}
+
+TEST(ParserTest, PrecedenceAndAssociativity) {
+  auto tu = MustParse(
+      "__kernel void k(__global int* a) {"
+      "  a[0] = 1 + 2 * 3;"          // 7
+      "  a[1] = (1 + 2) * 3;"        // 9
+      "  a[2] = 1 << 2 | 1;"         // 5
+      "  a[3] = 10 - 4 - 3;"         // 3 (left assoc)
+      "}",
+      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+  auto* f = tu->FindFunction("k");
+  auto* e0 = f->body->body[0]->As<ExprStmt>()->expr->As<AssignExpr>();
+  auto* add = e0->rhs->As<BinaryExpr>();
+  EXPECT_EQ(add->op, BinaryOp::kAdd);
+  EXPECT_EQ(add->rhs->As<BinaryExpr>()->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, UnknownTypeFails) {
+  DiagnosticEngine diags;
+  ParseOptions opts;
+  auto r = ParseTranslationUnit("__kernel void k(Quux q) {}", opts, diags);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ParserTest, CudaQualifiersRejectedInOpenCl) {
+  DiagnosticEngine diags;
+  ParseOptions opts;
+  opts.dialect = Dialect::kOpenCL;
+  auto r = ParseTranslationUnit("__global__ void k(float* a) {}", opts, diags);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, MultipleDeclarators) {
+  auto tu = MustParse("__kernel void k() { int a = 1, b = 2, c; c = a + b; }",
+                      Dialect::kOpenCL);
+  ASSERT_NE(tu, nullptr);
+  auto* ds = tu->FindFunction("k")->body->body[0]->As<DeclStmt>();
+  EXPECT_EQ(ds->vars.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bridgecl::lang

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "lang/sema.h"
+
+namespace bridgecl::lang {
+namespace {
+
+std::string Reprint(const std::string& src, Dialect in, Dialect out) {
+  DiagnosticEngine diags;
+  ParseOptions popts;
+  popts.dialect = in;
+  auto tu = ParseTranslationUnit(src, popts, diags);
+  EXPECT_TRUE(tu.ok()) << diags.ToString();
+  if (!tu.ok()) return "";
+  SemaOptions sopts;
+  sopts.dialect = in;
+  Status st = Analyze(**tu, sopts, diags);
+  EXPECT_TRUE(st.ok()) << diags.ToString();
+  PrintOptions oopts;
+  oopts.dialect = out;
+  return PrintTranslationUnit(**tu, oopts);
+}
+
+bool Contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(PrinterTest, OpenClRoundTripKeepsQualifiers) {
+  std::string out = Reprint(
+      "__kernel void k(__global float* a, __local int* t, int n) {"
+      "  __local int tile[16];"
+      "  a[0] = 1.0f;"
+      "}",
+      Dialect::kOpenCL, Dialect::kOpenCL);
+  EXPECT_TRUE(Contains(out, "__kernel void k(")) << out;
+  EXPECT_TRUE(Contains(out, "__global float* a")) << out;
+  EXPECT_TRUE(Contains(out, "__local int* t")) << out;
+  EXPECT_TRUE(Contains(out, "__local int tile[16];")) << out;
+}
+
+TEST(PrinterTest, OpenClToCudaSurface) {
+  std::string out = Reprint(
+      "__kernel void k(__global float* a) {"
+      "  __local float tile[8];"
+      "  tile[0] = a[0];"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "}",
+      Dialect::kOpenCL, Dialect::kCUDA);
+  // The raw printer maps qualifier spellings (rewriting of built-ins is the
+  // translator's job, tested separately).
+  EXPECT_TRUE(Contains(out, "__global__ void k(")) << out;
+  EXPECT_TRUE(Contains(out, "float* a")) << out;
+  EXPECT_FALSE(Contains(out, "__global float* a")) << out;
+  EXPECT_TRUE(Contains(out, "__shared__ float tile[8];")) << out;
+}
+
+TEST(PrinterTest, CudaToOpenClSurface) {
+  std::string out = Reprint(
+      "__constant__ int lut[4] = {1, 2, 3, 4};"
+      "__global__ void k(float* a) {"
+      "  __shared__ float tile[8];"
+      "  tile[0] = a[0];"
+      "}",
+      Dialect::kCUDA, Dialect::kOpenCL);
+  EXPECT_TRUE(Contains(out, "__constant int lut[4] = {1, 2, 3, 4};")) << out;
+  EXPECT_TRUE(Contains(out, "__kernel void k(")) << out;
+  // Sema inferred the global pointee space; OpenCL output must spell it.
+  EXPECT_TRUE(Contains(out, "__global float* a")) << out;
+  EXPECT_TRUE(Contains(out, "__local float tile[8];")) << out;
+}
+
+TEST(PrinterTest, VectorLiteralSyntaxPerDialect) {
+  std::string cl = Reprint(
+      "__kernel void k(__global float4* o) {"
+      "  o[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f);"
+      "}",
+      Dialect::kOpenCL, Dialect::kOpenCL);
+  EXPECT_TRUE(Contains(cl, "(float4)(1.0f, 2.0f, 3.0f, 4.0f)")) << cl;
+
+  std::string cu = Reprint(
+      "__kernel void k(__global float4* o) {"
+      "  o[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f);"
+      "}",
+      Dialect::kOpenCL, Dialect::kCUDA);
+  EXPECT_TRUE(Contains(cu, "make_float4(1.0f, 2.0f, 3.0f, 4.0f)")) << cu;
+}
+
+TEST(PrinterTest, ControlFlowRoundTrip) {
+  std::string out = Reprint(
+      "__kernel void k(__global int* a, int n) {"
+      "  for (int i = 0; i < n; ++i) {"
+      "    if (a[i] > 0) a[i] = -a[i];"
+      "    else a[i] = 0;"
+      "  }"
+      "  while (n > 0) n--;"
+      "  do { n++; } while (n < 4);"
+      "}",
+      Dialect::kOpenCL, Dialect::kOpenCL);
+  EXPECT_TRUE(Contains(out, "for (int i = 0; i < n; ++i)")) << out;
+  EXPECT_TRUE(Contains(out, "while (n > 0)")) << out;
+  EXPECT_TRUE(Contains(out, "do {")) << out;
+  EXPECT_TRUE(Contains(out, "} while (n < 4);")) << out;
+}
+
+TEST(PrinterTest, StructPrinting) {
+  std::string out = Reprint(
+      "typedef struct { float x; float y[3]; } Pt;"
+      "__kernel void k(__global Pt* p) { p[0].x = 1.0f; }",
+      Dialect::kOpenCL, Dialect::kOpenCL);
+  EXPECT_TRUE(Contains(out, "typedef struct {")) << out;
+  EXPECT_TRUE(Contains(out, "float y[3];")) << out;
+  EXPECT_TRUE(Contains(out, "} Pt;")) << out;
+}
+
+TEST(PrinterTest, TemplateFunctionPrintsOnlyInCuda) {
+  std::string out = Reprint(
+      "template <typename T> __device__ T ident(T a) { return a; }"
+      "__global__ void k(float* o) { o[0] = ident<float>(o[0]); }",
+      Dialect::kCUDA, Dialect::kCUDA);
+  EXPECT_TRUE(Contains(out, "template <typename T>")) << out;
+  EXPECT_TRUE(Contains(out, "ident<float>(")) << out;
+}
+
+TEST(PrinterTest, CStyleAndCppCasts) {
+  std::string out = Reprint(
+      "__global__ void k(int* x) {"
+      "  float f = static_cast<float>(x[0]);"
+      "  x[1] = (int)f;"
+      "}",
+      Dialect::kCUDA, Dialect::kCUDA);
+  EXPECT_TRUE(Contains(out, "static_cast<float>(x[0])")) << out;
+  EXPECT_TRUE(Contains(out, "(int)f")) << out;
+}
+
+TEST(PrinterTest, ReparsePrintedOutput) {
+  // Printed OpenCL output must parse again (idempotent surface syntax).
+  std::string src =
+      "__kernel void k(__global float* a, __constant float* c, int n) {"
+      "  __local float t[32];"
+      "  int i = get_global_id(0);"
+      "  t[i % 32] = a[i] + c[0];"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  if (i < n) a[i] = t[i % 32] * 0.5f;"
+      "}";
+  std::string out = Reprint(src, Dialect::kOpenCL, Dialect::kOpenCL);
+  std::string out2 = Reprint(out, Dialect::kOpenCL, Dialect::kOpenCL);
+  EXPECT_EQ(out, out2);
+}
+
+}  // namespace
+}  // namespace bridgecl::lang

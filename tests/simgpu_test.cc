@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "simgpu/device.h"
+#include "simgpu/fiber.h"
+
+namespace bridgecl::simgpu {
+namespace {
+
+TEST(Dim3Test, NdrangeGridConversion) {
+  Dim3 grid;
+  ASSERT_TRUE(NdrangeToGrid(Dim3(256, 64), Dim3(32, 8), &grid));
+  EXPECT_EQ(grid, Dim3(8, 8));
+  EXPECT_FALSE(NdrangeToGrid(Dim3(100), Dim3(32), &grid));  // not divisible
+  EXPECT_FALSE(NdrangeToGrid(Dim3(100), Dim3(0), &grid));
+  EXPECT_EQ(GridToNdrange(Dim3(8, 8), Dim3(32, 8)), Dim3(256, 64));
+}
+
+TEST(VirtualMemoryTest, AllocResolveFree) {
+  VirtualMemory vm(1 << 20);
+  auto a = vm.AllocGlobal(256);
+  ASSERT_TRUE(a.ok());
+  auto b = vm.AllocGlobal(256);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(vm.global_in_use(), 512u);
+  auto p = vm.Resolve(*a + 100, 8);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(vm.Resolve(*a + 250, 8).ok() == false);  // crosses the end
+  ASSERT_TRUE(vm.FreeGlobal(*a).ok());
+  EXPECT_EQ(vm.global_in_use(), 256u);
+  EXPECT_FALSE(vm.FreeGlobal(*a).ok());  // double free
+  EXPECT_FALSE(vm.Resolve(*a, 8).ok());  // use after free
+}
+
+TEST(VirtualMemoryTest, CapacityEnforced) {
+  VirtualMemory vm(1024);
+  EXPECT_TRUE(vm.AllocGlobal(1000).ok());
+  auto r = vm.AllocGlobal(100);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VirtualMemoryTest, SegmentsDistinct) {
+  VirtualMemory vm(1 << 20);
+  auto g = vm.AllocGlobal(64);
+  ASSERT_TRUE(g.ok());
+  vm.MapConstant(64);
+  vm.MapShared(64);
+  vm.MapPrivate(64);
+  EXPECT_EQ(*vm.SegmentOf(*g), Segment::kGlobal);
+  EXPECT_EQ(*vm.SegmentOf(vm.constant_base()), Segment::kConstant);
+  EXPECT_EQ(*vm.SegmentOf(vm.shared_base()), Segment::kShared);
+  EXPECT_EQ(*vm.SegmentOf(vm.private_base()), Segment::kPrivate);
+  EXPECT_TRUE(vm.Resolve(vm.constant_base(), 64).ok());
+  EXPECT_FALSE(vm.Resolve(vm.constant_base() + 32, 64).ok());
+  EXPECT_FALSE(vm.SegmentOf(4).ok());  // inside the null guard
+}
+
+TEST(DeviceTest, BankWordAccounting) {
+  Device d(TitanProfile());
+  d.set_bank_mode(BankMode::k32Bit);
+  EXPECT_EQ(d.SharedAccessBankWords(0, 4), 1);
+  EXPECT_EQ(d.SharedAccessBankWords(0, 8), 2);   // double spans 2 words
+  EXPECT_EQ(d.SharedAccessBankWords(2, 4), 2);   // misaligned
+  d.set_bank_mode(BankMode::k64Bit);
+  EXPECT_EQ(d.SharedAccessBankWords(0, 8), 1);   // the §6.2 effect
+  EXPECT_EQ(d.SharedAccessBankWords(0, 4), 1);
+  EXPECT_EQ(d.SharedAccessBankWords(4, 8), 2);   // straddles two banks
+}
+
+TEST(DeviceTest, OccupancyModel) {
+  Device d(TitanProfile());
+  // 65536 regs / 2048 threads = 32 regs for full occupancy.
+  EXPECT_DOUBLE_EQ(d.OccupancyFor(32), 1.0);
+  EXPECT_NEAR(d.OccupancyFor(85), 0.375, 0.01);  // cfd CUDA variant
+  EXPECT_NEAR(d.OccupancyFor(68), 0.469, 0.01);  // cfd OpenCL variant
+  EXPECT_GT(d.OccupancyFor(16), 0.99);           // capped at 1.0
+}
+
+TEST(DeviceTest, ClockAdvances) {
+  Device d(TitanProfile());
+  EXPECT_DOUBLE_EQ(d.now_us(), 0.0);
+  d.ChargeApiCall();
+  double t1 = d.now_us();
+  EXPECT_GT(t1, 0.0);
+  d.ChargeCopy(1 << 20);
+  EXPECT_GT(d.now_us(), t1 + 50.0);  // 1MB over ~10GB/s ≈ 100us
+  EXPECT_EQ(d.stats().api_calls, 1u);
+}
+
+TEST(FiberTest, PlainTasksComplete) {
+  FiberGroup g(64 * 1024);
+  std::vector<int> done(8, 0);
+  Status st = g.Run(8, [&](int i) {
+    done[i] = i + 1;
+    return OkStatus();
+  });
+  ASSERT_TRUE(st.ok());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(done[i], i + 1);
+}
+
+TEST(FiberTest, BarrierSynchronizes) {
+  FiberGroup g(64 * 1024);
+  // Phase counter: all fibers must write phase-1 data before any reads it.
+  std::vector<int> a(16, 0), b(16, 0);
+  Status st = g.Run(16, [&](int i) {
+    a[i] = i * 2;
+    g.Barrier();
+    b[i] = a[15 - i];  // reads sibling data written before the barrier
+    return OkStatus();
+  });
+  ASSERT_TRUE(st.ok());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(b[i], (15 - i) * 2);
+}
+
+TEST(FiberTest, MultipleBarriers) {
+  FiberGroup g(64 * 1024);
+  int counter = 0;
+  Status st = g.Run(4, [&](int) {
+    for (int round = 0; round < 5; ++round) {
+      ++counter;
+      g.Barrier();
+    }
+    return OkStatus();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(counter, 20);
+}
+
+TEST(FiberTest, ErrorPropagates) {
+  FiberGroup g(64 * 1024);
+  Status st = g.Run(4, [&](int i) {
+    if (i == 2) return InternalError("boom");
+    return OkStatus();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "boom");
+}
+
+TEST(FiberTest, EarlyExitTolerated) {
+  // Some work-items return before the barrier (guarded kernels).
+  FiberGroup g(64 * 1024);
+  int reached = 0;
+  Status st = g.Run(8, [&](int i) {
+    if (i >= 4) return OkStatus();  // early exit
+    g.Barrier();
+    ++reached;
+    return OkStatus();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(reached, 4);
+}
+
+TEST(ProfileTest, TableTwoProfiles) {
+  const DeviceProfile& t = TitanProfile();
+  EXPECT_EQ(t.warp_size, 32);
+  EXPECT_EQ(t.opencl_bank_mode, BankMode::k32Bit);
+  EXPECT_EQ(t.cuda_bank_mode, BankMode::k64Bit);
+  const DeviceProfile& a = HD7970Profile();
+  EXPECT_EQ(a.warp_size, 64);
+  EXPECT_EQ(a.opencl_bank_mode, a.cuda_bank_mode);  // no CUDA on AMD
+  EXPECT_FALSE(SystemConfigurationTable().empty());
+}
+
+}  // namespace
+}  // namespace bridgecl::simgpu

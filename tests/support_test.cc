@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace bridgecl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UntranslatableError("x").code(), StatusCode::kUntranslatable);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(NotFoundError("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Doubler(StatusOr<int> in) {
+  BRIDGECL_ASSIGN_OR_RETURN(int x, std::move(in));
+  return x * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(InternalError("boom")).ok());
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("get_global_id", "get_"));
+  EXPECT_FALSE(StartsWith("id", "get_"));
+  EXPECT_TRUE(EndsWith("kernel.cl", ".cl"));
+  EXPECT_FALSE(EndsWith(".cl", "kernel.cl"));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a.cl a.cl", "a.cl", "b.cu"), "b.cu b.cu");
+  EXPECT_EQ(ReplaceAll("xxx", "x", "xx"), "xxxxxx");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  \t x y \n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "ok"), "7-ok");
+}
+
+}  // namespace
+}  // namespace bridgecl

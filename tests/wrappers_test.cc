@@ -1,0 +1,534 @@
+// End-to-end tests of the hybrid wrapper libraries: the same host-driver
+// logic runs against a native binding and against the paper's wrapper
+// binding, and results must agree bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cl2cu/cl_on_cuda.h"
+#include "cu2cl/cuda_on_cl.h"
+#include "mcuda/cuda_api.h"
+#include "mocl/cl_api.h"
+#include "simgpu/device.h"
+
+namespace bridgecl {
+namespace {
+
+using mcuda::LaunchArg;
+using mcuda::MemcpyKind;
+using mocl::ClMem;
+using mocl::MemFlags;
+using simgpu::Device;
+using simgpu::Dim3;
+using simgpu::TitanProfile;
+
+// ---------------------------------------------------------------------------
+// A reusable OpenCL host driver (the "untouched host code" of §3.2). It is
+// written once against the abstract API and runs under both bindings.
+// ---------------------------------------------------------------------------
+StatusOr<std::vector<float>> RunClVadd(mocl::OpenClApi& cl, int n) {
+  const char* src =
+      "__kernel void vadd(__global float* a, __global float* b,"
+      "                   __global float* c, int n) {"
+      "  int i = get_global_id(0);"
+      "  if (i < n) c[i] = a[i] + b[i];"
+      "}";
+  std::vector<float> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = 0.25f * i;
+    b[i] = 1.5f * i;
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(src));
+  BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+  BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl.CreateKernel(prog, "vadd"));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem ma, cl.CreateBuffer(MemFlags::kReadOnly, n * 4, a.data()));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem mb, cl.CreateBuffer(MemFlags::kReadOnly, n * 4, b.data()));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem mc, cl.CreateBuffer(MemFlags::kWriteOnly, n * 4, nullptr));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(ClMem), &ma));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 1, sizeof(ClMem), &mb));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 2, sizeof(ClMem), &mc));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 3, sizeof(int), &n));
+  size_t gws = n, lws = 32;
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueNDRangeKernel(kernel, 1, &gws, &lws));
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueReadBuffer(mc, 0, n * 4, c.data()));
+  return c;
+}
+
+TEST(Cl2CuTest, VaddMatchesNativeOpenCl) {
+  const int n = 128;
+  Device dev_native(TitanProfile());
+  auto native = mocl::CreateNativeClApi(dev_native);
+  auto r_native = RunClVadd(*native, n);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+
+  Device dev_wrapped(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev_wrapped);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto r_wrapped = RunClVadd(*wrapped, n);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+
+  EXPECT_EQ(*r_native, *r_wrapped);
+}
+
+TEST(Cl2CuTest, DynamicLocalAndConstantThroughFig5) {
+  // Exercises the full Fig 5 path: two dynamic __local objects plus a
+  // dynamic __constant object, under both bindings.
+  const char* src =
+      "__kernel void mixup(__global float* data, __local float* t1,"
+      "                    __local float* t2, __constant float* coef) {"
+      "  int l = get_local_id(0);"
+      "  int i = get_global_id(0);"
+      "  t1[l] = data[i] * coef[0];"
+      "  t2[l] = data[i] + coef[1];"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  int n = (int)get_local_size(0);"
+      "  data[i] = t1[n - 1 - l] + t2[(l + 1) % n];"
+      "}";
+  const int n = 32, block = 8;
+  std::vector<float> init(n);
+  std::iota(init.begin(), init.end(), 1.0f);
+  std::vector<float> coef = {3.0f, 10.0f};
+
+  auto run = [&](mocl::OpenClApi& cl) -> StatusOr<std::vector<float>> {
+    BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(src));
+    BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+    BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl.CreateKernel(prog, "mixup"));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem data, cl.CreateBuffer(MemFlags::kReadWrite, n * 4,
+                                    init.data()));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem cbuf, cl.CreateBuffer(MemFlags::kReadOnly, 8, coef.data()));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(ClMem),
+                                             &data));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 1, block * 4, nullptr));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 2, block * 4, nullptr));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 3, sizeof(ClMem),
+                                             &cbuf));
+    size_t gws = n, lws = block;
+    BRIDGECL_RETURN_IF_ERROR(cl.EnqueueNDRangeKernel(kernel, 1, &gws, &lws));
+    std::vector<float> out(n);
+    BRIDGECL_RETURN_IF_ERROR(cl.EnqueueReadBuffer(data, 0, n * 4,
+                                                  out.data()));
+    return out;
+  };
+
+  Device dev_native(TitanProfile());
+  auto native = mocl::CreateNativeClApi(dev_native);
+  auto r_native = run(*native);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+
+  Device dev_wrapped(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev_wrapped);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto r_wrapped = run(*wrapped);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+
+  EXPECT_EQ(*r_native, *r_wrapped);
+}
+
+TEST(Cl2CuTest, ImageThroughCLImage) {
+  const char* src =
+      "__kernel void sample(__read_only image2d_t img, sampler_t s,"
+      "                     __global float* out) {"
+      "  int x = get_global_id(0);"
+      "  float4 t = read_imagef(img, s, (int2)(x, 0));"
+      "  out[x] = t.x * 2.0f;"
+      "}";
+  std::vector<float> texels = {1, 2, 3, 4};
+  auto run = [&](mocl::OpenClApi& cl) -> StatusOr<std::vector<float>> {
+    BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(src));
+    BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+    BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl.CreateKernel(prog, "sample"));
+    mocl::ClImageFormat fmt;
+    fmt.elem = lang::ScalarKind::kFloat;
+    fmt.channels = 1;
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem img, cl.CreateImage2D(MemFlags::kReadOnly, fmt, 4, 1,
+                                    texels.data()));
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler, cl.CreateSampler({}));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem out, cl.CreateBuffer(MemFlags::kWriteOnly, 16, nullptr));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(ClMem), &img));
+    BRIDGECL_RETURN_IF_ERROR(
+        cl.SetKernelArg(kernel, 1, sizeof(uint64_t), &sampler));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 2, sizeof(ClMem), &out));
+    size_t gws = 4, lws = 4;
+    BRIDGECL_RETURN_IF_ERROR(cl.EnqueueNDRangeKernel(kernel, 1, &gws, &lws));
+    std::vector<float> result(4);
+    BRIDGECL_RETURN_IF_ERROR(cl.EnqueueReadBuffer(out, 0, 16,
+                                                  result.data()));
+    return result;
+  };
+  Device dev_native(TitanProfile());
+  auto native = mocl::CreateNativeClApi(dev_native);
+  auto r_native = run(*native);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+  Device dev_wrapped(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev_wrapped);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto r_wrapped = run(*wrapped);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+  EXPECT_FLOAT_EQ((*r_wrapped)[2], 6.0f);
+}
+
+TEST(Cl2CuTest, DoubleArgDoesNotCollideWithImageHandles) {
+  // Regression: a double kernel argument of exactly 2.0 has the bit
+  // pattern 0x4000000000000000, which coincides with the wrapper's first
+  // image-handle id. The wrapper must identify image parameters from the
+  // translation metadata, never from the argument's value.
+  Device dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev);
+  auto cl = cl2cu::CreateClOnCudaApi(*cuda);
+  auto prog = cl->CreateProgramWithSource(
+      "__kernel void scale_img(__read_only image2d_t img, sampler_t s,"
+      "                        __global double* out, double factor) {"
+      "  float4 t = read_imagef(img, s, (int2)(0, 0));"
+      "  out[0] = (double)t.x * factor;"
+      "}");
+  ASSERT_TRUE(prog.ok());
+  ASSERT_TRUE(cl->BuildProgram(*prog).ok());
+  auto kernel = cl->CreateKernel(*prog, "scale_img");
+  ASSERT_TRUE(kernel.ok());
+  mocl::ClImageFormat fmt;
+  fmt.elem = lang::ScalarKind::kFloat;
+  fmt.channels = 1;
+  float texel = 3.0f;
+  auto img = cl->CreateImage2D(MemFlags::kReadOnly, fmt, 1, 1, &texel);
+  ASSERT_TRUE(img.ok());
+  auto sampler = cl->CreateSampler({});
+  ASSERT_TRUE(sampler.ok());
+  auto out = cl->CreateBuffer(MemFlags::kWriteOnly, 8, nullptr);
+  ASSERT_TRUE(out.ok());
+  double factor = 2.0;  // bit pattern == first image id
+  ASSERT_TRUE(cl->SetKernelArg(*kernel, 0, sizeof(ClMem), &*img).ok());
+  ASSERT_TRUE(cl->SetKernelArg(*kernel, 1, sizeof(uint64_t), &*sampler).ok());
+  ASSERT_TRUE(cl->SetKernelArg(*kernel, 2, sizeof(ClMem), &*out).ok());
+  ASSERT_TRUE(cl->SetKernelArg(*kernel, 3, sizeof(double), &factor).ok());
+  size_t one = 1;
+  ASSERT_TRUE(cl->EnqueueNDRangeKernel(*kernel, 1, &one, &one).ok());
+  double got = 0;
+  ASSERT_TRUE(cl->EnqueueReadBuffer(*out, 0, 8, &got).ok());
+  EXPECT_DOUBLE_EQ(got, 6.0);
+}
+
+TEST(Cl2CuTest, SubDevicesUnimplementable) {
+  Device dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto r = wrapped->CreateSubDevices(2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(Cl2CuTest, RunsUnderCudaBankMode) {
+  // §6.2: an OpenCL app executed through the CUDA wrapper inherits CUDA's
+  // 64-bit shared-memory bank mode — the FT speedup mechanism.
+  Device dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  (void)wrapped;
+  EXPECT_EQ(dev.bank_mode(), simgpu::BankMode::k64Bit);
+}
+
+TEST(Cl2CuTest, BuildFailurePropagates) {
+  Device dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto prog = wrapped->CreateProgramWithSource(
+      "__kernel void k(__global int* o, int d) {"
+      "  o[0] = (int)get_global_id(d);"  // non-literal dim: untranslatable
+      "}");
+  ASSERT_TRUE(prog.ok());
+  Status st = wrapped->BuildProgram(*prog);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  auto log = wrapped->GetProgramBuildLog(*prog);
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE(log->empty());
+}
+
+// ---------------------------------------------------------------------------
+// CUDA host drivers under both bindings.
+// ---------------------------------------------------------------------------
+StatusOr<std::vector<float>> RunCuSaxpy(mcuda::CudaApi& cu, int n) {
+  BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(
+      "__global__ void saxpy(float* y, float* x, float a, int n) {"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;"
+      "  if (i < n) y[i] = a * x[i] + y[i];"
+      "}"));
+  std::vector<float> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = i;
+    y[i] = 2 * i;
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(void* dx, cu.Malloc(n * 4));
+  BRIDGECL_ASSIGN_OR_RETURN(void* dy, cu.Malloc(n * 4));
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.Memcpy(dx, x.data(), n * 4, MemcpyKind::kHostToDevice));
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.Memcpy(dy, y.data(), n * 4, MemcpyKind::kHostToDevice));
+  float a = 0.5f;
+  std::vector<LaunchArg> args = {LaunchArg::Ptr(dy), LaunchArg::Ptr(dx),
+                                 LaunchArg::Value<float>(a),
+                                 LaunchArg::Value<int>(n)};
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.LaunchKernel("saxpy", Dim3((n + 31) / 32), Dim3(32), 0, args));
+  std::vector<float> out(n);
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.Memcpy(out.data(), dy, n * 4, MemcpyKind::kDeviceToHost));
+  return out;
+}
+
+TEST(Cu2ClTest, SaxpyMatchesNativeCuda) {
+  const int n = 96;
+  Device dev_native(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(dev_native);
+  auto r_native = RunCuSaxpy(*native, n);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+
+  Device dev_wrapped(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_wrapped);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  auto r_wrapped = RunCuSaxpy(*wrapped, n);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+}
+
+StatusOr<std::vector<float>> RunCuSymbolKernel(mcuda::CudaApi& cu) {
+  BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(
+      "__constant__ float coef[4];"
+      "__device__ int counter;"
+      "__global__ void k(float* out) {"
+      "  int i = threadIdx.x;"
+      "  out[i] = coef[i] * 100.0f;"
+      "  if (i == 0) counter = counter + 7;"
+      "}"));
+  std::vector<float> coef = {1, 2, 3, 4};
+  BRIDGECL_RETURN_IF_ERROR(cu.MemcpyToSymbol("coef", coef.data(), 16));
+  int zero = 0;
+  BRIDGECL_RETURN_IF_ERROR(cu.MemcpyToSymbol("counter", &zero, 4));
+  BRIDGECL_ASSIGN_OR_RETURN(void* out, cu.Malloc(16));
+  std::vector<LaunchArg> args = {LaunchArg::Ptr(out)};
+  BRIDGECL_RETURN_IF_ERROR(cu.LaunchKernel("k", Dim3(1), Dim3(4), 0, args));
+  std::vector<float> result(5);
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.Memcpy(result.data(), out, 16, MemcpyKind::kDeviceToHost));
+  int counter = 0;
+  BRIDGECL_RETURN_IF_ERROR(cu.MemcpyFromSymbol(&counter, "counter", 4));
+  result[4] = static_cast<float>(counter);
+  return result;
+}
+
+TEST(Cu2ClTest, MemcpyToSymbolThroughDynamicBuffers) {
+  // §4.2/§4.3: static symbols become dynamically allocated buffers bound
+  // as extra kernel arguments.
+  Device dev_native(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(dev_native);
+  auto r_native = RunCuSymbolKernel(*native);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+
+  Device dev_wrapped(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_wrapped);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  auto r_wrapped = RunCuSymbolKernel(*wrapped);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+  EXPECT_FLOAT_EQ((*r_wrapped)[4], 7.0f);
+}
+
+StatusOr<std::vector<float>> RunCuTexture(mcuda::CudaApi& cu, int n) {
+  BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(
+      "texture<float, 1, cudaReadModeElementType> tex;"
+      "__global__ void k(float* out, int n) {"
+      "  int i = threadIdx.x;"
+      "  if (i < n) out[i] = tex1Dfetch(tex, n - 1 - i) * 10.0f;"
+      "}"));
+  std::vector<float> data(n);
+  std::iota(data.begin(), data.end(), 0.0f);
+  BRIDGECL_ASSIGN_OR_RETURN(void* src, cu.Malloc(n * 4));
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.Memcpy(src, data.data(), n * 4, MemcpyKind::kHostToDevice));
+  mcuda::ChannelDesc desc;
+  desc.elem = lang::ScalarKind::kFloat;
+  desc.channels = 1;
+  BRIDGECL_RETURN_IF_ERROR(cu.BindTexture("tex", src, n * 4, desc));
+  BRIDGECL_ASSIGN_OR_RETURN(void* out, cu.Malloc(n * 4));
+  std::vector<LaunchArg> args = {LaunchArg::Ptr(out),
+                                 LaunchArg::Value<int>(n)};
+  BRIDGECL_RETURN_IF_ERROR(cu.LaunchKernel("k", Dim3(1), Dim3(n), 0, args));
+  std::vector<float> result(n);
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.Memcpy(result.data(), out, n * 4, MemcpyKind::kDeviceToHost));
+  return result;
+}
+
+TEST(Cu2ClTest, TextureBecomesImagePlusSampler) {
+  const int n = 8;
+  Device dev_native(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(dev_native);
+  auto r_native = RunCuTexture(*native, n);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+
+  Device dev_wrapped(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_wrapped);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  auto r_wrapped = RunCuTexture(*wrapped, n);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+}
+
+TEST(Cu2ClTest, LargeLinearTextureFails) {
+  // §5 / Fig 8(a): CUDA 1D linear textures reach 2^27 texels; OpenCL 1D
+  // image buffers stop at 65536. kmeans/leukocyte/hybridsort fail here.
+  Device dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  ASSERT_TRUE(wrapped
+                  ->RegisterModule(
+                      "texture<float, 1, cudaReadModeElementType> tex;"
+                      "__global__ void k(float* out) {"
+                      "  out[0] = tex1Dfetch(tex, 0);"
+                      "}")
+                  .ok());
+  const size_t n = 100000;  // > 65536
+  auto src = wrapped->Malloc(n * 4);
+  ASSERT_TRUE(src.ok());
+  mcuda::ChannelDesc desc;
+  desc.elem = lang::ScalarKind::kFloat;
+  desc.channels = 1;
+  Status st = wrapped->BindTexture("tex", *src, n * 4, desc);
+  ASSERT_FALSE(st.ok());
+}
+
+TEST(Cu2ClTest, DynamicSharedThroughAppendedParam) {
+  auto run = [&](mcuda::CudaApi& cu) -> StatusOr<std::vector<int>> {
+    BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(
+        "__global__ void rev(int* d) {"
+        "  extern __shared__ int tile[];"
+        "  int t = threadIdx.x;"
+        "  tile[t] = d[t];"
+        "  __syncthreads();"
+        "  d[t] = tile[(int)blockDim.x - 1 - t];"
+        "}"));
+    const int n = 16;
+    std::vector<int> data(n);
+    std::iota(data.begin(), data.end(), 0);
+    BRIDGECL_ASSIGN_OR_RETURN(void* p, cu.Malloc(n * 4));
+    BRIDGECL_RETURN_IF_ERROR(
+        cu.Memcpy(p, data.data(), n * 4, MemcpyKind::kHostToDevice));
+    std::vector<LaunchArg> args = {LaunchArg::Ptr(p)};
+    BRIDGECL_RETURN_IF_ERROR(
+        cu.LaunchKernel("rev", Dim3(1), Dim3(n), n * 4, args));
+    std::vector<int> out(n);
+    BRIDGECL_RETURN_IF_ERROR(
+        cu.Memcpy(out.data(), p, n * 4, MemcpyKind::kDeviceToHost));
+    return out;
+  };
+  Device dev_native(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(dev_native);
+  auto r_native = run(*native);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+  Device dev_wrapped(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_wrapped);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  auto r_wrapped = run(*wrapped);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+}
+
+TEST(Cu2ClTest, MemGetInfoUnimplementable) {
+  Device dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  auto r = wrapped->MemGetInfo();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(Cu2ClTest, DevicePropertiesSlowerThroughWrapper) {
+  // §6.3 deviceQuery: the wrapper issues many clGetDeviceInfo calls.
+  Device dev_native(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(dev_native);
+  double t0 = native->NowUs();
+  ASSERT_TRUE(native->GetDeviceProperties().ok());
+  double native_cost = native->NowUs() - t0;
+
+  Device dev_wrapped(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_wrapped);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  double t1 = wrapped->NowUs();
+  ASSERT_TRUE(wrapped->GetDeviceProperties().ok());
+  double wrapped_cost = wrapped->NowUs() - t1;
+  EXPECT_GT(wrapped_cost, 3 * native_cost);
+}
+
+TEST(Cu2ClTest, UntranslatableModuleRejectedAtRegister) {
+  Device dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  Status st = wrapped->RegisterModule(
+      "__global__ void k(int* out) { out[0] = __shfl(1, 0); }");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+}
+
+TEST(Cu2ClTest, AtomicEmulationMatchesNativeSemantics) {
+  auto run = [&](mcuda::CudaApi& cu) -> StatusOr<unsigned> {
+    BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(
+        "__global__ void k(unsigned int* c) { atomicInc(c, 4u); }"));
+    BRIDGECL_ASSIGN_OR_RETURN(void* c, cu.Malloc(4));
+    unsigned zero = 0;
+    BRIDGECL_RETURN_IF_ERROR(
+        cu.Memcpy(c, &zero, 4, MemcpyKind::kHostToDevice));
+    std::vector<LaunchArg> args = {LaunchArg::Ptr(c)};
+    // 13 increments wrapping at 4 → 13 % 5 = 3.
+    BRIDGECL_RETURN_IF_ERROR(cu.LaunchKernel("k", Dim3(13), Dim3(1), 0,
+                                             args));
+    unsigned out = 0;
+    BRIDGECL_RETURN_IF_ERROR(
+        cu.Memcpy(&out, c, 4, MemcpyKind::kDeviceToHost));
+    return out;
+  };
+  Device dev_native(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(dev_native);
+  auto r_native = run(*native);
+  ASSERT_TRUE(r_native.ok());
+
+  Device dev_wrapped(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_wrapped);
+  cu2cl::CudaOnClOptions opts;
+  opts.translate.allow_atomic_emulation = true;
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl, opts);
+  auto r_wrapped = run(*wrapped);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+  EXPECT_EQ(*r_wrapped, 3u);
+}
+
+TEST(Cu2ClTest, WrapperOverheadIsSmall) {
+  // §6: "the overhead of wrapper functions is negligible" — compare total
+  // simulated time of the same workload under native CUDA vs the wrapper
+  // (excluding the one-time build).
+  const int n = 256;
+  Device dev_native(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(dev_native);
+  ASSERT_TRUE(RunCuSaxpy(*native, n).ok());
+  double native_time = native->NowUs();
+
+  Device dev_wrapped(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_wrapped);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  ASSERT_TRUE(RunCuSaxpy(*wrapped, n).ok());
+  double wrapped_time = wrapped->NowUs() - cl->BuildTimeUs();
+
+  // Within ~25% of native (launch-path costs differ slightly by design).
+  EXPECT_LT(wrapped_time, native_time * 1.25)
+      << "native=" << native_time << " wrapped=" << wrapped_time;
+}
+
+}  // namespace
+}  // namespace bridgecl
