@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_sema_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/simgpu_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/mocl_test[1]_include.cmake")
+include("/root/repo/build/tests/mcuda_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_test[1]_include.cmake")
+include("/root/repo/build/tests/wrappers_test[1]_include.cmake")
+include("/root/repo/build/tests/host_rewriter_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/figure4_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/image_translation_test[1]_include.cmake")
+include("/root/repo/build/tests/events_test[1]_include.cmake")
