@@ -240,9 +240,13 @@ bench-build/CMakeFiles/bench_fig7_ocl_to_cuda.dir/bench_fig7_ocl_to_cuda.cc.o: \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/lang/type.h \
  /root/repo/src/simgpu/device.h /root/repo/src/simgpu/device_profile.h \
- /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/virtual_memory.h \
- /root/repo/src/support/status.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/mocl/cl_api.h \
+ /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/fault_injector.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/support/status.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/simgpu/virtual_memory.h /root/repo/src/mocl/cl_api.h \
  /root/repo/src/cl2cu/cl_on_cuda.h /root/repo/src/cu2cl/cuda_on_cl.h \
  /root/repo/src/translator/translate.h /root/repo/src/lang/dialect.h \
  /root/repo/src/support/source_location.h

@@ -235,11 +235,12 @@ src/apps/CMakeFiles/bridgecl_apps.dir/toolkit.cc.o: \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/lang/type.h \
  /root/repo/src/simgpu/device.h /root/repo/src/simgpu/device_profile.h \
- /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/virtual_memory.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/fault_injector.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/mocl/cl_api.h /root/repo/src/apps/runners.h
+ /root/repo/src/support/status.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/simgpu/virtual_memory.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/mocl/cl_api.h \
+ /root/repo/src/apps/runners.h

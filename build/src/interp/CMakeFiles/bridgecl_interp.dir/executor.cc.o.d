@@ -209,14 +209,19 @@ src/interp/CMakeFiles/bridgecl_interp.dir/executor.cc.o: \
  /root/repo/src/lang/type.h /root/repo/src/support/source_location.h \
  /root/repo/src/lang/dialect.h /root/repo/src/simgpu/device.h \
  /root/repo/src/simgpu/device_profile.h /root/repo/src/simgpu/dim3.h \
+ /root/repo/src/simgpu/fault_injector.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/support/status.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/simgpu/virtual_memory.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -241,10 +246,4 @@ src/interp/CMakeFiles/bridgecl_interp.dir/executor.cc.o: \
  /root/repo/src/interp/constants.h /usr/include/c++/12/optional \
  /root/repo/src/interp/image.h /root/repo/src/interp/value.h \
  /root/repo/src/lang/builtins.h /root/repo/src/lang/sema.h \
- /root/repo/src/simgpu/fiber.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/support/strings.h
+ /root/repo/src/simgpu/fiber.h /root/repo/src/support/strings.h

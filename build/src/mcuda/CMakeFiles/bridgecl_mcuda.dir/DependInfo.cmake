@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcuda/cuda_errors.cc" "src/mcuda/CMakeFiles/bridgecl_mcuda.dir/cuda_errors.cc.o" "gcc" "src/mcuda/CMakeFiles/bridgecl_mcuda.dir/cuda_errors.cc.o.d"
   "/root/repo/src/mcuda/native_cuda.cc" "src/mcuda/CMakeFiles/bridgecl_mcuda.dir/native_cuda.cc.o" "gcc" "src/mcuda/CMakeFiles/bridgecl_mcuda.dir/native_cuda.cc.o.d"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_mcuda.dir/cuda_errors.cc.o"
+  "CMakeFiles/bridgecl_mcuda.dir/cuda_errors.cc.o.d"
   "CMakeFiles/bridgecl_mcuda.dir/native_cuda.cc.o"
   "CMakeFiles/bridgecl_mcuda.dir/native_cuda.cc.o.d"
   "libbridgecl_mcuda.a"

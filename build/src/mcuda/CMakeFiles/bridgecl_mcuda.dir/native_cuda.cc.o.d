@@ -208,11 +208,17 @@ src/mcuda/CMakeFiles/bridgecl_mcuda.dir/native_cuda.cc.o: \
  /root/repo/src/lang/type.h /root/repo/src/support/source_location.h \
  /root/repo/src/lang/dialect.h /root/repo/src/simgpu/device.h \
  /root/repo/src/simgpu/device_profile.h /root/repo/src/simgpu/dim3.h \
+ /root/repo/src/simgpu/fault_injector.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/support/status.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/simgpu/virtual_memory.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/interp/image.h /root/repo/src/mcuda/cuda_api.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/interp/image.h \
+ /root/repo/src/mcuda/cuda_api.h /root/repo/src/mcuda/cuda_errors.h \
  /root/repo/src/support/strings.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mocl/cl_errors.cc" "src/mocl/CMakeFiles/bridgecl_mocl.dir/cl_errors.cc.o" "gcc" "src/mocl/CMakeFiles/bridgecl_mocl.dir/cl_errors.cc.o.d"
   "/root/repo/src/mocl/native_cl.cc" "src/mocl/CMakeFiles/bridgecl_mocl.dir/native_cl.cc.o" "gcc" "src/mocl/CMakeFiles/bridgecl_mocl.dir/native_cl.cc.o.d"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_mocl.dir/cl_errors.cc.o"
+  "CMakeFiles/bridgecl_mocl.dir/cl_errors.cc.o.d"
   "CMakeFiles/bridgecl_mocl.dir/native_cl.cc.o"
   "CMakeFiles/bridgecl_mocl.dir/native_cl.cc.o.d"
   "libbridgecl_mocl.a"

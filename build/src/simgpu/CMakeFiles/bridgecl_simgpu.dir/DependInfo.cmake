@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/simgpu/device.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/device.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/device.cc.o.d"
   "/root/repo/src/simgpu/device_profile.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/device_profile.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/device_profile.cc.o.d"
+  "/root/repo/src/simgpu/fault_injector.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/fault_injector.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/fault_injector.cc.o.d"
   "/root/repo/src/simgpu/fiber.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/fiber.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/fiber.cc.o.d"
   "/root/repo/src/simgpu/virtual_memory.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/virtual_memory.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/virtual_memory.cc.o.d"
   )

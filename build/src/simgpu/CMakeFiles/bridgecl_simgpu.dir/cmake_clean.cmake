@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/bridgecl_simgpu.dir/device.cc.o.d"
   "CMakeFiles/bridgecl_simgpu.dir/device_profile.cc.o"
   "CMakeFiles/bridgecl_simgpu.dir/device_profile.cc.o.d"
+  "CMakeFiles/bridgecl_simgpu.dir/fault_injector.cc.o"
+  "CMakeFiles/bridgecl_simgpu.dir/fault_injector.cc.o.d"
   "CMakeFiles/bridgecl_simgpu.dir/fiber.cc.o"
   "CMakeFiles/bridgecl_simgpu.dir/fiber.cc.o.d"
   "CMakeFiles/bridgecl_simgpu.dir/virtual_memory.cc.o"

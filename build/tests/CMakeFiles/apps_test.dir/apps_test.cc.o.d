@@ -297,7 +297,8 @@ tests/CMakeFiles/apps_test.dir/apps_test.cc.o: \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/lang/type.h /root/repo/src/simgpu/device.h \
  /root/repo/src/simgpu/device_profile.h /root/repo/src/simgpu/dim3.h \
- /root/repo/src/simgpu/virtual_memory.h /root/repo/src/support/status.h \
- /root/repo/src/mocl/cl_api.h /root/repo/src/cl2cu/cl_on_cuda.h \
- /root/repo/src/cu2cl/cuda_on_cl.h /root/repo/src/translator/translate.h \
- /root/repo/src/lang/dialect.h /root/repo/src/support/source_location.h
+ /root/repo/src/simgpu/fault_injector.h /root/repo/src/support/status.h \
+ /root/repo/src/simgpu/virtual_memory.h /root/repo/src/mocl/cl_api.h \
+ /root/repo/src/cl2cu/cl_on_cuda.h /root/repo/src/cu2cl/cuda_on_cl.h \
+ /root/repo/src/translator/translate.h /root/repo/src/lang/dialect.h \
+ /root/repo/src/support/source_location.h

@@ -298,6 +298,6 @@ tests/CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o: \
  /root/repo/src/lang/ast.h /root/repo/src/lang/type.h \
  /root/repo/src/support/source_location.h /root/repo/src/lang/dialect.h \
  /root/repo/src/simgpu/device.h /root/repo/src/simgpu/device_profile.h \
- /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/virtual_memory.h \
- /root/repo/src/support/status.h /root/repo/src/mocl/cl_api.h \
- /root/repo/src/support/strings.h
+ /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/fault_injector.h \
+ /root/repo/src/support/status.h /root/repo/src/simgpu/virtual_memory.h \
+ /root/repo/src/mocl/cl_api.h /root/repo/src/support/strings.h

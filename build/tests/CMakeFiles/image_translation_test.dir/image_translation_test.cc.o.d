@@ -297,8 +297,9 @@ tests/CMakeFiles/image_translation_test.dir/image_translation_test.cc.o: \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/lang/type.h /root/repo/src/simgpu/device.h \
  /root/repo/src/simgpu/device_profile.h /root/repo/src/simgpu/dim3.h \
- /root/repo/src/simgpu/virtual_memory.h /root/repo/src/support/status.h \
- /root/repo/src/mocl/cl_api.h /root/repo/src/interp/executor.h \
- /root/repo/src/interp/module.h /root/repo/src/lang/ast.h \
- /root/repo/src/support/source_location.h /root/repo/src/lang/dialect.h \
- /root/repo/src/interp/image.h /root/repo/src/translator/translate.h
+ /root/repo/src/simgpu/fault_injector.h /root/repo/src/support/status.h \
+ /root/repo/src/simgpu/virtual_memory.h /root/repo/src/mocl/cl_api.h \
+ /root/repo/src/interp/executor.h /root/repo/src/interp/module.h \
+ /root/repo/src/lang/ast.h /root/repo/src/support/source_location.h \
+ /root/repo/src/lang/dialect.h /root/repo/src/interp/image.h \
+ /root/repo/src/translator/translate.h

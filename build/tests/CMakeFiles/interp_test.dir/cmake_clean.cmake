@@ -4,6 +4,7 @@ file(REMOVE_RECURSE
   "interp_test"
   "interp_test.pdb"
   "interp_test[1]_tests.cmake"
+  "interp_test[2]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -4,6 +4,7 @@ file(REMOVE_RECURSE
   "mcuda_test"
   "mcuda_test.pdb"
   "mcuda_test[1]_tests.cmake"
+  "mcuda_test[2]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -298,5 +298,5 @@ tests/CMakeFiles/mcuda_test.dir/mcuda_test.cc.o: \
  /root/repo/src/mcuda/cuda_api.h /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/lang/type.h \
  /root/repo/src/simgpu/device.h /root/repo/src/simgpu/device_profile.h \
- /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/virtual_memory.h \
- /root/repo/src/support/status.h
+ /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/fault_injector.h \
+ /root/repo/src/support/status.h /root/repo/src/simgpu/virtual_memory.h

@@ -4,6 +4,7 @@ file(REMOVE_RECURSE
   "mocl_test"
   "mocl_test.pdb"
   "mocl_test[1]_tests.cmake"
+  "mocl_test[2]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

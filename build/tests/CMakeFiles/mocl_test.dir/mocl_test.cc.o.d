@@ -297,5 +297,5 @@ tests/CMakeFiles/mocl_test.dir/mocl_test.cc.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/mocl/cl_api.h /root/repo/src/lang/type.h \
  /root/repo/src/simgpu/device.h /root/repo/src/simgpu/device_profile.h \
- /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/virtual_memory.h \
- /root/repo/src/support/status.h
+ /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/fault_injector.h \
+ /root/repo/src/support/status.h /root/repo/src/simgpu/virtual_memory.h

@@ -4,6 +4,7 @@ file(REMOVE_RECURSE
   "simgpu_test"
   "simgpu_test.pdb"
   "simgpu_test[1]_tests.cmake"
+  "simgpu_test[2]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -294,5 +294,6 @@ tests/CMakeFiles/simgpu_test.dir/simgpu_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/simgpu/device.h /root/repo/src/simgpu/device_profile.h \
- /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/virtual_memory.h \
- /root/repo/src/support/status.h /root/repo/src/simgpu/fiber.h
+ /root/repo/src/simgpu/dim3.h /root/repo/src/simgpu/fault_injector.h \
+ /root/repo/src/support/status.h /root/repo/src/simgpu/virtual_memory.h \
+ /root/repo/src/simgpu/fiber.h

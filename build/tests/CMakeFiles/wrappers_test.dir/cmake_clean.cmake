@@ -4,6 +4,7 @@ file(REMOVE_RECURSE
   "wrappers_test"
   "wrappers_test.pdb"
   "wrappers_test[1]_tests.cmake"
+  "wrappers_test[2]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -10,11 +10,16 @@ include("/root/repo/build/tests/lang_parser_test[1]_include.cmake")
 include("/root/repo/build/tests/lang_sema_test[1]_include.cmake")
 include("/root/repo/build/tests/lang_printer_test[1]_include.cmake")
 include("/root/repo/build/tests/simgpu_test[1]_include.cmake")
+include("/root/repo/build/tests/simgpu_test[2]_include.cmake")
 include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[2]_include.cmake")
 include("/root/repo/build/tests/mocl_test[1]_include.cmake")
+include("/root/repo/build/tests/mocl_test[2]_include.cmake")
 include("/root/repo/build/tests/mcuda_test[1]_include.cmake")
+include("/root/repo/build/tests/mcuda_test[2]_include.cmake")
 include("/root/repo/build/tests/translator_test[1]_include.cmake")
 include("/root/repo/build/tests/wrappers_test[1]_include.cmake")
+include("/root/repo/build/tests/wrappers_test[2]_include.cmake")
 include("/root/repo/build/tests/host_rewriter_test[1]_include.cmake")
 include("/root/repo/build/tests/apps_test[1]_include.cmake")
 include("/root/repo/build/tests/failure_catalog_test[1]_include.cmake")
@@ -24,3 +29,6 @@ include("/root/repo/build/tests/translator_exec_test[1]_include.cmake")
 include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
 include("/root/repo/build/tests/image_translation_test[1]_include.cmake")
 include("/root/repo/build/tests/events_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_sweep_test[2]_include.cmake")
+include("/root/repo/build/tests/error_conformance_test[1]_include.cmake")

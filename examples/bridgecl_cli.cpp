@@ -27,7 +27,10 @@ namespace {
 int Usage() {
   fprintf(stderr,
           "usage: bridgecl [--to=cuda|opencl] [--host] [--classify]\n"
-          "                [--emulate-atomics] [file]\n");
+          "                [--emulate-atomics] [file]\n"
+          "exit codes: 0 ok, 2 usage, 3 i/o, 10+N translation failure\n"
+          "            where N is the StatusCode (untranslatable = %d)\n",
+          10 + static_cast<int>(StatusCode::kUntranslatable));
   return 2;
 }
 
@@ -35,6 +38,40 @@ std::string ReadAll(std::istream& in) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Scripted callers branch on the failure kind: each StatusCode gets its
+/// own exit code, above the usage (2) and file-i/o (3) codes.
+int ExitCodeFor(const Status& st) {
+  return 10 + static_cast<int>(st.code());
+}
+
+/// Report a failed translation: the status class and message, then —
+/// for CUDA input, where the Table 3 classifier applies — the failure
+/// catalog's triage of the source, so the user sees *which category* of
+/// feature blocked the translation rather than only the first error.
+int FailCuda(const Status& st, const DiagnosticEngine& diags,
+             const std::string& source,
+             const translator::TranslateOptions& opts) {
+  fprintf(stderr, "error [%s]: %s\n", StatusCodeName(st.code()),
+          std::string(st.message()).c_str());
+  auto c = translator::ClassifyCudaApplication(source, opts);
+  if (!c.translatable) {
+    fprintf(stderr, "failure classification (Table 3):\n");
+    for (const auto& issue : c.issues)
+      fprintf(stderr, "  [%s] %s\n",
+              translator::FailureCategoryName(issue.category),
+              issue.evidence.c_str());
+  } else {
+    fputs(diags.ToString().c_str(), stderr);
+  }
+  return ExitCodeFor(st);
+}
+
+int FailOpenCl(const Status& st, const DiagnosticEngine& diags) {
+  fprintf(stderr, "error [%s]: %s\n%s", StatusCodeName(st.code()),
+          std::string(st.message()).c_str(), diags.ToString().c_str());
+  return ExitCodeFor(st);
 }
 
 }  // namespace
@@ -80,7 +117,7 @@ int main(int argc, char** argv) {
     std::ifstream in(file);
     if (!in) {
       fprintf(stderr, "cannot open %s\n", file.c_str());
-      return 1;
+      return 3;
     }
     source = ReadAll(in);
   }
@@ -89,31 +126,19 @@ int main(int argc, char** argv) {
   switch (mode) {
     case Mode::kToCuda: {
       auto r = translator::TranslateOpenClToCuda(source, diags, opts);
-      if (!r.ok()) {
-        fprintf(stderr, "%s\n%s", r.status().ToString().c_str(),
-                diags.ToString().c_str());
-        return 1;
-      }
+      if (!r.ok()) return FailOpenCl(r.status(), diags);
       fputs(r->source.c_str(), stdout);
       return 0;
     }
     case Mode::kToOpenCl: {
       auto r = translator::TranslateCudaToOpenCl(source, diags, opts);
-      if (!r.ok()) {
-        fprintf(stderr, "%s\n%s", r.status().ToString().c_str(),
-                diags.ToString().c_str());
-        return 1;
-      }
+      if (!r.ok()) return FailCuda(r.status(), diags, source, opts);
       fputs(r->source.c_str(), stdout);
       return 0;
     }
     case Mode::kHost: {
       auto r = translator::RewriteCudaHostCode(source, diags, opts);
-      if (!r.ok()) {
-        fprintf(stderr, "%s\n%s", r.status().ToString().c_str(),
-                diags.ToString().c_str());
-        return 1;
-      }
+      if (!r.ok()) return FailCuda(r.status(), diags, source, opts);
       std::string stem = file.empty() ? "out" : file;
       // Strip any directory component for the output names.
       size_t slash = stem.find_last_of('/');
@@ -125,7 +150,7 @@ int main(int argc, char** argv) {
         std::ofstream host(base + ".cpp");
         if (!dev || !host) {
           fprintf(stderr, "cannot write into %s\n", out_dir.c_str());
-          return 1;
+          return 3;
         }
         dev << r->device_source;
         host << r->host_source;
@@ -155,7 +180,7 @@ int main(int argc, char** argv) {
         printf("  [%s] %s\n",
                translator::FailureCategoryName(issue.category),
                issue.evidence.c_str());
-      return 1;
+      return 10 + static_cast<int>(StatusCode::kUntranslatable);
     }
     case Mode::kNone:
       break;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "interp/image.h"
+#include "mcuda/cuda_errors.h"
+#include "mocl/cl_errors.h"
 #include "support/strings.h"
 #include "translator/translate.h"
 
@@ -14,6 +16,7 @@ using interp::ImageDesc;
 using mcuda::CudaApi;
 using mcuda::LaunchArg;
 using mcuda::MemcpyKind;
+using mocl::AsCl;
 using mocl::ClDeviceAttr;
 using mocl::ClImageFormat;
 using mocl::ClKernel;
@@ -28,6 +31,49 @@ using translator::TranslationResult;
 constexpr char kConstArena[] = "__OC2CU_const_mem";
 
 size_t Align16(size_t n) { return (n + 15) & ~size_t{15}; }
+
+/// Re-express a cudaError annotation from the inner CUDA runtime in the
+/// vocabulary of the API this wrapper emulates (OpenCL 1.2). The full
+/// cross-mapping table is documented in docs/ROBUSTNESS.md; it is the
+/// wrapper-direction counterpart of CudaFromCl in cuda_on_cl.cc.
+int ClFromCuda(int cuda_code) {
+  switch (cuda_code) {
+    case mcuda::cudaErrorMemoryAllocation:
+      return mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE;
+    case mcuda::cudaErrorInitializationError:
+      return mocl::CL_DEVICE_NOT_AVAILABLE;
+    // Launch failures, launch resource exhaustion, device-side asserts and
+    // lost devices all surface as the CL catch-all execution failure.
+    case mcuda::cudaErrorLaunchFailure:
+    case mcuda::cudaErrorLaunchOutOfResources:
+    case mcuda::cudaErrorDevicesUnavailable:
+    case mcuda::cudaErrorAssert:
+    case mcuda::cudaErrorUnknown:
+      return mocl::CL_OUT_OF_RESOURCES;
+    case mcuda::cudaErrorInvalidDeviceFunction:
+      return mocl::CL_INVALID_KERNEL_NAME;
+    case mcuda::cudaErrorInvalidConfiguration:
+      return mocl::CL_INVALID_WORK_GROUP_SIZE;
+    case mcuda::cudaErrorInvalidDevicePointer:
+    case mcuda::cudaErrorInvalidTexture:
+      return mocl::CL_INVALID_MEM_OBJECT;
+    case mcuda::cudaErrorInvalidChannelDescriptor:
+      return mocl::CL_INVALID_IMAGE_SIZE;
+    case mcuda::cudaErrorInvalidResourceHandle:
+    case mcuda::cudaErrorNotReady:
+      return mocl::CL_INVALID_EVENT;
+    case mcuda::cudaErrorNoKernelImageForDevice:
+      return mocl::CL_BUILD_PROGRAM_FAILURE;
+    case mcuda::cudaErrorNotSupported:
+      return mocl::CL_INVALID_OPERATION;
+    case mcuda::cudaErrorMissingConfiguration:
+    case mcuda::cudaErrorInvalidValue:
+    case mcuda::cudaErrorInvalidSymbol:
+    case mcuda::cudaErrorInvalidMemcpyDirection:
+    default:
+      return mocl::CL_INVALID_VALUE;
+  }
+}
 
 struct BufferRec {
   void* dev_ptr = nullptr;
@@ -76,20 +122,23 @@ class ClOnCudaApi final : public OpenClApi {
 
   StatusOr<std::string> QueryDeviceInfoString(ClDeviceAttr attr) override {
     BRIDGECL_ASSIGN_OR_RETURN(mcuda::CudaDeviceProps p,
-                              cu_.GetDeviceProperties());
+                              Seal(cu_.GetDeviceProperties(),
+                                   mocl::CL_INVALID_DEVICE));
     switch (attr) {
       case ClDeviceAttr::kName:
         return p.name;
       case ClDeviceAttr::kVendor:
         return std::string("BridgeCL (via CUDA wrapper)");
       default:
-        return InvalidArgumentError("attribute is not a string");
+        return AsCl(InvalidArgumentError("attribute is not a string"),
+                    mocl::CL_INVALID_VALUE);
     }
   }
 
   StatusOr<uint64_t> QueryDeviceInfoUint(ClDeviceAttr attr) override {
     BRIDGECL_ASSIGN_OR_RETURN(mcuda::CudaDeviceProps p,
-                              cu_.GetDeviceProperties());
+                              Seal(cu_.GetDeviceProperties(),
+                                   mocl::CL_INVALID_DEVICE));
     switch (attr) {
       case ClDeviceAttr::kMaxComputeUnits:
         return static_cast<uint64_t>(p.multi_processor_count);
@@ -109,23 +158,34 @@ class ClOnCudaApi final : public OpenClApi {
       case ClDeviceAttr::kMaxClockFrequency:
         return static_cast<uint64_t>(p.clock_rate_khz / 1000);
       default:
-        return InvalidArgumentError("attribute is not an integer");
+        return AsCl(InvalidArgumentError("attribute is not an integer"),
+                    mocl::CL_INVALID_VALUE);
     }
   }
 
   StatusOr<int> CreateSubDevices(int) override {
     // §3.7: CUDA has no sub-device concept; this wrapper cannot exist.
-    return UnimplementedError(
-        "clCreateSubDevices has no CUDA counterpart (§3.7)");
+    return AsCl(UnimplementedError(
+                    "clCreateSubDevices has no CUDA counterpart (§3.7)"),
+                mocl::CL_INVALID_OPERATION);
   }
 
   // -- buffers: cl_mem == CUDA device pointer (§4) --------------------------
   StatusOr<ClMem> CreateBuffer(MemFlags, size_t size,
                                const void* host_ptr) override {
-    BRIDGECL_ASSIGN_OR_RETURN(void* p, cu_.Malloc(size));
-    if (host_ptr != nullptr)
-      BRIDGECL_RETURN_IF_ERROR(
-          cu_.Memcpy(p, host_ptr, size, MemcpyKind::kHostToDevice));
+    if (size == 0)
+      return AsCl(InvalidArgumentError("buffer size must be non-zero"),
+                  mocl::CL_INVALID_BUFFER_SIZE);
+    BRIDGECL_ASSIGN_OR_RETURN(
+        void* p,
+        Seal(cu_.Malloc(size), mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE));
+    if (host_ptr != nullptr) {
+      Status st = cu_.Memcpy(p, host_ptr, size, MemcpyKind::kHostToDevice);
+      if (!st.ok()) {
+        (void)cu_.Free(p);  // don't leak the device block on a failed fill
+        return Seal(std::move(st), mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE);
+      }
+    }
     ClMem mem{reinterpret_cast<uint64_t>(p)};  // the paper's handle cast
     buffers_[mem.handle] = BufferRec{p, size};
     return mem;
@@ -133,46 +193,55 @@ class ClOnCudaApi final : public OpenClApi {
 
   Status ReleaseMemObject(ClMem mem) override {
     if (auto it = buffers_.find(mem.handle); it != buffers_.end()) {
-      BRIDGECL_RETURN_IF_ERROR(cu_.Free(it->second.dev_ptr));
+      BRIDGECL_RETURN_IF_ERROR(
+          Seal(cu_.Free(it->second.dev_ptr), mocl::CL_OUT_OF_RESOURCES));
       buffers_.erase(it);
       return OkStatus();
     }
     if (auto it = images_.find(mem.handle); it != images_.end()) {
       if (owned_image_data_[mem.handle])
-        BRIDGECL_RETURN_IF_ERROR(cu_.Free(it->second.data_ptr));
-      BRIDGECL_RETURN_IF_ERROR(cu_.Free(it->second.desc_ptr));
+        BRIDGECL_RETURN_IF_ERROR(
+            Seal(cu_.Free(it->second.data_ptr), mocl::CL_OUT_OF_RESOURCES));
+      BRIDGECL_RETURN_IF_ERROR(
+          Seal(cu_.Free(it->second.desc_ptr), mocl::CL_OUT_OF_RESOURCES));
       owned_image_data_.erase(mem.handle);
       images_.erase(it);
       return OkStatus();
     }
-    return InvalidArgumentError("unknown memory object");
+    return AsCl(InvalidArgumentError("unknown memory object"),
+                mocl::CL_INVALID_MEM_OBJECT);
   }
 
   Status EnqueueWriteBuffer(ClMem mem, size_t offset, size_t size,
                             const void* src) override {
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
     if (offset + size > b->size)
-      return OutOfRangeError("write beyond buffer end");
-    return cu_.Memcpy(static_cast<std::byte*>(b->dev_ptr) + offset, src,
-                      size, MemcpyKind::kHostToDevice);
+      return AsCl(OutOfRangeError("write beyond buffer end"),
+                  mocl::CL_INVALID_VALUE);
+    return Seal(cu_.Memcpy(static_cast<std::byte*>(b->dev_ptr) + offset, src,
+                           size, MemcpyKind::kHostToDevice),
+                mocl::CL_OUT_OF_RESOURCES);
   }
 
   Status EnqueueReadBuffer(ClMem mem, size_t offset, size_t size,
                            void* dst) override {
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
     if (offset + size > b->size)
-      return OutOfRangeError("read beyond buffer end");
-    return cu_.Memcpy(dst, static_cast<std::byte*>(b->dev_ptr) + offset,
-                      size, MemcpyKind::kDeviceToHost);
+      return AsCl(OutOfRangeError("read beyond buffer end"),
+                  mocl::CL_INVALID_VALUE);
+    return Seal(cu_.Memcpy(dst, static_cast<std::byte*>(b->dev_ptr) + offset,
+                           size, MemcpyKind::kDeviceToHost),
+                mocl::CL_OUT_OF_RESOURCES);
   }
 
   Status EnqueueCopyBuffer(ClMem src, ClMem dst, size_t src_offset,
                            size_t dst_offset, size_t size) override {
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * d, FindBuffer(dst));
-    return cu_.Memcpy(static_cast<std::byte*>(d->dev_ptr) + dst_offset,
-                      static_cast<std::byte*>(s->dev_ptr) + src_offset, size,
-                      MemcpyKind::kDeviceToDevice);
+    return Seal(cu_.Memcpy(static_cast<std::byte*>(d->dev_ptr) + dst_offset,
+                           static_cast<std::byte*>(s->dev_ptr) + src_offset,
+                           size, MemcpyKind::kDeviceToDevice),
+                mocl::CL_OUT_OF_RESOURCES);
   }
 
   // -- images (§5: CLImage objects in CUDA memory) ---------------------------
@@ -193,20 +262,23 @@ class ClOnCudaApi final : public OpenClApi {
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(buffer));
     size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
     if (width * texel > b->size)
-      return OutOfRangeError("image view larger than the backing buffer");
+      return AsCl(OutOfRangeError("image view larger than the backing buffer"),
+                  mocl::CL_INVALID_IMAGE_SIZE);
     return MakeImageOver(b->dev_ptr, /*owns=*/false, format, width, 1);
   }
 
   Status EnqueueWriteImage(ClMem image, const void* src) override {
     BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
-    return cu_.Memcpy(img->data_ptr, src, img->byte_size,
-                      MemcpyKind::kHostToDevice);
+    return Seal(cu_.Memcpy(img->data_ptr, src, img->byte_size,
+                           MemcpyKind::kHostToDevice),
+                mocl::CL_OUT_OF_RESOURCES);
   }
 
   Status EnqueueReadImage(ClMem image, void* dst) override {
     BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
-    return cu_.Memcpy(dst, img->data_ptr, img->byte_size,
-                      MemcpyKind::kDeviceToHost);
+    return Seal(cu_.Memcpy(dst, img->data_ptr, img->byte_size,
+                           MemcpyKind::kDeviceToHost),
+                mocl::CL_OUT_OF_RESOURCES);
   }
 
   StatusOr<uint64_t> CreateSampler(const ClSamplerDesc& desc) override {
@@ -227,17 +299,21 @@ class ClOnCudaApi final : public OpenClApi {
 
   Status BuildProgram(ClProgram program) override {
     auto it = programs_.find(program.handle);
-    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it == programs_.end())
+      return AsCl(InvalidArgumentError("unknown program"),
+                  mocl::CL_INVALID_PROGRAM);
     DiagnosticEngine diags;
     auto tr = translator::TranslateOpenClToCuda(it->second.source, diags);
     if (!tr.ok()) {
       build_log_[program.handle] = diags.ToString();
-      return tr.status();
+      return AsCl(tr.status(), mocl::CL_BUILD_PROGRAM_FAILURE);
     }
     Status st = cu_.RegisterModule(tr->source);  // "nvcc" + cuModuleLoad
     if (!st.ok()) {
       build_log_[program.handle] = st.ToString();
-      return st;
+      // Whatever the CUDA-side code was, a failed build IS
+      // CL_BUILD_PROGRAM_FAILURE to the caller of clBuildProgram.
+      return AsCl(std::move(st), mocl::CL_BUILD_PROGRAM_FAILURE);
     }
     it->second.translation = std::move(*tr);
     it->second.built = true;
@@ -245,6 +321,9 @@ class ClOnCudaApi final : public OpenClApi {
   }
 
   StatusOr<std::string> GetProgramBuildLog(ClProgram program) override {
+    if (programs_.find(program.handle) == programs_.end())
+      return AsCl(InvalidArgumentError("unknown program"),
+                  mocl::CL_INVALID_PROGRAM);
     auto it = build_log_.find(program.handle);
     return it == build_log_.end() ? std::string() : it->second;
   }
@@ -252,12 +331,16 @@ class ClOnCudaApi final : public OpenClApi {
   StatusOr<ClKernel> CreateKernel(ClProgram program,
                                   const std::string& name) override {
     auto it = programs_.find(program.handle);
-    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it == programs_.end())
+      return AsCl(InvalidArgumentError("unknown program"),
+                  mocl::CL_INVALID_PROGRAM);
     if (!it->second.built)
-      return FailedPreconditionError("program is not built");
+      return AsCl(FailedPreconditionError("program is not built"),
+                  mocl::CL_INVALID_PROGRAM_EXECUTABLE);
     const KernelTranslationInfo* info = it->second.translation.Find(name);
     if (info == nullptr)
-      return NotFoundError("no kernel '" + name + "' in program");
+      return AsCl(NotFoundError("no kernel '" + name + "' in program"),
+                  mocl::CL_INVALID_KERNEL_NAME);
     uint64_t id = next_id_++;
     KernelRec& k = kernels_[id];
     k.program = program.handle;
@@ -270,25 +353,34 @@ class ClOnCudaApi final : public OpenClApi {
   Status SetKernelArg(ClKernel kernel, int index, size_t size,
                       const void* value) override {
     auto it = kernels_.find(kernel.handle);
-    if (it == kernels_.end()) return InvalidArgumentError("unknown kernel");
+    if (it == kernels_.end())
+      return AsCl(InvalidArgumentError("unknown kernel"),
+                  mocl::CL_INVALID_KERNEL);
     KernelRec& k = it->second;
     if (index < 0 || index >= static_cast<int>(k.args.size()))
-      return OutOfRangeError("kernel argument index out of range");
+      return AsCl(OutOfRangeError("kernel argument index out of range"),
+                  mocl::CL_INVALID_ARG_INDEX);
     using Role = KernelTranslationInfo::ParamRole;
     Role role = k.info->param_roles[index];
     ArgRec& arg = k.args[index];
     if (role == Role::kDynLocalSize) {
       if (value != nullptr)
-        return InvalidArgumentError(
-            "dynamic __local argument must have a null value");
+        return AsCl(InvalidArgumentError(
+                        "dynamic __local argument must have a null value"),
+                    mocl::CL_INVALID_ARG_VALUE);
       arg.kind = ArgRec::Kind::kDynLocal;
       arg.local_size = size;
       return OkStatus();
     }
     if (role == Role::kDynConstSize) {
-      if (value == nullptr || size != sizeof(ClMem))
-        return InvalidArgumentError(
-            "__constant pointer argument must be a memory object");
+      if (value == nullptr)
+        return AsCl(InvalidArgumentError(
+                        "__constant pointer argument must be a memory object"),
+                    mocl::CL_INVALID_ARG_VALUE);
+      if (size != sizeof(ClMem))
+        return AsCl(InvalidArgumentError(
+                        "__constant pointer argument must be a memory object"),
+                    mocl::CL_INVALID_ARG_SIZE);
       ClMem mem;
       std::memcpy(&mem, value, sizeof(mem));
       BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
@@ -298,7 +390,8 @@ class ClOnCudaApi final : public OpenClApi {
       return OkStatus();
     }
     if (value == nullptr)
-      return InvalidArgumentError("null value on a non-__local argument");
+      return AsCl(InvalidArgumentError("null value on a non-__local argument"),
+                  mocl::CL_INVALID_ARG_VALUE);
     // Memory objects, images, samplers and plain data all marshal as raw
     // bytes. For image parameters (known from the translation metadata,
     // never guessed from the handle value) the cl_mem handle is replaced
@@ -309,12 +402,14 @@ class ClOnCudaApi final : public OpenClApi {
     if (index < static_cast<int>(k.info->param_is_image.size()) &&
         k.info->param_is_image[index]) {
       if (size != sizeof(ClMem))
-        return InvalidArgumentError("image argument size mismatch");
+        return AsCl(InvalidArgumentError("image argument size mismatch"),
+                    mocl::CL_INVALID_ARG_SIZE);
       ClMem handle;
       std::memcpy(&handle, value, sizeof(handle));
       auto img = images_.find(handle.handle);
       if (img == images_.end())
-        return InvalidArgumentError("argument is not an image object");
+        return AsCl(InvalidArgumentError("argument is not an image object"),
+                    mocl::CL_INVALID_ARG_VALUE);
       void* desc = img->second.desc_ptr;
       std::memcpy(bytes.data(), &desc, sizeof(desc));
     }
@@ -326,8 +421,13 @@ class ClOnCudaApi final : public OpenClApi {
   Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
                               const size_t* gws, const size_t* lws) override {
     auto it = kernels_.find(kernel.handle);
-    if (it == kernels_.end()) return InvalidArgumentError("unknown kernel");
+    if (it == kernels_.end())
+      return AsCl(InvalidArgumentError("unknown kernel"),
+                  mocl::CL_INVALID_KERNEL);
     KernelRec& k = it->second;
+    if (work_dim < 1 || work_dim > 3)
+      return AsCl(InvalidArgumentError("work_dim must be 1, 2 or 3"),
+                  mocl::CL_INVALID_WORK_DIMENSION);
     // NDRange → grid (§3.5).
     simgpu::Dim3 g(1, 1, 1), l(1, 1, 1);
     uint32_t* gp[3] = {&g.x, &g.y, &g.z};
@@ -339,8 +439,10 @@ class ClOnCudaApi final : public OpenClApi {
     }
     simgpu::Dim3 grid;
     if (!simgpu::NdrangeToGrid(g, l, &grid))
-      return InvalidArgumentError(
-          "global work size is not a multiple of the local work size");
+      return AsCl(
+          InvalidArgumentError(
+              "global work size is not a multiple of the local work size"),
+          mocl::CL_INVALID_WORK_GROUP_SIZE);
 
     // Marshal arguments in original order; dynamic local/constant params
     // became size_t parameters (Fig 5).
@@ -351,9 +453,10 @@ class ClOnCudaApi final : public OpenClApi {
       const ArgRec& a = k.args[i];
       switch (a.kind) {
         case ArgRec::Kind::kUnset:
-          return FailedPreconditionError(
-              StrFormat("kernel '%s': argument %zu was never set",
-                        k.name.c_str(), i));
+          return AsCl(FailedPreconditionError(StrFormat(
+                          "kernel '%s': argument %zu was never set",
+                          k.name.c_str(), i)),
+                      mocl::CL_INVALID_KERNEL_ARGS);
         case ArgRec::Kind::kBytes: {
           LaunchArg la;
           la.bytes = a.bytes;
@@ -373,21 +476,27 @@ class ClOnCudaApi final : public OpenClApi {
           BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b,
                                     FindBuffer(a.const_buffer));
           std::vector<std::byte> staging(a.const_size);
-          BRIDGECL_RETURN_IF_ERROR(cu_.Memcpy(staging.data(), b->dev_ptr,
-                                              a.const_size,
-                                              MemcpyKind::kDeviceToHost));
-          BRIDGECL_RETURN_IF_ERROR(cu_.MemcpyToSymbol(
-              kConstArena, staging.data(), a.const_size, const_offset));
+          BRIDGECL_RETURN_IF_ERROR(
+              Seal(cu_.Memcpy(staging.data(), b->dev_ptr, a.const_size,
+                              MemcpyKind::kDeviceToHost),
+                   mocl::CL_OUT_OF_RESOURCES));
+          BRIDGECL_RETURN_IF_ERROR(
+              Seal(cu_.MemcpyToSymbol(kConstArena, staging.data(),
+                                      a.const_size, const_offset),
+                   mocl::CL_OUT_OF_RESOURCES));
           args.push_back(LaunchArg::Value<size_t>(aligned));
           const_offset += aligned;
           break;
         }
       }
     }
-    return cu_.LaunchKernel(k.name, grid, l, shared_total, args);
+    return Seal(cu_.LaunchKernel(k.name, grid, l, shared_total, args),
+                mocl::CL_OUT_OF_RESOURCES);
   }
 
-  Status Finish() override { return cu_.DeviceSynchronize(); }
+  Status Finish() override {
+    return Seal(cu_.DeviceSynchronize(), mocl::CL_OUT_OF_RESOURCES);
+  }
 
   StatusOr<mocl::ClEvent> EnqueueNDRangeKernelWithEvent(
       ClKernel kernel, int work_dim, const size_t* gws,
@@ -405,7 +514,8 @@ class ClOnCudaApi final : public OpenClApi {
                            double* end_us) override {
     auto it = event_times_.find(event.handle);
     if (it == event_times_.end())
-      return InvalidArgumentError("unknown event");
+      return AsCl(InvalidArgumentError("unknown event"),
+                  mocl::CL_INVALID_EVENT);
     *queued_us = it->second.first;
     *end_us = it->second.second;
     return OkStatus();
@@ -415,10 +525,14 @@ class ClOnCudaApi final : public OpenClApi {
                                    const std::string& kernel,
                                    int regs) override {
     auto it = programs_.find(program.handle);
-    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it == programs_.end())
+      return AsCl(InvalidArgumentError("unknown program"),
+                  mocl::CL_INVALID_PROGRAM);
     if (!it->second.built)
-      return FailedPreconditionError("program is not built");
-    return cu_.SetKernelRegisters(kernel, regs);
+      return AsCl(FailedPreconditionError("program is not built"),
+                  mocl::CL_INVALID_PROGRAM_EXECUTABLE);
+    return Seal(cu_.SetKernelRegisters(kernel, regs),
+                mocl::CL_INVALID_KERNEL_NAME);
   }
 
   double NowUs() const override { return cu_.NowUs(); }
@@ -428,17 +542,41 @@ class ClOnCudaApi final : public OpenClApi {
   double BuildTimeUs() const override { return 0; }
 
  private:
+  /// Boundary sealer: every Status leaving this wrapper carries a CL
+  /// api_code. An inner cudaError annotation is re-mapped through
+  /// ClFromCuda; an unannotated Status gets the per-StatusCode default
+  /// (with `fallback` for kResourceExhausted).
+  static Status Seal(Status st, int fallback) {
+    if (st.ok()) return st;
+    // Device loss always surfaces as CL_OUT_OF_RESOURCES, whatever the
+    // inner CUDA layer annotated (the CL 1.2 spec has no dedicated code).
+    int code = st.code() == StatusCode::kDeviceLost
+                   ? mocl::CL_OUT_OF_RESOURCES
+               : mcuda::IsCudaCode(st.api_code())
+                   ? ClFromCuda(st.api_code())
+                   : mocl::ClCodeFor(st, fallback);
+    return AsCl(std::move(st), code);
+  }
+
+  template <typename T>
+  static StatusOr<T> Seal(StatusOr<T> v, int fallback) {
+    if (v.ok()) return v;
+    return StatusOr<T>(Seal(std::move(v).status(), fallback));
+  }
+
   StatusOr<BufferRec*> FindBuffer(ClMem mem) {
     auto it = buffers_.find(mem.handle);
     if (it == buffers_.end())
-      return InvalidArgumentError("unknown buffer object");
+      return AsCl(InvalidArgumentError("unknown buffer object"),
+                  mocl::CL_INVALID_MEM_OBJECT);
     return &it->second;
   }
 
   StatusOr<ImageRec*> FindImage(ClMem mem) {
     auto it = images_.find(mem.handle);
     if (it == images_.end())
-      return InvalidArgumentError("unknown image object");
+      return AsCl(InvalidArgumentError("unknown image object"),
+                  mocl::CL_INVALID_MEM_OBJECT);
     return &it->second;
   }
 
@@ -447,11 +585,22 @@ class ClOnCudaApi final : public OpenClApi {
                             const void* host_ptr) {
     size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
     size_t bytes = width * height * texel;
-    BRIDGECL_ASSIGN_OR_RETURN(void* data, cu_.Malloc(bytes));
-    if (host_ptr != nullptr)
-      BRIDGECL_RETURN_IF_ERROR(
-          cu_.Memcpy(data, host_ptr, bytes, MemcpyKind::kHostToDevice));
-    return MakeImageOver(data, /*owns=*/true, format, width, height);
+    if (bytes == 0)
+      return AsCl(InvalidArgumentError("image dimensions must be non-zero"),
+                  mocl::CL_INVALID_IMAGE_SIZE);
+    BRIDGECL_ASSIGN_OR_RETURN(
+        void* data,
+        Seal(cu_.Malloc(bytes), mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE));
+    if (host_ptr != nullptr) {
+      Status st = cu_.Memcpy(data, host_ptr, bytes, MemcpyKind::kHostToDevice);
+      if (!st.ok()) {
+        (void)cu_.Free(data);  // don't leak texels on a failed upload
+        return Seal(std::move(st), mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE);
+      }
+    }
+    auto mem = MakeImageOver(data, /*owns=*/true, format, width, height);
+    if (!mem.ok()) (void)cu_.Free(data);
+    return mem;
   }
 
   StatusOr<ClMem> MakeImageOver(void* data, bool owns,
@@ -468,9 +617,16 @@ class ClOnCudaApi final : public OpenClApi {
     desc.row_pitch = static_cast<uint32_t>(width * texel);
     desc.slice_pitch = static_cast<uint32_t>(width * height * texel);
     desc.dims = height > 1 ? 2 : 1;
-    BRIDGECL_ASSIGN_OR_RETURN(void* desc_ptr, cu_.Malloc(sizeof(desc)));
-    BRIDGECL_RETURN_IF_ERROR(cu_.Memcpy(desc_ptr, &desc, sizeof(desc),
-                                        MemcpyKind::kHostToDevice));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        void* desc_ptr,
+        Seal(cu_.Malloc(sizeof(desc)),
+             mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE));
+    Status st = cu_.Memcpy(desc_ptr, &desc, sizeof(desc),
+                           MemcpyKind::kHostToDevice);
+    if (!st.ok()) {
+      (void)cu_.Free(desc_ptr);  // descriptor block, not the texels
+      return Seal(std::move(st), mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE);
+    }
     uint64_t id = next_id_++;
     ImageRec rec;
     rec.desc_ptr = desc_ptr;

@@ -3,11 +3,14 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "mcuda/cuda_errors.h"
+#include "mocl/cl_errors.h"
 #include "support/strings.h"
 
 namespace bridgecl::cu2cl {
 namespace {
 
+using mcuda::AsCuda;
 using mcuda::ChannelDesc;
 using mcuda::CudaApi;
 using mcuda::CudaDeviceProps;
@@ -23,6 +26,54 @@ using mocl::OpenClApi;
 using simgpu::Dim3;
 using translator::KernelTranslationInfo;
 using translator::TranslationResult;
+
+/// Re-express an OpenCL error annotation from the inner CL runtime in the
+/// vocabulary of the API this wrapper emulates (the CUDA runtime). The
+/// full cross-mapping table is documented in docs/ROBUSTNESS.md; it is
+/// the wrapper-direction counterpart of ClFromCuda in cl_on_cuda.cc.
+int CudaFromCl(int cl_code) {
+  switch (cl_code) {
+    case mocl::CL_DEVICE_NOT_AVAILABLE:
+      return mcuda::cudaErrorDevicesUnavailable;
+    case mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE:
+    case mocl::CL_OUT_OF_HOST_MEMORY:
+      return mcuda::cudaErrorMemoryAllocation;
+    // The CL catch-all execution failure becomes the CUDA catch-all
+    // "unspecified launch failure".
+    case mocl::CL_OUT_OF_RESOURCES:
+      return mcuda::cudaErrorLaunchFailure;
+    case mocl::CL_BUILD_PROGRAM_FAILURE:
+    case mocl::CL_INVALID_PROGRAM:
+    case mocl::CL_INVALID_PROGRAM_EXECUTABLE:
+      return mcuda::cudaErrorNoKernelImageForDevice;
+    case mocl::CL_INVALID_KERNEL_NAME:
+    case mocl::CL_INVALID_KERNEL:
+      return mcuda::cudaErrorInvalidDeviceFunction;
+    case mocl::CL_INVALID_MEM_OBJECT:
+      return mcuda::cudaErrorInvalidDevicePointer;
+    case mocl::CL_INVALID_SAMPLER:
+      return mcuda::cudaErrorInvalidTexture;
+    case mocl::CL_INVALID_WORK_DIMENSION:
+    case mocl::CL_INVALID_WORK_GROUP_SIZE:
+    case mocl::CL_INVALID_WORK_ITEM_SIZE:
+      return mcuda::cudaErrorInvalidConfiguration;
+    case mocl::CL_INVALID_EVENT:
+      return mcuda::cudaErrorInvalidResourceHandle;
+    case mocl::CL_INVALID_OPERATION:
+      return mcuda::cudaErrorNotSupported;
+    case mocl::CL_INVALID_VALUE:
+    case mocl::CL_INVALID_DEVICE:
+    case mocl::CL_INVALID_IMAGE_SIZE:
+    case mocl::CL_INVALID_ARG_INDEX:
+    case mocl::CL_INVALID_ARG_VALUE:
+    case mocl::CL_INVALID_ARG_SIZE:
+    case mocl::CL_INVALID_KERNEL_ARGS:
+    case mocl::CL_INVALID_BUFFER_SIZE:
+    case mocl::CL_INVALID_DEVICE_PARTITION_COUNT:
+    default:
+      return mcuda::cudaErrorInvalidValue;
+  }
+}
 
 struct SymbolRec {
   ClMem buffer;
@@ -48,8 +99,9 @@ class CudaOnClApi final : public CudaApi {
         translator::TranslateCudaToOpenCl(cuda_source, diags,
                                           options_.translate);
     if (!tr.ok())
-      return Status(tr.status().code(),
-                    tr.status().message() + "\n" + diags.ToString());
+      return AsCuda(Status(tr.status().code(),
+                           tr.status().message() + "\n" + diags.ToString()),
+                    mcuda::cudaErrorInvalidDeviceFunction);
     translation_ = std::move(*tr);
     // ...but defer clBuildProgram to the first use (§3.4).
     built_ = false;
@@ -59,9 +111,11 @@ class CudaOnClApi final : public CudaApi {
       for (const auto& s : k.symbol_params) {
         if (symbols_.count(s.name)) continue;
         BRIDGECL_ASSIGN_OR_RETURN(
-            ClMem buf, cl_.CreateBuffer(s.is_constant ? MemFlags::kReadOnly
-                                                      : MemFlags::kReadWrite,
-                                        s.byte_size, nullptr));
+            ClMem buf,
+            Seal(cl_.CreateBuffer(s.is_constant ? MemFlags::kReadOnly
+                                                : MemFlags::kReadWrite,
+                                  s.byte_size, nullptr),
+                 mcuda::cudaErrorMemoryAllocation));
         symbols_[s.name] = SymbolRec{buf, s.byte_size, s.is_constant};
       }
     }
@@ -69,9 +123,9 @@ class CudaOnClApi final : public CudaApi {
   }
 
   StatusOr<void*> Malloc(size_t size) override {
-    BRIDGECL_ASSIGN_OR_RETURN(ClMem mem,
-                              cl_.CreateBuffer(MemFlags::kReadWrite, size,
-                                               nullptr));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem mem, Seal(cl_.CreateBuffer(MemFlags::kReadWrite, size, nullptr),
+                        mcuda::cudaErrorMemoryAllocation));
     buffer_sizes_[mem.handle] = size;
     // §4: the cl_mem handle is cast to void* and handed to the program.
     return reinterpret_cast<void*>(mem.handle);
@@ -79,32 +133,41 @@ class CudaOnClApi final : public CudaApi {
 
   Status Free(void* ptr) override {
     ClMem mem{reinterpret_cast<uint64_t>(ptr)};
+    // cudaFree on an unknown pointer is cudaErrorInvalidDevicePointer;
+    // a fault while releasing a known buffer keeps its mapped code.
+    BRIDGECL_RETURN_IF_ERROR(
+        Seal(cl_.ReleaseMemObject(mem), mcuda::cudaErrorUnknown));
     buffer_sizes_.erase(mem.handle);
-    return cl_.ReleaseMemObject(mem);
+    return OkStatus();
   }
 
   Status Memcpy(void* dst, const void* src, size_t size,
                 MemcpyKind kind) override {
     switch (kind) {
       case MemcpyKind::kHostToDevice:
-        return cl_.EnqueueWriteBuffer(
-            ClMem{reinterpret_cast<uint64_t>(dst)}, 0, size, src);
+        return Seal(cl_.EnqueueWriteBuffer(
+                        ClMem{reinterpret_cast<uint64_t>(dst)}, 0, size, src),
+                    mcuda::cudaErrorLaunchFailure);
       case MemcpyKind::kDeviceToHost:
-        return cl_.EnqueueReadBuffer(
-            ClMem{reinterpret_cast<uint64_t>(
-                const_cast<void*>(src) == nullptr
-                    ? 0
-                    : reinterpret_cast<uint64_t>(src))},
-            0, size, dst);
+        return Seal(
+            cl_.EnqueueReadBuffer(
+                ClMem{reinterpret_cast<uint64_t>(
+                    const_cast<void*>(src) == nullptr
+                        ? 0
+                        : reinterpret_cast<uint64_t>(src))},
+                0, size, dst),
+            mcuda::cudaErrorLaunchFailure);
       case MemcpyKind::kDeviceToDevice:
-        return cl_.EnqueueCopyBuffer(
-            ClMem{reinterpret_cast<uint64_t>(src)},
-            ClMem{reinterpret_cast<uint64_t>(dst)}, 0, 0, size);
+        return Seal(cl_.EnqueueCopyBuffer(
+                        ClMem{reinterpret_cast<uint64_t>(src)},
+                        ClMem{reinterpret_cast<uint64_t>(dst)}, 0, 0, size),
+                    mcuda::cudaErrorLaunchFailure);
       case MemcpyKind::kHostToHost:
         std::memmove(dst, src, size);
         return OkStatus();
     }
-    return InvalidArgumentError("bad memcpy kind");
+    return AsCuda(InvalidArgumentError("bad memcpy kind"),
+                  mcuda::cudaErrorInvalidMemcpyDirection);
   }
 
   Status MemcpyToSymbol(const std::string& symbol, const void* src,
@@ -112,28 +175,35 @@ class CudaOnClApi final : public CudaApi {
     // §4.3: the static symbol became a dynamically allocated buffer.
     auto it = symbols_.find(symbol);
     if (it == symbols_.end())
-      return NotFoundError("no device symbol '" + symbol +
-                           "' (it may be unused by every kernel)");
+      return AsCuda(NotFoundError("no device symbol '" + symbol +
+                                  "' (it may be unused by every kernel)"),
+                    mcuda::cudaErrorInvalidSymbol);
     if (offset + size > it->second.size)
-      return OutOfRangeError("copy beyond symbol '" + symbol + "'");
-    return cl_.EnqueueWriteBuffer(it->second.buffer, offset, size, src);
+      return AsCuda(OutOfRangeError("copy beyond symbol '" + symbol + "'"),
+                    mcuda::cudaErrorInvalidValue);
+    return Seal(cl_.EnqueueWriteBuffer(it->second.buffer, offset, size, src),
+                mcuda::cudaErrorLaunchFailure);
   }
 
   Status MemcpyFromSymbol(void* dst, const std::string& symbol, size_t size,
                           size_t offset) override {
     auto it = symbols_.find(symbol);
     if (it == symbols_.end())
-      return NotFoundError("no device symbol '" + symbol + "'");
+      return AsCuda(NotFoundError("no device symbol '" + symbol + "'"),
+                    mcuda::cudaErrorInvalidSymbol);
     if (offset + size > it->second.size)
-      return OutOfRangeError("copy beyond symbol '" + symbol + "'");
-    return cl_.EnqueueReadBuffer(it->second.buffer, offset, size, dst);
+      return AsCuda(OutOfRangeError("copy beyond symbol '" + symbol + "'"),
+                    mcuda::cudaErrorInvalidValue);
+    return Seal(cl_.EnqueueReadBuffer(it->second.buffer, offset, size, dst),
+                mcuda::cudaErrorLaunchFailure);
   }
 
   StatusOr<std::pair<size_t, size_t>> MemGetInfo() override {
     // §3.7 / Table 3 (nn, mummergpu): OpenCL has no API that reports the
     // free global memory, so this wrapper cannot be implemented.
-    return UnimplementedError(
-        "cudaMemGetInfo has no OpenCL counterpart (§3.7)");
+    return AsCuda(
+        UnimplementedError("cudaMemGetInfo has no OpenCL counterpart (§3.7)"),
+        mcuda::cudaErrorNotSupported);
   }
 
   Status LaunchKernel(const std::string& kernel, Dim3 grid, Dim3 block,
@@ -142,12 +212,14 @@ class CudaOnClApi final : public CudaApi {
     BRIDGECL_RETURN_IF_ERROR(EnsureBuilt());
     const KernelTranslationInfo* info = translation_.Find(kernel);
     if (info == nullptr)
-      return NotFoundError("no kernel '" + kernel + "' registered");
+      return AsCuda(NotFoundError("no kernel '" + kernel + "' registered"),
+                    mcuda::cudaErrorInvalidDeviceFunction);
     if (static_cast<int>(args.size()) != info->original_param_count)
-      return InvalidArgumentError(
-          StrFormat("kernel '%s' expects %d arguments, got %zu",
-                    kernel.c_str(), info->original_param_count,
-                    args.size()));
+      return AsCuda(InvalidArgumentError(StrFormat(
+                        "kernel '%s' expects %d arguments, got %zu",
+                        kernel.c_str(), info->original_param_count,
+                        args.size())),
+                    mcuda::cudaErrorInvalidValue);
     BRIDGECL_ASSIGN_OR_RETURN(ClKernel k, KernelFor(kernel));
 
     // The static rewriter turned `k<<<g,b,s>>>(a0..aN)` into this launch
@@ -156,75 +228,105 @@ class CudaOnClApi final : public CudaApi {
     int index = 0;
     for (const LaunchArg& a : args) {
       BRIDGECL_RETURN_IF_ERROR(
-          cl_.SetKernelArg(k, index++, a.bytes.size(), a.bytes.data()));
+          Seal(cl_.SetKernelArg(k, index++, a.bytes.size(), a.bytes.data()),
+               mcuda::cudaErrorInvalidValue));
     }
     if (info->has_dynamic_shared) {
       BRIDGECL_RETURN_IF_ERROR(
-          cl_.SetKernelArg(k, index++, shared_bytes, nullptr));
+          Seal(cl_.SetKernelArg(k, index++, shared_bytes, nullptr),
+               mcuda::cudaErrorInvalidValue));
     } else if (shared_bytes != 0) {
-      return InvalidArgumentError(
-          "launch passes dynamic shared memory but the kernel declares no "
-          "extern __shared__ variable");
+      return AsCuda(
+          InvalidArgumentError(
+              "launch passes dynamic shared memory but the kernel declares "
+              "no extern __shared__ variable"),
+          mcuda::cudaErrorInvalidValue);
     }
     for (const std::string& tex : info->texture_params) {
       auto it = textures_.find(tex);
       if (it == textures_.end() || !it->second.bound)
-        return FailedPreconditionError("texture reference '" + tex +
-                                       "' used but not bound");
+        return AsCuda(FailedPreconditionError("texture reference '" + tex +
+                                              "' used but not bound"),
+                      mcuda::cudaErrorInvalidTexture);
       BRIDGECL_RETURN_IF_ERROR(
-          cl_.SetKernelArg(k, index++, sizeof(ClMem), &it->second.image));
-      BRIDGECL_RETURN_IF_ERROR(cl_.SetKernelArg(
-          k, index++, sizeof(uint64_t), &it->second.sampler));
+          Seal(cl_.SetKernelArg(k, index++, sizeof(ClMem),
+                                &it->second.image),
+               mcuda::cudaErrorInvalidValue));
+      BRIDGECL_RETURN_IF_ERROR(
+          Seal(cl_.SetKernelArg(k, index++, sizeof(uint64_t),
+                                &it->second.sampler),
+               mcuda::cudaErrorInvalidValue));
     }
     for (const auto& sym : info->symbol_params) {
       auto it = symbols_.find(sym.name);
       if (it == symbols_.end())
-        return InternalError("missing symbol buffer for '" + sym.name + "'");
+        return AsCuda(
+            InternalError("missing symbol buffer for '" + sym.name + "'"),
+            mcuda::cudaErrorLaunchFailure);
       BRIDGECL_RETURN_IF_ERROR(
-          cl_.SetKernelArg(k, index++, sizeof(ClMem), &it->second.buffer));
+          Seal(cl_.SetKernelArg(k, index++, sizeof(ClMem),
+                                &it->second.buffer),
+               mcuda::cudaErrorInvalidValue));
     }
     size_t gws[3] = {static_cast<size_t>(grid.x) * block.x,
                      static_cast<size_t>(grid.y) * block.y,
                      static_cast<size_t>(grid.z) * block.z};
     size_t lws[3] = {block.x, block.y, block.z};
-    return cl_.EnqueueNDRangeKernel(k, 3, gws, lws);
+    Status st = cl_.EnqueueNDRangeKernel(k, 3, gws, lws);
+    // A device-side assert keeps its CUDA-specific code even though the
+    // inner CL layer had to report it as a generic execution failure.
+    if (!st.ok() && st.message().find("assert") != std::string::npos)
+      return AsCuda(std::move(st), mcuda::cudaErrorAssert);
+    return Seal(std::move(st), mcuda::cudaErrorLaunchOutOfResources);
   }
 
-  Status DeviceSynchronize() override { return cl_.Finish(); }
+  Status DeviceSynchronize() override {
+    return Seal(cl_.Finish(), mcuda::cudaErrorLaunchFailure);
+  }
 
   StatusOr<CudaDeviceProps> GetDeviceProperties() override {
     // §6.3 deviceQuery: the wrapper fills cudaDeviceProp by invoking
     // clGetDeviceInfo once per attribute — the measured slowdown.
     CudaDeviceProps p;
     BRIDGECL_ASSIGN_OR_RETURN(
-        p.name, cl_.QueryDeviceInfoString(mocl::ClDeviceAttr::kName));
+        p.name, Seal(cl_.QueryDeviceInfoString(mocl::ClDeviceAttr::kName),
+                     mcuda::cudaErrorInitializationError));
     BRIDGECL_ASSIGN_OR_RETURN(
         uint64_t gm,
-        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kGlobalMemSize));
+        Seal(cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kGlobalMemSize),
+             mcuda::cudaErrorInitializationError));
     p.total_global_mem = gm;
     BRIDGECL_ASSIGN_OR_RETURN(
         uint64_t lm,
-        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kLocalMemSize));
+        Seal(cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kLocalMemSize),
+             mcuda::cudaErrorInitializationError));
     p.shared_mem_per_block = lm;
     BRIDGECL_ASSIGN_OR_RETURN(
         uint64_t cm,
-        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxConstantBufferSize));
+        Seal(cl_.QueryDeviceInfoUint(
+                 mocl::ClDeviceAttr::kMaxConstantBufferSize),
+             mcuda::cudaErrorInitializationError));
     p.total_const_mem = cm;
     BRIDGECL_ASSIGN_OR_RETURN(
         uint64_t cu,
-        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxComputeUnits));
+        Seal(cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxComputeUnits),
+             mcuda::cudaErrorInitializationError));
     p.multi_processor_count = static_cast<int>(cu);
     BRIDGECL_ASSIGN_OR_RETURN(
         uint64_t wg,
-        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxWorkGroupSize));
+        Seal(cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxWorkGroupSize),
+             mcuda::cudaErrorInitializationError));
     p.max_threads_per_block = static_cast<int>(wg);
     BRIDGECL_ASSIGN_OR_RETURN(
         uint64_t mhz,
-        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxClockFrequency));
+        Seal(cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kMaxClockFrequency),
+             mcuda::cudaErrorInitializationError));
     p.clock_rate_khz = static_cast<int>(mhz) * 1000;
     BRIDGECL_ASSIGN_OR_RETURN(
         uint64_t i1d,
-        cl_.QueryDeviceInfoUint(mocl::ClDeviceAttr::kImage1dMaxBufferWidth));
+        Seal(cl_.QueryDeviceInfoUint(
+                 mocl::ClDeviceAttr::kImage1dMaxBufferWidth),
+             mcuda::cudaErrorInitializationError));
     p.max_texture1d_linear = i1d;
     // OpenCL exposes no warp size / register file attributes; the wrapper
     // reports conventional values.
@@ -248,11 +350,14 @@ class CudaOnClApi final : public CudaApi {
     // maximum cannot be translated (kmeans/leukocyte/hybridsort).
     BRIDGECL_ASSIGN_OR_RETURN(
         ClMem img,
-        cl_.CreateImage1DFromBuffer(
-            fmt, width, ClMem{reinterpret_cast<uint64_t>(device_ptr)}));
+        Seal(cl_.CreateImage1DFromBuffer(
+                 fmt, width, ClMem{reinterpret_cast<uint64_t>(device_ptr)}),
+             mcuda::cudaErrorMemoryAllocation));
     ClSamplerDesc sd;
     sd.normalized_coords = normalized;
-    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler, cl_.CreateSampler(sd));
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler,
+                              Seal(cl_.CreateSampler(sd),
+                                   mcuda::cudaErrorInvalidTexture));
     textures_[texref] = TextureRec{img, sampler, true};
     return OkStatus();
   }
@@ -270,12 +375,18 @@ class CudaOnClApi final : public CudaApi {
     size_t bytes = width * height * texel;
     std::vector<std::byte> staging(bytes);
     BRIDGECL_RETURN_IF_ERROR(
-        cl_.EnqueueReadBuffer(ClMem{reinterpret_cast<uint64_t>(device_ptr)},
-                              0, bytes, staging.data()));
+        Seal(cl_.EnqueueReadBuffer(
+                 ClMem{reinterpret_cast<uint64_t>(device_ptr)}, 0, bytes,
+                 staging.data()),
+             mcuda::cudaErrorLaunchFailure));
     BRIDGECL_ASSIGN_OR_RETURN(
-        ClMem img, cl_.CreateImage2D(MemFlags::kReadOnly, fmt, width, height,
-                                     staging.data()));
-    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler, cl_.CreateSampler({}));
+        ClMem img,
+        Seal(cl_.CreateImage2D(MemFlags::kReadOnly, fmt, width, height,
+                               staging.data()),
+             mcuda::cudaErrorMemoryAllocation));
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler,
+                              Seal(cl_.CreateSampler({}),
+                                   mcuda::cudaErrorInvalidTexture));
     textures_[texref] = TextureRec{img, sampler, true};
     return OkStatus();
   }
@@ -287,26 +398,34 @@ class CudaOnClApi final : public CudaApi {
     fmt.channels = desc.channels;
     BRIDGECL_ASSIGN_OR_RETURN(
         ClMem img,
-        cl_.CreateImage2D(MemFlags::kReadWrite, fmt, width,
-                          std::max<size_t>(height, 1), nullptr));
+        Seal(cl_.CreateImage2D(MemFlags::kReadWrite, fmt, width,
+                               std::max<size_t>(height, 1), nullptr),
+             mcuda::cudaErrorMemoryAllocation));
     arrays_[img.handle] = img;
     return reinterpret_cast<void*>(img.handle);
   }
 
   Status MemcpyToArray(void* array, const void* src, size_t) override {
     auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
-    if (it == arrays_.end()) return InvalidArgumentError("unknown cudaArray");
-    return cl_.EnqueueWriteImage(it->second, src);
+    if (it == arrays_.end())
+      return AsCuda(InvalidArgumentError("unknown cudaArray"),
+                    mcuda::cudaErrorInvalidValue);
+    return Seal(cl_.EnqueueWriteImage(it->second, src),
+                mcuda::cudaErrorLaunchFailure);
   }
 
   Status BindTextureToArray(const std::string& texref, void* array,
                             bool filter_linear, bool normalized) override {
     auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
-    if (it == arrays_.end()) return InvalidArgumentError("unknown cudaArray");
+    if (it == arrays_.end())
+      return AsCuda(InvalidArgumentError("unknown cudaArray"),
+                    mcuda::cudaErrorInvalidValue);
     ClSamplerDesc sd;
     sd.filter_linear = filter_linear;
     sd.normalized_coords = normalized;
-    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler, cl_.CreateSampler(sd));
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t sampler,
+                              Seal(cl_.CreateSampler(sd),
+                                   mcuda::cudaErrorInvalidTexture));
     textures_[texref] = TextureRec{it->second, sampler, true};
     return OkStatus();
   }
@@ -325,7 +444,9 @@ class CudaOnClApi final : public CudaApi {
 
   Status EventRecord(void* event) override {
     auto it = events_.find(reinterpret_cast<uint64_t>(event));
-    if (it == events_.end()) return InvalidArgumentError("unknown event");
+    if (it == events_.end())
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    mcuda::cudaErrorInvalidResourceHandle);
     it->second = cl_.NowUs();
     return OkStatus();
   }
@@ -334,33 +455,63 @@ class CudaOnClApi final : public CudaApi {
     auto s = events_.find(reinterpret_cast<uint64_t>(start));
     auto e = events_.find(reinterpret_cast<uint64_t>(end));
     if (s == events_.end() || e == events_.end())
-      return InvalidArgumentError("unknown event");
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    mcuda::cudaErrorInvalidResourceHandle);
     if (s->second < 0 || e->second < 0)
-      return FailedPreconditionError("event was never recorded");
+      return AsCuda(FailedPreconditionError("event was never recorded"),
+                    mcuda::cudaErrorNotReady);
     return e->second - s->second;
   }
 
   Status EventDestroy(void* event) override {
     return events_.erase(reinterpret_cast<uint64_t>(event)) == 1
                ? OkStatus()
-               : InvalidArgumentError("unknown event");
+               : AsCuda(InvalidArgumentError("unknown event"),
+                        mcuda::cudaErrorInvalidResourceHandle);
   }
 
   Status SetKernelRegisters(const std::string& kernel, int regs) override {
     BRIDGECL_RETURN_IF_ERROR(EnsureBuilt());
-    return cl_.SetProgramKernelRegisters(program_, kernel, regs);
+    return Seal(cl_.SetProgramKernelRegisters(program_, kernel, regs),
+                mcuda::cudaErrorInvalidDeviceFunction);
   }
 
   double NowUs() const override { return cl_.NowUs(); }
 
  private:
+  /// Boundary sealer: every Status leaving this wrapper carries a
+  /// cudaError api_code. An inner CL annotation is re-mapped through
+  /// CudaFromCl; an unannotated Status gets the per-StatusCode default
+  /// (with `fallback` for kResourceExhausted).
+  static Status Seal(Status st, int fallback) {
+    if (st.ok()) return st;
+    // Device loss stays cudaErrorDevicesUnavailable no matter how the
+    // inner CL layer had to express it (CL has no dedicated code).
+    int code = st.code() == StatusCode::kDeviceLost
+                   ? mcuda::cudaErrorDevicesUnavailable
+               : mocl::IsClCode(st.api_code())
+                   ? CudaFromCl(st.api_code())
+                   : mcuda::CudaCodeFor(st, fallback);
+    return AsCuda(std::move(st), code);
+  }
+
+  template <typename T>
+  static StatusOr<T> Seal(StatusOr<T> v, int fallback) {
+    if (v.ok()) return v;
+    return StatusOr<T>(Seal(std::move(v).status(), fallback));
+  }
+
   Status EnsureBuilt() {
     if (built_) return OkStatus();
     if (translation_.source.empty())
-      return FailedPreconditionError("no CUDA module was registered");
+      return AsCuda(FailedPreconditionError("no CUDA module was registered"),
+                    mcuda::cudaErrorMissingConfiguration);
     BRIDGECL_ASSIGN_OR_RETURN(
-        program_, cl_.CreateProgramWithSource(translation_.source));
-    BRIDGECL_RETURN_IF_ERROR(cl_.BuildProgram(program_));
+        program_,
+        Seal(cl_.CreateProgramWithSource(translation_.source),
+             mcuda::cudaErrorNoKernelImageForDevice));
+    BRIDGECL_RETURN_IF_ERROR(Seal(cl_.BuildProgram(program_),
+                                  mcuda::cudaErrorNoKernelImageForDevice));
     built_ = true;
     return OkStatus();
   }
@@ -368,7 +519,9 @@ class CudaOnClApi final : public CudaApi {
   StatusOr<ClKernel> KernelFor(const std::string& name) {
     if (auto it = kernels_.find(name); it != kernels_.end())
       return it->second;
-    BRIDGECL_ASSIGN_OR_RETURN(ClKernel k, cl_.CreateKernel(program_, name));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClKernel k, Seal(cl_.CreateKernel(program_, name),
+                         mcuda::cudaErrorInvalidDeviceFunction));
     kernels_[name] = k;
     return k;
   }

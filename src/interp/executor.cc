@@ -57,7 +57,7 @@ using simgpu::Segment;
 namespace {
 
 constexpr size_t kPrivateBytesPerItem = 64 * 1024;
-constexpr size_t kFiberStackBytes = 192 * 1024;
+constexpr size_t kFiberStackBytes = 256 * 1024;
 constexpr int kMaxCallDepth = 64;
 
 /// Location of an assignable value.
@@ -196,18 +196,37 @@ class Evaluator {
   }
 
   // -- memory --------------------------------------------------------------
+
+  /// Re-state a device fault with the coordinates of the work-item that
+  /// performed the access, so guarded-memory and injected-fault
+  /// diagnostics name the culprit. Device-lost passes through untouched
+  /// (the loss is asynchronous, not attributable to one work-item).
+  Status FaultAt(const Status& st) {
+    if (st.ok() || st.code() == StatusCode::kDeviceLost) return st;
+    Status out(st.code(),
+               st.message() +
+                   StrFormat(" [work-item global (%u,%u,%u), local (%u,%u,%u),"
+                             " block %s]",
+                             gid_.x, gid_.y, gid_.z, lid_.x, lid_.y, lid_.z,
+                             L_.group_id.ToString().c_str()));
+    out.set_api_code(st.api_code());
+    return out;
+  }
+
   StatusOr<Value> LoadMem(uint64_t va, const Type::Ptr& type) {
     size_t n = type->ByteSize();
-    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p, L_.device->vm().Resolve(va, n));
+    auto p = L_.device->vm().Resolve(va, n);
+    if (!p.ok()) return FaultAt(p.status());
     BRIDGECL_RETURN_IF_ERROR(ChargeAccess(va, n));
-    return DecodeValue(type, p);
+    return DecodeValue(type, *p);
   }
 
   Status StoreMem(uint64_t va, const Value& v) {
     size_t n = v.type()->ByteSize();
-    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p, L_.device->vm().Resolve(va, n));
+    auto p = L_.device->vm().Resolve(va, n);
+    if (!p.ok()) return FaultAt(p.status());
     BRIDGECL_RETURN_IF_ERROR(ChargeAccess(va, n));
-    return EncodeValue(v, p);
+    return EncodeValue(v, *p);
   }
 
   StatusOr<uint64_t> StackAlloc(size_t bytes, size_t align) {
@@ -257,6 +276,10 @@ class Evaluator {
 
   // -- statements ------------------------------------------------------------
   StatusOr<FlowKind> Exec(const Stmt& s) {
+    // Deterministic instruction trap: one interpreted statement is one
+    // "instruction" for FaultSite::kInstruction plans.
+    if (simgpu::FaultInjector& inj = L_.device->faults(); inj.armed())
+      BRIDGECL_RETURN_IF_ERROR(FaultAt(inj.OnInstruction()));
     switch (s.kind) {
       case StmtKind::kCompound: {
         for (const auto& st : s.As<CompoundStmt>()->body) {
@@ -1830,6 +1853,11 @@ StatusOr<LaunchResult> LaunchKernel(simgpu::Device& device, Module& module,
   for (uint32_t bz = 0; bz < config.grid.z; ++bz) {
     for (uint32_t by = 0; by < config.grid.y; ++by) {
       for (uint32_t bx = 0; bx < config.grid.x; ++bx) {
+        // Per-block shared-memory mapping is an allocation event for the
+        // fault plan (FaultSite::kSharedAlloc).
+        if (device.faults().armed())
+          BRIDGECL_RETURN_IF_ERROR(
+              device.faults().OnSharedAlloc(std::max<size_t>(L.shared_total, 1)));
         device.vm().MapShared(std::max<size_t>(L.shared_total, 1));
         device.vm().MapPrivate(block_items * kPrivateBytesPerItem);
         simgpu::FiberGroup group(kFiberStackBytes);

@@ -1,0 +1,61 @@
+#include "mcuda/cuda_errors.h"
+
+namespace bridgecl::mcuda {
+
+const char* CudaErrorName(int code) {
+  switch (code) {
+    case cudaSuccess: return "cudaSuccess";
+    case cudaErrorMissingConfiguration:
+      return "cudaErrorMissingConfiguration";
+    case cudaErrorMemoryAllocation: return "cudaErrorMemoryAllocation";
+    case cudaErrorInitializationError:
+      return "cudaErrorInitializationError";
+    case cudaErrorLaunchFailure: return "cudaErrorLaunchFailure";
+    case cudaErrorLaunchOutOfResources:
+      return "cudaErrorLaunchOutOfResources";
+    case cudaErrorInvalidDeviceFunction:
+      return "cudaErrorInvalidDeviceFunction";
+    case cudaErrorInvalidConfiguration:
+      return "cudaErrorInvalidConfiguration";
+    case cudaErrorInvalidValue: return "cudaErrorInvalidValue";
+    case cudaErrorInvalidSymbol: return "cudaErrorInvalidSymbol";
+    case cudaErrorInvalidDevicePointer:
+      return "cudaErrorInvalidDevicePointer";
+    case cudaErrorInvalidTexture: return "cudaErrorInvalidTexture";
+    case cudaErrorInvalidChannelDescriptor:
+      return "cudaErrorInvalidChannelDescriptor";
+    case cudaErrorInvalidMemcpyDirection:
+      return "cudaErrorInvalidMemcpyDirection";
+    case cudaErrorUnknown: return "cudaErrorUnknown";
+    case cudaErrorInvalidResourceHandle:
+      return "cudaErrorInvalidResourceHandle";
+    case cudaErrorNotReady: return "cudaErrorNotReady";
+    case cudaErrorDevicesUnavailable: return "cudaErrorDevicesUnavailable";
+    case cudaErrorNoKernelImageForDevice:
+      return "cudaErrorNoKernelImageForDevice";
+    case cudaErrorAssert: return "cudaErrorAssert";
+    case cudaErrorNotSupported: return "cudaErrorNotSupported";
+    default: return "cudaErrorUnknownCode";
+  }
+}
+
+int CudaCodeFor(const Status& st, int fallback) {
+  if (IsCudaCode(st.api_code())) return st.api_code();
+  switch (st.code()) {
+    case StatusCode::kOk: return cudaSuccess;
+    case StatusCode::kDeviceLost: return cudaErrorDevicesUnavailable;
+    case StatusCode::kResourceExhausted: return fallback;
+    case StatusCode::kInvalidArgument: return cudaErrorInvalidValue;
+    case StatusCode::kOutOfRange: return cudaErrorInvalidValue;
+    case StatusCode::kNotFound: return cudaErrorInvalidValue;
+    case StatusCode::kFailedPrecondition: return cudaErrorInvalidValue;
+    case StatusCode::kUnimplemented: return cudaErrorNotSupported;
+    // Device-side execution faults (guarded-memory violations, injected
+    // traps): the classic sticky "unspecified launch failure".
+    case StatusCode::kInternal: return cudaErrorLaunchFailure;
+    case StatusCode::kUntranslatable: return cudaErrorInvalidDeviceFunction;
+  }
+  return fallback;
+}
+
+}  // namespace bridgecl::mcuda

@@ -1,0 +1,62 @@
+// CUDA runtime error codes (the numeric values of driver_types.h in the
+// CUDA 5.x era the paper targets), plus the helpers that attach them to
+// Status results crossing the CudaApi boundary. Status::api_code() carries
+// the spec code: positive values are cudaError codes, negative values are
+// CL codes, so a code annotated by an inner OpenCL layer is recognizably
+// foreign and the cu2cl wrapper re-maps it (docs/ROBUSTNESS.md).
+#pragma once
+
+#include "support/status.h"
+
+namespace bridgecl::mcuda {
+
+// Spec names and values verbatim from cudaError_t.
+inline constexpr int cudaSuccess = 0;
+inline constexpr int cudaErrorMissingConfiguration = 1;
+inline constexpr int cudaErrorMemoryAllocation = 2;
+inline constexpr int cudaErrorInitializationError = 3;
+inline constexpr int cudaErrorLaunchFailure = 4;
+inline constexpr int cudaErrorLaunchOutOfResources = 7;
+inline constexpr int cudaErrorInvalidDeviceFunction = 8;
+inline constexpr int cudaErrorInvalidConfiguration = 9;
+inline constexpr int cudaErrorInvalidValue = 11;
+inline constexpr int cudaErrorInvalidSymbol = 13;
+inline constexpr int cudaErrorInvalidDevicePointer = 17;
+inline constexpr int cudaErrorInvalidTexture = 18;
+inline constexpr int cudaErrorInvalidChannelDescriptor = 20;
+inline constexpr int cudaErrorInvalidMemcpyDirection = 21;
+inline constexpr int cudaErrorUnknown = 30;
+inline constexpr int cudaErrorInvalidResourceHandle = 33;
+inline constexpr int cudaErrorNotReady = 34;
+inline constexpr int cudaErrorDevicesUnavailable = 46;
+inline constexpr int cudaErrorNoKernelImageForDevice = 48;
+inline constexpr int cudaErrorAssert = 59;
+inline constexpr int cudaErrorNotSupported = 71;
+
+/// Spec identifier of a cudaError value ("cudaErrorMemoryAllocation").
+const char* CudaErrorName(int code);
+
+/// True when `code` is a CUDA api_code (CUDA codes are >= 0, CL < 0).
+inline bool IsCudaCode(int code) { return code > 0; }
+
+/// Attach `code` to a failed Status unless an inner CUDA layer already
+/// attached one. A negative (CL) annotation is replaced: codes must be
+/// re-expressed in the vocabulary of the API that returns them.
+inline Status AsCuda(Status st, int code) {
+  if (!st.ok() && !IsCudaCode(st.api_code())) st.set_api_code(code);
+  return st;
+}
+
+template <typename T>
+StatusOr<T> AsCuda(StatusOr<T> v, int code) {
+  if (v.ok()) return v;
+  return AsCuda(v.status(), code);
+}
+
+/// Default cudaError for a Status that crossed no annotated boundary —
+/// the per-StatusCode half of the mapping table. `fallback` is the code
+/// for the entry point's operation class (e.g. cudaMalloc passes
+/// cudaErrorMemoryAllocation for kResourceExhausted).
+int CudaCodeFor(const Status& st, int fallback);
+
+}  // namespace bridgecl::mcuda

@@ -5,6 +5,8 @@
 #include "interp/image.h"
 #include "interp/module.h"
 #include "mcuda/cuda_api.h"
+#include "mcuda/cuda_errors.h"
+#include "simgpu/fault_injector.h"
 #include "support/strings.h"
 
 namespace bridgecl::mcuda {
@@ -16,6 +18,9 @@ using interp::Module;
 using lang::ScalarKind;
 using simgpu::Device;
 using simgpu::Dim3;
+using simgpu::FaultInjector;
+using simgpu::RetryTransient;
+using simgpu::TransferWithFaults;
 
 struct ArrayRec {
   uint64_t data_va = 0;
@@ -35,99 +40,132 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status RegisterModule(const std::string& cuda_source) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     // Static compilation: no run-time build cost is charged (CUDA embeds
     // compiled device code in the executable, §3.4).
     DiagnosticEngine diags;
     auto m = Module::Compile(cuda_source, lang::Dialect::kCUDA, diags);
     if (!m.ok())
-      return Status(m.status().code(),
-                    m.status().message() + "\n" + diags.ToString());
-    BRIDGECL_RETURN_IF_ERROR((*m)->LoadOn(device_));
+      return AsCuda(Status(m.status().code(),
+                           m.status().message() + "\n" + diags.ToString()),
+                    cudaErrorInvalidDeviceFunction);
+    BRIDGECL_RETURN_IF_ERROR(
+        Seal((*m)->LoadOn(device_), cudaErrorMemoryAllocation));
     modules_.push_back(std::move(*m));
     return OkStatus();
   }
 
   StatusOr<void*> Malloc(size_t size) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
-    BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, device_.vm().AllocGlobal(size));
-    return reinterpret_cast<void*>(va);
+    auto va_or = RetryTransient(
+        device_.faults(), [&] { return device_.vm().AllocGlobal(size); });
+    if (!va_or.ok()) return Seal(va_or.status(), cudaErrorMemoryAllocation);
+    return reinterpret_cast<void*>(*va_or);
   }
 
   Status Free(void* ptr) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
-    return device_.vm().FreeGlobal(reinterpret_cast<uint64_t>(ptr));
+    Status st = RetryTransient(device_.faults(), [&] {
+      return device_.vm().FreeGlobal(reinterpret_cast<uint64_t>(ptr));
+    });
+    if (!st.ok() && st.code() == StatusCode::kInvalidArgument)
+      return AsCuda(std::move(st), cudaErrorInvalidDevicePointer);
+    return Seal(std::move(st), cudaErrorUnknown);
   }
 
   Status Memcpy(void* dst, const void* src, size_t size,
                 MemcpyKind kind) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     switch (kind) {
       case MemcpyKind::kHostToDevice: {
         BRIDGECL_ASSIGN_OR_RETURN(
-            std::byte * p,
-            device_.vm().Resolve(reinterpret_cast<uint64_t>(dst), size));
-        std::memcpy(p, src, size);
-        device_.ChargeCopy(size);
-        device_.stats().host_to_device_bytes += size;
-        return OkStatus();
+            std::byte * p, DeviceRange(reinterpret_cast<uint64_t>(dst), size));
+        return Seal(TransferWithFaults(device_.faults(), size,
+                                       [&](size_t n) {
+                                         std::memcpy(p, src, n);
+                                         device_.ChargeCopy(n);
+                                         device_.stats().host_to_device_bytes +=
+                                             n;
+                                       }),
+                    cudaErrorLaunchFailure);
       }
       case MemcpyKind::kDeviceToHost: {
         BRIDGECL_ASSIGN_OR_RETURN(
-            std::byte * p,
-            device_.vm().Resolve(reinterpret_cast<uint64_t>(src), size));
-        std::memcpy(dst, p, size);
-        device_.ChargeCopy(size);
-        device_.stats().device_to_host_bytes += size;
-        return OkStatus();
+            std::byte * p, DeviceRange(reinterpret_cast<uint64_t>(src), size));
+        return Seal(TransferWithFaults(device_.faults(), size,
+                                       [&](size_t n) {
+                                         std::memcpy(dst, p, n);
+                                         device_.ChargeCopy(n);
+                                         device_.stats().device_to_host_bytes +=
+                                             n;
+                                       }),
+                    cudaErrorLaunchFailure);
       }
       case MemcpyKind::kDeviceToDevice: {
         BRIDGECL_ASSIGN_OR_RETURN(
-            std::byte * ps,
-            device_.vm().Resolve(reinterpret_cast<uint64_t>(src), size));
+            std::byte * ps, DeviceRange(reinterpret_cast<uint64_t>(src), size));
         BRIDGECL_ASSIGN_OR_RETURN(
-            std::byte * pd,
-            device_.vm().Resolve(reinterpret_cast<uint64_t>(dst), size));
-        std::memmove(pd, ps, size);
-        device_.ChargeCopy(size / 4);
-        device_.stats().device_to_device_bytes += size;
-        return OkStatus();
+            std::byte * pd, DeviceRange(reinterpret_cast<uint64_t>(dst), size));
+        return Seal(
+            TransferWithFaults(device_.faults(), size,
+                               [&](size_t n) {
+                                 std::memmove(pd, ps, n);
+                                 device_.ChargeCopy(n / 4);
+                                 device_.stats().device_to_device_bytes += n;
+                               }),
+            cudaErrorLaunchFailure);
       }
       case MemcpyKind::kHostToHost:
         std::memmove(dst, src, size);
         return OkStatus();
     }
-    return InvalidArgumentError("bad memcpy kind");
+    return AsCuda(InvalidArgumentError("bad memcpy kind"),
+                  cudaErrorInvalidMemcpyDirection);
   }
 
   Status MemcpyToSymbol(const std::string& symbol, const void* src,
                         size_t size, size_t offset) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(Module::Symbol sym, FindSymbol(symbol));
     if (offset + size > sym.size)
-      return OutOfRangeError("copy beyond symbol '" + symbol + "'");
+      return AsCuda(OutOfRangeError("copy beyond symbol '" + symbol + "'"),
+                    cudaErrorInvalidValue);
     BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
-                              device_.vm().Resolve(sym.va + offset, size));
-    std::memcpy(p, src, size);
-    device_.ChargeCopy(size);
-    device_.stats().host_to_device_bytes += size;
-    return OkStatus();
+                              DeviceRange(sym.va + offset, size));
+    return Seal(TransferWithFaults(device_.faults(), size,
+                                   [&](size_t n) {
+                                     std::memcpy(p, src, n);
+                                     device_.ChargeCopy(n);
+                                     device_.stats().host_to_device_bytes += n;
+                                   }),
+                cudaErrorLaunchFailure);
   }
 
   Status MemcpyFromSymbol(void* dst, const std::string& symbol, size_t size,
                           size_t offset) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(Module::Symbol sym, FindSymbol(symbol));
     if (offset + size > sym.size)
-      return OutOfRangeError("copy beyond symbol '" + symbol + "'");
+      return AsCuda(OutOfRangeError("copy beyond symbol '" + symbol + "'"),
+                    cudaErrorInvalidValue);
     BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
-                              device_.vm().Resolve(sym.va + offset, size));
-    std::memcpy(dst, p, size);
-    device_.ChargeCopy(size);
-    device_.stats().device_to_host_bytes += size;
-    return OkStatus();
+                              DeviceRange(sym.va + offset, size));
+    return Seal(TransferWithFaults(device_.faults(), size,
+                                   [&](size_t n) {
+                                     std::memcpy(dst, p, n);
+                                     device_.ChargeCopy(n);
+                                     device_.stats().device_to_host_bytes += n;
+                                   }),
+                cudaErrorLaunchFailure);
   }
 
   StatusOr<std::pair<size_t, size_t>> MemGetInfo() override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     size_t total = device_.vm().global_capacity();
     return std::make_pair(total - device_.vm().global_in_use(), total);
@@ -136,8 +174,17 @@ class NativeCudaApi final : public CudaApi {
   Status LaunchKernel(const std::string& kernel, Dim3 grid, Dim3 block,
                       size_t shared_bytes,
                       std::span<const LaunchArg> args) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(Module * m, FindKernelModule(kernel));
+    if (grid.Count() == 0 || block.Count() == 0 ||
+        block.Count() >
+            static_cast<uint64_t>(device_.profile().max_threads_per_block))
+      return AsCuda(
+          InvalidArgumentError(StrFormat(
+              "launch configuration %s x %s is invalid for this device",
+              grid.ToString().c_str(), block.ToString().c_str())),
+          cudaErrorInvalidConfiguration);
     interp::LaunchConfig cfg;
     cfg.grid = grid;
     cfg.block = block;
@@ -145,15 +192,26 @@ class NativeCudaApi final : public CudaApi {
     std::vector<KernelArg> kargs;
     kargs.reserve(args.size());
     for (const LaunchArg& a : args) kargs.push_back(KernelArg::Bytes(a.bytes));
-    return interp::LaunchKernel(device_, *m, kernel, cfg, kargs).status();
+    Status st = RetryTransient(device_.faults(), [&] {
+      return interp::LaunchKernel(device_, *m, kernel, cfg, kargs).status();
+    });
+    if (!st.ok() && st.code() == StatusCode::kInternal &&
+        st.message().find("assert") != std::string::npos)
+      return AsCuda(std::move(st), cudaErrorAssert);
+    // Per-block shared memory over the limit is the classic
+    // cudaErrorLaunchOutOfResources; device-side faults are the sticky
+    // "unspecified launch failure".
+    return Seal(std::move(st), cudaErrorLaunchOutOfResources);
   }
 
   Status DeviceSynchronize() override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     return OkStatus();
   }
 
   StatusOr<CudaDeviceProps> GetDeviceProperties() override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     // Native CUDA fills the whole struct in a single driver query.
     device_.ChargeApiCall();
     device_.AdvanceUs(device_.profile().device_query_us);
@@ -175,12 +233,14 @@ class NativeCudaApi final : public CudaApi {
   Status BindTexture(const std::string& texref, void* device_ptr,
                      size_t bytes, const ChannelDesc& desc,
                      bool normalized) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     size_t texel = lang::ScalarByteSize(desc.elem) * desc.channels;
     size_t width = bytes / texel;
     if (width > device_.profile().cuda_max_tex1d_linear_width)
-      return InvalidArgumentError(
-          "1D linear texture exceeds the 2^27 texel limit");
+      return AsCuda(InvalidArgumentError(
+                        "1D linear texture exceeds the 2^27 texel limit"),
+                    cudaErrorInvalidValue);
     uint32_t sampler = normalized ? uint32_t{interp::kSamplerNormalizedCoords} : 0u;
     sampler |= interp::kSamplerAddressClamp;
     return MakeBinding(texref, reinterpret_cast<uint64_t>(device_ptr), width,
@@ -190,6 +250,7 @@ class NativeCudaApi final : public CudaApi {
   Status BindTexture2D(const std::string& texref, void* device_ptr,
                        size_t width, size_t height, size_t pitch,
                        const ChannelDesc& desc) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     return MakeBinding(texref, reinterpret_cast<uint64_t>(device_ptr), width,
                        height, pitch, desc, interp::kSamplerAddressClamp);
@@ -197,10 +258,14 @@ class NativeCudaApi final : public CudaApi {
 
   StatusOr<void*> MallocArray(const ChannelDesc& desc, size_t width,
                               size_t height) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     size_t texel = lang::ScalarByteSize(desc.elem) * desc.channels;
     size_t bytes = width * std::max<size_t>(height, 1) * texel;
-    BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, device_.vm().AllocGlobal(bytes));
+    auto va_or = RetryTransient(
+        device_.faults(), [&] { return device_.vm().AllocGlobal(bytes); });
+    if (!va_or.ok()) return Seal(va_or.status(), cudaErrorMemoryAllocation);
+    uint64_t va = *va_or;
     ArrayRec rec;
     rec.data_va = va;
     rec.width = width;
@@ -212,24 +277,34 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status MemcpyToArray(void* array, const void* src, size_t bytes) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
-    if (it == arrays_.end()) return InvalidArgumentError("unknown cudaArray");
+    if (it == arrays_.end())
+      return AsCuda(InvalidArgumentError("unknown cudaArray"),
+                    cudaErrorInvalidValue);
     if (bytes > it->second.byte_size)
-      return OutOfRangeError("copy beyond array end");
-    BRIDGECL_ASSIGN_OR_RETURN(
-        std::byte * p, device_.vm().Resolve(it->second.data_va, bytes));
-    std::memcpy(p, src, bytes);
-    device_.ChargeCopy(bytes);
-    device_.stats().host_to_device_bytes += bytes;
-    return OkStatus();
+      return AsCuda(OutOfRangeError("copy beyond array end"),
+                    cudaErrorInvalidValue);
+    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
+                              DeviceRange(it->second.data_va, bytes));
+    return Seal(TransferWithFaults(device_.faults(), bytes,
+                                   [&](size_t n) {
+                                     std::memcpy(p, src, n);
+                                     device_.ChargeCopy(n);
+                                     device_.stats().host_to_device_bytes += n;
+                                   }),
+                cudaErrorLaunchFailure);
   }
 
   Status BindTextureToArray(const std::string& texref, void* array,
                             bool filter_linear, bool normalized) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
-    if (it == arrays_.end()) return InvalidArgumentError("unknown cudaArray");
+    if (it == arrays_.end())
+      return AsCuda(InvalidArgumentError("unknown cudaArray"),
+                    cudaErrorInvalidValue);
     const ArrayRec& a = it->second;
     uint32_t sampler = interp::kSamplerAddressClamp;
     if (filter_linear) sampler |= interp::kSamplerFilterLinear;
@@ -240,15 +315,23 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status UnbindTexture(const std::string& texref) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = textures_.find(texref);
     if (it == textures_.end()) return OkStatus();  // CUDA tolerates this
-    BRIDGECL_RETURN_IF_ERROR(device_.vm().FreeGlobal(it->second.desc_va));
+    BRIDGECL_RETURN_IF_ERROR(
+        Seal(RetryTransient(device_.faults(),
+                            [&] {
+                              return device_.vm().FreeGlobal(
+                                  it->second.desc_va);
+                            }),
+             cudaErrorUnknown));
     textures_.erase(it);
     return OkStatus();
   }
 
   StatusOr<void*> EventCreate() override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     uint64_t id = next_event_++;
     events_[id] = -1.0;  // created but not recorded
@@ -256,29 +339,37 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status EventRecord(void* event) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = events_.find(reinterpret_cast<uint64_t>(event));
-    if (it == events_.end()) return InvalidArgumentError("unknown event");
+    if (it == events_.end())
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    cudaErrorInvalidResourceHandle);
     it->second = device_.now_us();
     return OkStatus();
   }
 
   StatusOr<double> EventElapsedUs(void* start, void* end) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto s = events_.find(reinterpret_cast<uint64_t>(start));
     auto e = events_.find(reinterpret_cast<uint64_t>(end));
     if (s == events_.end() || e == events_.end())
-      return InvalidArgumentError("unknown event");
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    cudaErrorInvalidResourceHandle);
     if (s->second < 0 || e->second < 0)
-      return FailedPreconditionError("event was never recorded");
+      return AsCuda(FailedPreconditionError("event was never recorded"),
+                    cudaErrorNotReady);
     return e->second - s->second;
   }
 
   Status EventDestroy(void* event) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     return events_.erase(reinterpret_cast<uint64_t>(event)) == 1
                ? OkStatus()
-               : InvalidArgumentError("unknown event");
+               : AsCuda(InvalidArgumentError("unknown event"),
+                        cudaErrorInvalidResourceHandle);
   }
 
   Status SetKernelRegisters(const std::string& kernel, int regs) override {
@@ -288,24 +379,54 @@ class NativeCudaApi final : public CudaApi {
         return OkStatus();
       }
     }
-    return NotFoundError("no kernel '" + kernel + "' registered");
+    return AsCuda(NotFoundError("no kernel '" + kernel + "' registered"),
+                  cudaErrorInvalidDeviceFunction);
   }
 
   double NowUs() const override { return device_.now_us(); }
 
  private:
+  /// Sticky device-lost gate: once the simulated device is lost, every
+  /// runtime call returns cudaErrorDevicesUnavailable until teardown
+  /// (Device::faults().ResetContext() or a new Device).
+  Status CheckUsable() {
+    if (device_.faults().device_lost())
+      return AsCuda(DeviceLostError(
+                        "device lost; context is unusable until released"),
+                    cudaErrorDevicesUnavailable);
+    return OkStatus();
+  }
+
+  Status Seal(Status st, int fallback) {
+    int code = CudaCodeFor(st, fallback);
+    return AsCuda(std::move(st), code);
+  }
+
+  /// Validate a device-pointer range at the API boundary: a range the VM
+  /// cannot resolve is an invalid device pointer to the runtime (not a
+  /// device-side execution fault).
+  StatusOr<std::byte*> DeviceRange(uint64_t va, size_t size) {
+    auto p = device_.vm().Resolve(va, size);
+    if (p.ok()) return p;
+    if (p.status().code() == StatusCode::kDeviceLost)
+      return Seal(p.status(), cudaErrorDevicesUnavailable);
+    return AsCuda(p.status(), cudaErrorInvalidDevicePointer);
+  }
+
   StatusOr<Module::Symbol> FindSymbol(const std::string& symbol) {
     for (auto& m : modules_) {
       auto s = m->FindSymbol(symbol);
       if (s.ok()) return s;
     }
-    return NotFoundError("no device symbol '" + symbol + "'");
+    return AsCuda(NotFoundError("no device symbol '" + symbol + "'"),
+                  cudaErrorInvalidSymbol);
   }
 
   StatusOr<Module*> FindKernelModule(const std::string& kernel) {
     for (auto& m : modules_)
       if (m->FindKernel(kernel) != nullptr) return m.get();
-    return NotFoundError("no kernel '" + kernel + "' registered");
+    return AsCuda(NotFoundError("no kernel '" + kernel + "' registered"),
+                  cudaErrorInvalidDeviceFunction);
   }
 
   Status MakeBinding(const std::string& texref, uint64_t data_va,
@@ -316,7 +437,8 @@ class NativeCudaApi final : public CudaApi {
     for (auto& m : modules_)
       if (m->FindTextureRef(texref) != nullptr) owner = m.get();
     if (owner == nullptr)
-      return NotFoundError("no texture reference '" + texref + "'");
+      return AsCuda(NotFoundError("no texture reference '" + texref + "'"),
+                    cudaErrorInvalidTexture);
     BRIDGECL_RETURN_IF_ERROR(UnbindTexture(texref));
     ImageDesc d;
     d.data_va = data_va;
@@ -329,13 +451,19 @@ class NativeCudaApi final : public CudaApi {
     d.slice_pitch = static_cast<uint32_t>(pitch * height);
     d.sampler_bits = sampler_bits;
     d.dims = height > 1 ? 2 : 1;
-    BRIDGECL_ASSIGN_OR_RETURN(uint64_t desc_va,
-                              device_.vm().AllocGlobal(sizeof(d)));
-    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
-                              device_.vm().Resolve(desc_va, sizeof(d)));
-    std::memcpy(p, &d, sizeof(d));
+    auto desc_va_or = RetryTransient(
+        device_.faults(), [&] { return device_.vm().AllocGlobal(sizeof(d)); });
+    if (!desc_va_or.ok())
+      return Seal(desc_va_or.status(), cudaErrorMemoryAllocation);
+    uint64_t desc_va = *desc_va_or;
+    auto p = device_.vm().Resolve(desc_va, sizeof(d));
+    if (!p.ok()) {
+      (void)device_.vm().FreeGlobal(desc_va);
+      return Seal(p.status(), cudaErrorUnknown);
+    }
+    std::memcpy(*p, &d, sizeof(d));
     textures_[texref] = TextureRec{desc_va};
-    return owner->BindTexture(texref, desc_va);
+    return Seal(owner->BindTexture(texref, desc_va), cudaErrorInvalidTexture);
   }
 
   Device& device_;

@@ -1,0 +1,61 @@
+#include "mocl/cl_errors.h"
+
+namespace bridgecl::mocl {
+
+const char* ClErrorName(int code) {
+  switch (code) {
+    case CL_SUCCESS: return "CL_SUCCESS";
+    case CL_DEVICE_NOT_AVAILABLE: return "CL_DEVICE_NOT_AVAILABLE";
+    case CL_MEM_OBJECT_ALLOCATION_FAILURE:
+      return "CL_MEM_OBJECT_ALLOCATION_FAILURE";
+    case CL_OUT_OF_RESOURCES: return "CL_OUT_OF_RESOURCES";
+    case CL_OUT_OF_HOST_MEMORY: return "CL_OUT_OF_HOST_MEMORY";
+    case CL_BUILD_PROGRAM_FAILURE: return "CL_BUILD_PROGRAM_FAILURE";
+    case CL_INVALID_VALUE: return "CL_INVALID_VALUE";
+    case CL_INVALID_DEVICE: return "CL_INVALID_DEVICE";
+    case CL_INVALID_MEM_OBJECT: return "CL_INVALID_MEM_OBJECT";
+    case CL_INVALID_IMAGE_SIZE: return "CL_INVALID_IMAGE_SIZE";
+    case CL_INVALID_SAMPLER: return "CL_INVALID_SAMPLER";
+    case CL_INVALID_PROGRAM: return "CL_INVALID_PROGRAM";
+    case CL_INVALID_PROGRAM_EXECUTABLE:
+      return "CL_INVALID_PROGRAM_EXECUTABLE";
+    case CL_INVALID_KERNEL_NAME: return "CL_INVALID_KERNEL_NAME";
+    case CL_INVALID_KERNEL: return "CL_INVALID_KERNEL";
+    case CL_INVALID_ARG_INDEX: return "CL_INVALID_ARG_INDEX";
+    case CL_INVALID_ARG_VALUE: return "CL_INVALID_ARG_VALUE";
+    case CL_INVALID_ARG_SIZE: return "CL_INVALID_ARG_SIZE";
+    case CL_INVALID_KERNEL_ARGS: return "CL_INVALID_KERNEL_ARGS";
+    case CL_INVALID_WORK_DIMENSION: return "CL_INVALID_WORK_DIMENSION";
+    case CL_INVALID_WORK_GROUP_SIZE: return "CL_INVALID_WORK_GROUP_SIZE";
+    case CL_INVALID_WORK_ITEM_SIZE: return "CL_INVALID_WORK_ITEM_SIZE";
+    case CL_INVALID_EVENT: return "CL_INVALID_EVENT";
+    case CL_INVALID_OPERATION: return "CL_INVALID_OPERATION";
+    case CL_INVALID_BUFFER_SIZE: return "CL_INVALID_BUFFER_SIZE";
+    case CL_INVALID_DEVICE_PARTITION_COUNT:
+      return "CL_INVALID_DEVICE_PARTITION_COUNT";
+    default: return "CL_UNKNOWN_ERROR";
+  }
+}
+
+int ClCodeFor(const Status& st, int fallback) {
+  if (IsClCode(st.api_code()) && st.api_code() != 0) return st.api_code();
+  switch (st.code()) {
+    case StatusCode::kOk: return CL_SUCCESS;
+    // Device loss surfaces as CL_OUT_OF_RESOURCES (the CL 1.2 spec has no
+    // dedicated lost-device code; this is what real runtimes report).
+    case StatusCode::kDeviceLost: return CL_OUT_OF_RESOURCES;
+    case StatusCode::kResourceExhausted: return fallback;
+    case StatusCode::kInvalidArgument: return CL_INVALID_VALUE;
+    case StatusCode::kOutOfRange: return CL_INVALID_VALUE;
+    case StatusCode::kNotFound: return CL_INVALID_VALUE;
+    case StatusCode::kFailedPrecondition: return CL_INVALID_OPERATION;
+    case StatusCode::kUnimplemented: return CL_INVALID_OPERATION;
+    // Device-side execution faults (guarded-memory violations, injected
+    // traps, asserts): "failure to execute kernel on the device".
+    case StatusCode::kInternal: return CL_OUT_OF_RESOURCES;
+    case StatusCode::kUntranslatable: return CL_BUILD_PROGRAM_FAILURE;
+  }
+  return fallback;
+}
+
+}  // namespace bridgecl::mocl

@@ -1,0 +1,68 @@
+// OpenCL 1.2 runtime error codes (the numeric values of Khronos cl.h),
+// plus the helpers that attach them to Status results crossing the
+// OpenClApi boundary. Status::api_code() carries the spec code: negative
+// values are CL codes, positive values are cudaError codes, so a code
+// annotated by an inner CUDA layer is recognizably foreign and the
+// cl2cu wrapper re-maps it (docs/ROBUSTNESS.md has the full tables).
+#pragma once
+
+#include "support/status.h"
+
+namespace bridgecl::mocl {
+
+// Spec names and values verbatim from CL/cl.h (OpenCL 1.2).
+inline constexpr int CL_SUCCESS = 0;
+inline constexpr int CL_DEVICE_NOT_AVAILABLE = -2;
+inline constexpr int CL_MEM_OBJECT_ALLOCATION_FAILURE = -4;
+inline constexpr int CL_OUT_OF_RESOURCES = -5;
+inline constexpr int CL_OUT_OF_HOST_MEMORY = -6;
+inline constexpr int CL_BUILD_PROGRAM_FAILURE = -11;
+inline constexpr int CL_INVALID_VALUE = -30;
+inline constexpr int CL_INVALID_DEVICE = -33;
+inline constexpr int CL_INVALID_MEM_OBJECT = -38;
+inline constexpr int CL_INVALID_IMAGE_SIZE = -40;
+inline constexpr int CL_INVALID_SAMPLER = -41;
+inline constexpr int CL_INVALID_PROGRAM = -44;
+inline constexpr int CL_INVALID_PROGRAM_EXECUTABLE = -45;
+inline constexpr int CL_INVALID_KERNEL_NAME = -46;
+inline constexpr int CL_INVALID_KERNEL = -48;
+inline constexpr int CL_INVALID_ARG_INDEX = -49;
+inline constexpr int CL_INVALID_ARG_VALUE = -50;
+inline constexpr int CL_INVALID_ARG_SIZE = -51;
+inline constexpr int CL_INVALID_KERNEL_ARGS = -52;
+inline constexpr int CL_INVALID_WORK_DIMENSION = -53;
+inline constexpr int CL_INVALID_WORK_GROUP_SIZE = -54;
+inline constexpr int CL_INVALID_WORK_ITEM_SIZE = -55;
+inline constexpr int CL_INVALID_EVENT = -58;
+inline constexpr int CL_INVALID_OPERATION = -59;
+inline constexpr int CL_INVALID_BUFFER_SIZE = -61;
+inline constexpr int CL_INVALID_DEVICE_PARTITION_COUNT = -68;
+
+/// Spec identifier for a CL error code ("CL_INVALID_MEM_OBJECT"), or
+/// "CL_UNKNOWN_ERROR(<n>)"-style text for values outside the table.
+const char* ClErrorName(int code);
+
+/// True when `code` is a CL api_code (CL codes are <= 0, CUDA codes > 0).
+inline bool IsClCode(int code) { return code < 0; }
+
+/// Attach `code` to a failed Status unless an inner CL layer already
+/// attached one. A positive (CUDA) annotation is replaced: codes must be
+/// re-expressed in the vocabulary of the API that returns them.
+inline Status AsCl(Status st, int code) {
+  if (!st.ok() && !IsClCode(st.api_code())) st.set_api_code(code);
+  return st;
+}
+
+template <typename T>
+StatusOr<T> AsCl(StatusOr<T> v, int code) {
+  if (v.ok()) return v;
+  return AsCl(v.status(), code);
+}
+
+/// Default CL code for a Status that crossed no annotated boundary —
+/// the per-StatusCode half of the mapping table. Entry points pass a
+/// `fallback` describing their operation class (e.g. an allocation site
+/// passes CL_MEM_OBJECT_ALLOCATION_FAILURE for kResourceExhausted).
+int ClCodeFor(const Status& st, int fallback);
+
+}  // namespace bridgecl::mocl

@@ -5,6 +5,8 @@
 #include "interp/image.h"
 #include "interp/module.h"
 #include "mocl/cl_api.h"
+#include "mocl/cl_errors.h"
+#include "simgpu/fault_injector.h"
 #include "support/strings.h"
 
 namespace bridgecl::mocl {
@@ -17,6 +19,9 @@ using lang::AddressSpace;
 using lang::ScalarKind;
 using simgpu::Device;
 using simgpu::Dim3;
+using simgpu::FaultInjector;
+using simgpu::RetryTransient;
+using simgpu::TransferWithFaults;
 
 /// Fixed simulated cost of an on-line clBuildProgram (front end + codegen).
 constexpr double kBuildCostUs = 4000.0;
@@ -60,6 +65,7 @@ class NativeClApi final : public OpenClApi {
   }
 
   StatusOr<std::string> QueryDeviceInfoString(ClDeviceAttr attr) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     ChargeQuery();
     switch (attr) {
       case ClDeviceAttr::kName:
@@ -67,11 +73,13 @@ class NativeClApi final : public OpenClApi {
       case ClDeviceAttr::kVendor:
         return device_.profile().vendor;
       default:
-        return InvalidArgumentError("attribute is not a string");
+        return AsCl(InvalidArgumentError("attribute is not a string"),
+                    CL_INVALID_VALUE);
     }
   }
 
   StatusOr<uint64_t> QueryDeviceInfoUint(ClDeviceAttr attr) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     ChargeQuery();
     const auto& p = device_.profile();
     switch (attr) {
@@ -94,14 +102,17 @@ class NativeClApi final : public OpenClApi {
       case ClDeviceAttr::kMaxClockFrequency:
         return static_cast<uint64_t>(p.clock_ghz * 1000);
       default:
-        return InvalidArgumentError("attribute is not an integer");
+        return AsCl(InvalidArgumentError("attribute is not an integer"),
+                    CL_INVALID_VALUE);
     }
   }
 
   StatusOr<int> CreateSubDevices(int n) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (n <= 0 || n > device_.profile().compute_units)
-      return InvalidArgumentError("invalid sub-device partition count");
+      return AsCl(InvalidArgumentError("invalid sub-device partition count"),
+                  CL_INVALID_DEVICE_PARTITION_COUNT);
     // Equal partition by compute units; we only model the bookkeeping.
     return n;
   }
@@ -109,13 +120,24 @@ class NativeClApi final : public OpenClApi {
   // -- buffers ---------------------------------------------------------------
   StatusOr<ClMem> CreateBuffer(MemFlags flags, size_t size,
                                const void* host_ptr) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
-    BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, device_.vm().AllocGlobal(size));
+    if (size == 0)
+      return AsCl(InvalidArgumentError("buffer size is zero"),
+                  CL_INVALID_BUFFER_SIZE);
+    auto va_or = RetryTransient(
+        device_.faults(), [&] { return device_.vm().AllocGlobal(size); });
+    if (!va_or.ok())
+      return Seal(va_or.status(), CL_MEM_OBJECT_ALLOCATION_FAILURE);
+    uint64_t va = *va_or;
     if (host_ptr != nullptr) {
-      BRIDGECL_ASSIGN_OR_RETURN(std::byte * p, device_.vm().Resolve(va, size));
-      std::memcpy(p, host_ptr, size);
-      device_.ChargeCopy(size);
-      device_.stats().host_to_device_bytes += size;
+      Status st = CopyIn(va, host_ptr, size);
+      if (!st.ok()) {
+        // CL_MEM_COPY_HOST_PTR failed: no handle is created, so release
+        // the device memory instead of leaking it.
+        (void)device_.vm().FreeGlobal(va);
+        return Seal(std::move(st), CL_MEM_OBJECT_ALLOCATION_FAILURE);
+      }
     }
     uint64_t id = next_id_++;
     buffers_[id] = BufferRec{va, size, flags};
@@ -123,130 +145,138 @@ class NativeClApi final : public OpenClApi {
   }
 
   Status ReleaseMemObject(ClMem mem) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (auto it = buffers_.find(mem.handle); it != buffers_.end()) {
-      BRIDGECL_RETURN_IF_ERROR(device_.vm().FreeGlobal(it->second.va));
+      BRIDGECL_RETURN_IF_ERROR(Seal(FreeRetry(it->second.va),
+                                    CL_OUT_OF_RESOURCES));
       buffers_.erase(it);
       return OkStatus();
     }
     if (auto it = images_.find(mem.handle); it != images_.end()) {
       if (it->second.owns_data)
-        BRIDGECL_RETURN_IF_ERROR(device_.vm().FreeGlobal(it->second.data_va));
-      BRIDGECL_RETURN_IF_ERROR(device_.vm().FreeGlobal(it->second.desc_va));
+        BRIDGECL_RETURN_IF_ERROR(Seal(FreeRetry(it->second.data_va),
+                                      CL_OUT_OF_RESOURCES));
+      BRIDGECL_RETURN_IF_ERROR(Seal(FreeRetry(it->second.desc_va),
+                                    CL_OUT_OF_RESOURCES));
       images_.erase(it);
       return OkStatus();
     }
-    return InvalidArgumentError("unknown memory object");
+    return AsCl(InvalidArgumentError("unknown memory object"),
+                CL_INVALID_MEM_OBJECT);
   }
 
   Status EnqueueWriteBuffer(ClMem mem, size_t offset, size_t size,
                             const void* src) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
     if (offset + size > b->size)
-      return OutOfRangeError("write beyond buffer end");
-    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
-                              device_.vm().Resolve(b->va + offset, size));
-    std::memcpy(p, src, size);
-    device_.ChargeCopy(size);
-    device_.stats().host_to_device_bytes += size;
-    return OkStatus();
+      return AsCl(OutOfRangeError("write beyond buffer end"),
+                  CL_INVALID_VALUE);
+    return Seal(CopyIn(b->va + offset, src, size), CL_OUT_OF_RESOURCES);
   }
 
   Status EnqueueReadBuffer(ClMem mem, size_t offset, size_t size,
                            void* dst) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
     if (offset + size > b->size)
-      return OutOfRangeError("read beyond buffer end");
-    BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
-                              device_.vm().Resolve(b->va + offset, size));
-    std::memcpy(dst, p, size);
-    device_.ChargeCopy(size);
-    device_.stats().device_to_host_bytes += size;
-    return OkStatus();
+      return AsCl(OutOfRangeError("read beyond buffer end"),
+                  CL_INVALID_VALUE);
+    return Seal(CopyOut(dst, b->va + offset, size), CL_OUT_OF_RESOURCES);
   }
 
   Status EnqueueCopyBuffer(ClMem src, ClMem dst, size_t src_offset,
                            size_t dst_offset, size_t size) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * d, FindBuffer(dst));
     if (src_offset + size > s->size || dst_offset + size > d->size)
-      return OutOfRangeError("copy beyond buffer end");
-    BRIDGECL_ASSIGN_OR_RETURN(std::byte * sp,
-                              device_.vm().Resolve(s->va + src_offset, size));
-    BRIDGECL_ASSIGN_OR_RETURN(std::byte * dp,
-                              device_.vm().Resolve(d->va + dst_offset, size));
-    std::memmove(dp, sp, size);
-    device_.ChargeCopy(size / 4);  // on-device copies are faster
-    device_.stats().device_to_device_bytes += size;
-    return OkStatus();
+      return AsCl(OutOfRangeError("copy beyond buffer end"),
+                  CL_INVALID_VALUE);
+    auto sp = device_.vm().Resolve(s->va + src_offset, size);
+    if (!sp.ok()) return Seal(sp.status(), CL_OUT_OF_RESOURCES);
+    auto dp = device_.vm().Resolve(d->va + dst_offset, size);
+    if (!dp.ok()) return Seal(dp.status(), CL_OUT_OF_RESOURCES);
+    Status st = TransferWithFaults(device_.faults(), size, [&](size_t n) {
+      std::memmove(*dp, *sp, n);
+      device_.ChargeCopy(n / 4);  // on-device copies are faster
+      device_.stats().device_to_device_bytes += n;
+    });
+    return Seal(std::move(st), CL_OUT_OF_RESOURCES);
   }
 
   // -- images ----------------------------------------------------------------
   StatusOr<ClMem> CreateImage2D(MemFlags flags, const ClImageFormat& format,
                                 size_t width, size_t height,
                                 const void* host_ptr) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     const auto& p = device_.profile();
     if (width > static_cast<size_t>(p.max_image2d_width) ||
         height > static_cast<size_t>(p.max_image2d_height))
-      return InvalidArgumentError(
-          StrFormat("image size %zux%zu exceeds device limits", width,
-                    height));
+      return AsCl(
+          InvalidArgumentError(StrFormat(
+              "image size %zux%zu exceeds device limits", width, height)),
+          CL_INVALID_IMAGE_SIZE);
     return MakeImage(flags, format, width, height, host_ptr, /*buffer=*/{});
   }
 
   StatusOr<ClMem> CreateImage1D(MemFlags flags, const ClImageFormat& format,
                                 size_t width, const void* host_ptr) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (width > device_.profile().max_image1d_width)
-      return InvalidArgumentError(
-          StrFormat("1D image width %zu exceeds device maximum %zu (§5)",
-                    width, device_.profile().max_image1d_width));
+      return AsCl(
+          InvalidArgumentError(StrFormat(
+              "1D image width %zu exceeds device maximum %zu (§5)", width,
+              device_.profile().max_image1d_width)),
+          CL_INVALID_IMAGE_SIZE);
     return MakeImage(flags, format, width, 1, host_ptr, /*buffer=*/{});
   }
 
   StatusOr<ClMem> CreateImage1DFromBuffer(const ClImageFormat& format,
                                           size_t width,
                                           ClMem buffer) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (width > device_.profile().max_image1d_width)
-      return InvalidArgumentError(
-          StrFormat("1D image buffer width %zu exceeds device maximum %zu; "
-                    "CUDA linear textures reach 2^27 (§5)",
-                    width, device_.profile().max_image1d_width));
+      return AsCl(
+          InvalidArgumentError(StrFormat(
+              "1D image buffer width %zu exceeds device maximum %zu; "
+              "CUDA linear textures reach 2^27 (§5)",
+              width, device_.profile().max_image1d_width)),
+          CL_INVALID_IMAGE_SIZE);
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(buffer));
     size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
     if (width * texel > b->size)
-      return OutOfRangeError("image view larger than the backing buffer");
+      return AsCl(
+          OutOfRangeError("image view larger than the backing buffer"),
+          CL_INVALID_IMAGE_SIZE);
     return MakeImage(MemFlags::kReadWrite, format, width, 1, nullptr, buffer);
   }
 
   Status EnqueueWriteImage(ClMem image, const void* src) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
-    BRIDGECL_ASSIGN_OR_RETURN(
-        std::byte * p, device_.vm().Resolve(img->data_va, img->byte_size));
-    std::memcpy(p, src, img->byte_size);
-    device_.ChargeCopy(img->byte_size);
-    device_.stats().host_to_device_bytes += img->byte_size;
-    return OkStatus();
+    return Seal(CopyIn(img->data_va, src, img->byte_size),
+                CL_OUT_OF_RESOURCES);
   }
 
   Status EnqueueReadImage(ClMem image, void* dst) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
-    BRIDGECL_ASSIGN_OR_RETURN(
-        std::byte * p, device_.vm().Resolve(img->data_va, img->byte_size));
-    std::memcpy(dst, p, img->byte_size);
-    device_.ChargeCopy(img->byte_size);
-    device_.stats().device_to_host_bytes += img->byte_size;
-    return OkStatus();
+    return Seal(CopyOut(dst, img->data_va, img->byte_size),
+                CL_OUT_OF_RESOURCES);
   }
 
   StatusOr<uint64_t> CreateSampler(const ClSamplerDesc& desc) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     uint64_t bits = 0;
     if (desc.normalized_coords) bits |= interp::kSamplerNormalizedCoords;
@@ -258,6 +288,7 @@ class NativeClApi final : public OpenClApi {
   // -- programs & kernels -----------------------------------------------------
   StatusOr<ClProgram> CreateProgramWithSource(
       const std::string& source) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     uint64_t id = next_id_++;
     programs_[id].source = source;
@@ -265,14 +296,20 @@ class NativeClApi final : public OpenClApi {
   }
 
   Status BuildProgram(ClProgram program) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = programs_.find(program.handle);
-    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it == programs_.end())
+      return AsCl(InvalidArgumentError("unknown program"),
+                  CL_INVALID_PROGRAM);
     DiagnosticEngine diags;
     auto m = Module::Compile(it->second.source, lang::Dialect::kOpenCL, diags);
     it->second.build_log = diags.ToString();
-    if (!m.ok()) return m.status();
-    BRIDGECL_RETURN_IF_ERROR((*m)->LoadOn(device_));
+    // Whatever the compiler's failure class, clBuildProgram reports a
+    // source that does not compile as CL_BUILD_PROGRAM_FAILURE.
+    if (!m.ok()) return AsCl(m.status(), CL_BUILD_PROGRAM_FAILURE);
+    BRIDGECL_RETURN_IF_ERROR(
+        Seal((*m)->LoadOn(device_), CL_BUILD_PROGRAM_FAILURE));
     it->second.module = std::move(*m);
     build_time_us_ += kBuildCostUs;
     device_.AdvanceUs(kBuildCostUs);
@@ -281,20 +318,27 @@ class NativeClApi final : public OpenClApi {
 
   StatusOr<std::string> GetProgramBuildLog(ClProgram program) override {
     auto it = programs_.find(program.handle);
-    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it == programs_.end())
+      return AsCl(InvalidArgumentError("unknown program"),
+                  CL_INVALID_PROGRAM);
     return it->second.build_log;
   }
 
   StatusOr<ClKernel> CreateKernel(ClProgram program,
                                   const std::string& name) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = programs_.find(program.handle);
-    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it == programs_.end())
+      return AsCl(InvalidArgumentError("unknown program"),
+                  CL_INVALID_PROGRAM);
     if (it->second.module == nullptr)
-      return FailedPreconditionError("program is not built");
+      return AsCl(FailedPreconditionError("program is not built"),
+                  CL_INVALID_PROGRAM_EXECUTABLE);
     const lang::FunctionDecl* fn = it->second.module->FindKernel(name);
     if (fn == nullptr)
-      return NotFoundError("no kernel '" + name + "' in program");
+      return AsCl(NotFoundError("no kernel '" + name + "' in program"),
+                  CL_INVALID_KERNEL_NAME);
     uint64_t id = next_id_++;
     KernelRec& k = kernels_[id];
     k.program = program.handle;
@@ -306,31 +350,38 @@ class NativeClApi final : public OpenClApi {
 
   Status SetKernelArg(ClKernel kernel, int index, size_t size,
                       const void* value) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = kernels_.find(kernel.handle);
-    if (it == kernels_.end()) return InvalidArgumentError("unknown kernel");
+    if (it == kernels_.end())
+      return AsCl(InvalidArgumentError("unknown kernel"), CL_INVALID_KERNEL);
     KernelRec& k = it->second;
     Module* module = programs_[k.program].module.get();
     const lang::FunctionDecl* fn = module->FindKernel(k.name);
     if (index < 0 || index >= static_cast<int>(fn->params.size()))
-      return OutOfRangeError(
-          StrFormat("argument index %d out of range for kernel '%s'", index,
-                    k.name.c_str()));
+      return AsCl(
+          OutOfRangeError(StrFormat(
+              "argument index %d out of range for kernel '%s'", index,
+              k.name.c_str())),
+          CL_INVALID_ARG_INDEX);
     const lang::VarDecl* param = fn->params[index].get();
     const lang::Type::Ptr& t = param->type;
 
     if (value == nullptr) {
       // Dynamic __local allocation (§4.1).
       if (!t->is_pointer() || t->pointee_space() != AddressSpace::kLocal)
-        return InvalidArgumentError(
-            "null arg value on a non-__local parameter");
+        return AsCl(
+            InvalidArgumentError("null arg value on a non-__local parameter"),
+            CL_INVALID_ARG_VALUE);
       k.args[index] = KernelArg::LocalAlloc(size);
       k.set[index] = true;
       return OkStatus();
     }
     if (t->is_pointer() && t->pointee_space() != AddressSpace::kPrivate) {
       if (size != sizeof(ClMem))
-        return InvalidArgumentError("memory-object argument size mismatch");
+        return AsCl(
+            InvalidArgumentError("memory-object argument size mismatch"),
+            CL_INVALID_ARG_SIZE);
       ClMem mem;
       std::memcpy(&mem, value, sizeof(mem));
       BRIDGECL_ASSIGN_OR_RETURN(uint64_t va, VaOfMemObject(mem));
@@ -357,17 +408,22 @@ class NativeClApi final : public OpenClApi {
 
   Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
                               const size_t* gws, const size_t* lws) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = kernels_.find(kernel.handle);
-    if (it == kernels_.end()) return InvalidArgumentError("unknown kernel");
+    if (it == kernels_.end())
+      return AsCl(InvalidArgumentError("unknown kernel"), CL_INVALID_KERNEL);
     KernelRec& k = it->second;
     for (size_t i = 0; i < k.set.size(); ++i)
       if (!k.set[i])
-        return FailedPreconditionError(
-            StrFormat("kernel '%s': argument %zu was never set",
-                      k.name.c_str(), i));
+        return AsCl(
+            FailedPreconditionError(StrFormat(
+                "kernel '%s': argument %zu was never set", k.name.c_str(),
+                i)),
+            CL_INVALID_KERNEL_ARGS);
     if (work_dim < 1 || work_dim > 3)
-      return InvalidArgumentError("work_dim must be 1..3");
+      return AsCl(InvalidArgumentError("work_dim must be 1..3"),
+                  CL_INVALID_WORK_DIMENSION);
     Dim3 g(1, 1, 1), l(1, 1, 1);
     uint32_t* gp[3] = {&g.x, &g.y, &g.z};
     uint32_t* lp[3] = {&l.x, &l.y, &l.z};
@@ -378,20 +434,33 @@ class NativeClApi final : public OpenClApi {
     }
     Dim3 grid;
     if (!simgpu::NdrangeToGrid(g, l, &grid))
-      return InvalidArgumentError(
-          "global work size is not a multiple of the local work size");
+      return AsCl(
+          InvalidArgumentError(
+              "global work size is not a multiple of the local work size"),
+          CL_INVALID_WORK_GROUP_SIZE);
+    if (l.Count() >
+        static_cast<uint64_t>(device_.profile().max_threads_per_block))
+      return AsCl(
+          InvalidArgumentError(StrFormat(
+              "work-group size %llu exceeds CL_DEVICE_MAX_WORK_GROUP_SIZE %d",
+              static_cast<unsigned long long>(l.Count()),
+              device_.profile().max_threads_per_block)),
+          CL_INVALID_WORK_GROUP_SIZE);
     interp::LaunchConfig cfg;
     cfg.grid = grid;
     cfg.block = l;
     Module* module = programs_[k.program].module.get();
-    BRIDGECL_ASSIGN_OR_RETURN(
-        interp::LaunchResult r,
-        interp::LaunchKernel(device_, *module, k.name, cfg, k.args));
-    (void)r;
-    return OkStatus();
+    Status st = RetryTransient(device_.faults(), [&] {
+      return interp::LaunchKernel(device_, *module, k.name, cfg, k.args)
+          .status();
+    });
+    // Device-side failures (memory faults, traps, exhausted resources)
+    // surface at the launch/finish boundary as CL_OUT_OF_RESOURCES.
+    return Seal(std::move(st), CL_OUT_OF_RESOURCES);
   }
 
   Status Finish() override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     return OkStatus();
   }
@@ -409,9 +478,11 @@ class NativeClApi final : public OpenClApi {
 
   Status GetEventProfiling(ClEvent event, double* queued_us,
                            double* end_us) override {
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = events_.find(event.handle);
-    if (it == events_.end()) return InvalidArgumentError("unknown event");
+    if (it == events_.end())
+      return AsCl(InvalidArgumentError("unknown event"), CL_INVALID_EVENT);
     *queued_us = it->second.first;
     *end_us = it->second.second;
     return OkStatus();
@@ -421,11 +492,15 @@ class NativeClApi final : public OpenClApi {
                                    const std::string& kernel,
                                    int regs) override {
     auto it = programs_.find(program.handle);
-    if (it == programs_.end()) return InvalidArgumentError("unknown program");
+    if (it == programs_.end())
+      return AsCl(InvalidArgumentError("unknown program"),
+                  CL_INVALID_PROGRAM);
     if (it->second.module == nullptr)
-      return FailedPreconditionError("program is not built");
+      return AsCl(FailedPreconditionError("program is not built"),
+                  CL_INVALID_PROGRAM_EXECUTABLE);
     if (it->second.module->FindKernel(kernel) == nullptr)
-      return NotFoundError("no kernel '" + kernel + "' in program");
+      return AsCl(NotFoundError("no kernel '" + kernel + "' in program"),
+                  CL_INVALID_KERNEL_NAME);
     it->second.module->SetRegisterOverride(kernel, regs);
     return OkStatus();
   }
@@ -434,6 +509,50 @@ class NativeClApi final : public OpenClApi {
   double BuildTimeUs() const override { return build_time_us_; }
 
  private:
+  /// Sticky device-lost gate: once the simulated device is lost, every
+  /// entry point on this context returns CL_OUT_OF_RESOURCES until the
+  /// context is torn down (Device::faults().ResetContext() or a new
+  /// Device).
+  Status CheckUsable() {
+    if (device_.faults().device_lost())
+      return AsCl(DeviceLostError(
+                      "device lost; context is unusable until released"),
+                  CL_OUT_OF_RESOURCES);
+    return OkStatus();
+  }
+
+  /// Attach the entry point's default spec code to errors that bubbled up
+  /// from inner layers without a CL annotation.
+  Status Seal(Status st, int fallback) {
+    int code = ClCodeFor(st, fallback);
+    return AsCl(std::move(st), code);
+  }
+
+  Status FreeRetry(uint64_t va) {
+    return RetryTransient(device_.faults(),
+                          [&] { return device_.vm().FreeGlobal(va); });
+  }
+
+  Status CopyIn(uint64_t va, const void* src, size_t size) {
+    auto p = device_.vm().Resolve(va, size);
+    if (!p.ok()) return p.status();
+    return TransferWithFaults(device_.faults(), size, [&](size_t n) {
+      std::memcpy(*p, src, n);
+      device_.ChargeCopy(n);
+      device_.stats().host_to_device_bytes += n;
+    });
+  }
+
+  Status CopyOut(void* dst, uint64_t va, size_t size) {
+    auto p = device_.vm().Resolve(va, size);
+    if (!p.ok()) return p.status();
+    return TransferWithFaults(device_.faults(), size, [&](size_t n) {
+      std::memcpy(dst, *p, n);
+      device_.ChargeCopy(n);
+      device_.stats().device_to_host_bytes += n;
+    });
+  }
+
   void ChargeQuery() {
     device_.ChargeApiCall();
     device_.AdvanceUs(device_.profile().device_query_us);
@@ -442,14 +561,16 @@ class NativeClApi final : public OpenClApi {
   StatusOr<BufferRec*> FindBuffer(ClMem mem) {
     auto it = buffers_.find(mem.handle);
     if (it == buffers_.end())
-      return InvalidArgumentError("unknown buffer object");
+      return AsCl(InvalidArgumentError("unknown buffer object"),
+                  CL_INVALID_MEM_OBJECT);
     return &it->second;
   }
 
   StatusOr<ImageRec*> FindImage(ClMem mem) {
     auto it = images_.find(mem.handle);
     if (it == images_.end())
-      return InvalidArgumentError("unknown image object");
+      return AsCl(InvalidArgumentError("unknown image object"),
+                  CL_INVALID_MEM_OBJECT);
     return &it->second;
   }
 
@@ -458,7 +579,8 @@ class NativeClApi final : public OpenClApi {
       return it->second.va;
     if (auto it = images_.find(mem.handle); it != images_.end())
       return it->second.desc_va;
-    return InvalidArgumentError("argument is not a memory object");
+    return AsCl(InvalidArgumentError("argument is not a memory object"),
+                CL_INVALID_MEM_OBJECT);
   }
 
   StatusOr<ClMem> MakeImage(MemFlags, const ClImageFormat& format,
@@ -469,11 +591,20 @@ class NativeClApi final : public OpenClApi {
     uint64_t data_va;
     bool owns = !backing_buffer.ok();
     if (owns) {
-      BRIDGECL_ASSIGN_OR_RETURN(data_va, device_.vm().AllocGlobal(bytes));
+      auto va_or = RetryTransient(
+          device_.faults(), [&] { return device_.vm().AllocGlobal(bytes); });
+      if (!va_or.ok())
+        return Seal(va_or.status(), CL_MEM_OBJECT_ALLOCATION_FAILURE);
+      data_va = *va_or;
     } else {
       BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(backing_buffer));
       data_va = b->va;
     }
+    // From here on, failures must release what this call allocated.
+    auto fail = [&](Status st, int fallback) -> Status {
+      if (owns) (void)device_.vm().FreeGlobal(data_va);
+      return Seal(std::move(st), fallback);
+    };
     ImageDesc desc;
     desc.data_va = data_va;
     desc.width = static_cast<uint32_t>(width);
@@ -484,17 +615,24 @@ class NativeClApi final : public OpenClApi {
     desc.row_pitch = static_cast<uint32_t>(width * texel);
     desc.slice_pitch = static_cast<uint32_t>(bytes);
     desc.dims = height > 1 ? 2 : 1;
-    BRIDGECL_ASSIGN_OR_RETURN(uint64_t desc_va,
-                              device_.vm().AllocGlobal(sizeof(desc)));
-    BRIDGECL_ASSIGN_OR_RETURN(
-        std::byte * dp, device_.vm().Resolve(desc_va, sizeof(desc)));
-    std::memcpy(dp, &desc, sizeof(desc));
+    auto desc_va_or = RetryTransient(device_.faults(), [&] {
+      return device_.vm().AllocGlobal(sizeof(desc));
+    });
+    if (!desc_va_or.ok())
+      return fail(desc_va_or.status(), CL_MEM_OBJECT_ALLOCATION_FAILURE);
+    uint64_t desc_va = *desc_va_or;
+    auto dp = device_.vm().Resolve(desc_va, sizeof(desc));
+    if (!dp.ok()) {
+      (void)device_.vm().FreeGlobal(desc_va);
+      return fail(dp.status(), CL_OUT_OF_RESOURCES);
+    }
+    std::memcpy(*dp, &desc, sizeof(desc));
     if (host_ptr != nullptr) {
-      BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
-                                device_.vm().Resolve(data_va, bytes));
-      std::memcpy(p, host_ptr, bytes);
-      device_.ChargeCopy(bytes);
-      device_.stats().host_to_device_bytes += bytes;
+      Status st = CopyIn(data_va, host_ptr, bytes);
+      if (!st.ok()) {
+        (void)device_.vm().FreeGlobal(desc_va);
+        return fail(std::move(st), CL_OUT_OF_RESOURCES);
+      }
     }
     uint64_t id = next_id_++;
     ImageRec rec;

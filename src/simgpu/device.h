@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "simgpu/device_profile.h"
 #include "simgpu/dim3.h"
+#include "simgpu/fault_injector.h"
 #include "simgpu/virtual_memory.h"
 #include "support/status.h"
 
@@ -37,11 +39,20 @@ struct DeviceStats {
 class Device {
  public:
   explicit Device(const DeviceProfile& profile)
-      : profile_(profile), vm_(profile.global_mem_size) {}
+      : profile_(profile), vm_(profile.global_mem_size) {
+    vm_.set_fault_injector(&faults_);
+    // BRIDGECL_GUARDED=1 turns on guarded device memory everywhere (the
+    // ctest `guarded` label runs the suite this way).
+    if (const char* env = std::getenv("BRIDGECL_GUARDED");
+        env != nullptr && env[0] != '\0' && env[0] != '0')
+      vm_.set_guarded(true);
+  }
 
   const DeviceProfile& profile() const { return profile_; }
   VirtualMemory& vm() { return vm_; }
   const VirtualMemory& vm() const { return vm_; }
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
   DeviceStats& stats() { return stats_; }
   const DeviceStats& stats() const { return stats_; }
 
@@ -84,6 +95,7 @@ class Device {
 
  private:
   DeviceProfile profile_;
+  FaultInjector faults_;  // must outlive vm_'s pointer to it
   VirtualMemory vm_;
   DeviceStats stats_;
   BankMode bank_mode_ = BankMode::k32Bit;

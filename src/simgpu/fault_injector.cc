@@ -1,0 +1,114 @@
+#include "simgpu/fault_injector.h"
+
+#include "support/strings.h"
+
+namespace bridgecl::simgpu {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kGlobalAlloc: return "global-alloc";
+    case FaultSite::kGlobalFree: return "global-free";
+    case FaultSite::kSharedAlloc: return "shared-alloc";
+    case FaultSite::kTransfer: return "transfer";
+    case FaultSite::kMemoryAccess: return "memory-access";
+    case FaultSite::kInstruction: return "instruction";
+  }
+  return "unknown";
+}
+
+Status FaultInjector::Consult(FaultSite site, size_t bytes, size_t* granted) {
+  if (lost_)
+    return DeviceLostError(
+        "device lost; release the context and acquire a new one");
+  uint64_t ordinal = counters_[static_cast<size_t>(site)]++;
+  if (plan_.empty()) return OkStatus();
+
+  for (auto it = plan_.points.begin(); it != plan_.points.end(); ++it) {
+    if (it->site != site || it->nth != ordinal) continue;
+    FaultPoint p = *it;
+    // Every point fires at most once (its ordinal never recurs); removing
+    // it keeps the plan's remaining points live and makes transient
+    // retries succeed naturally.
+    plan_.points.erase(it);
+    last_fault_transient_ = p.transient;
+    switch (p.kind) {
+      case FaultKind::kDeviceLost:
+        lost_ = true;
+        last_fault_transient_ = false;  // device loss is never retryable
+        return DeviceLostError(StrFormat(
+            "injected device loss at %s #%llu", FaultSiteName(site),
+            static_cast<unsigned long long>(ordinal)));
+      case FaultKind::kTruncate:
+        if (granted != nullptr) *granted = std::min(p.truncate_to, bytes);
+        return InternalError(StrFormat(
+            "injected fault: %s #%llu truncated after %zu of %zu bytes",
+            FaultSiteName(site), static_cast<unsigned long long>(ordinal),
+            granted != nullptr ? *granted : size_t{0}, bytes));
+      case FaultKind::kError:
+        if (site == FaultSite::kGlobalAlloc ||
+            site == FaultSite::kSharedAlloc)
+          return ResourceExhaustedError(StrFormat(
+              "injected fault: %s #%llu (%zu bytes) failed",
+              FaultSiteName(site), static_cast<unsigned long long>(ordinal),
+              bytes));
+        return InternalError(StrFormat(
+            "injected fault: %s #%llu failed", FaultSiteName(site),
+            static_cast<unsigned long long>(ordinal)));
+    }
+  }
+  last_fault_transient_ = false;
+  return OkStatus();
+}
+
+Status FaultInjector::OnGlobalAlloc(size_t bytes) {
+  return Consult(FaultSite::kGlobalAlloc, bytes, nullptr);
+}
+
+Status FaultInjector::OnGlobalFree() {
+  return Consult(FaultSite::kGlobalFree, 0, nullptr);
+}
+
+Status FaultInjector::OnSharedAlloc(size_t bytes) {
+  return Consult(FaultSite::kSharedAlloc, bytes, nullptr);
+}
+
+Status FaultInjector::OnTransfer(size_t requested, size_t* granted) {
+  if (granted != nullptr) *granted = requested;
+  return Consult(FaultSite::kTransfer, requested, granted);
+}
+
+Status FaultInjector::OnMemoryAccess(uint64_t va, size_t len) {
+  Status st = Consult(FaultSite::kMemoryAccess, len, nullptr);
+  if (st.ok() || st.code() == StatusCode::kDeviceLost) return st;
+  return Status(st.code(),
+                st.message() +
+                    StrFormat(" (access of %zu bytes at 0x%llx)", len,
+                              static_cast<unsigned long long>(va)));
+}
+
+Status FaultInjector::OnInstruction() {
+  return Consult(FaultSite::kInstruction, 0, nullptr);
+}
+
+Status TransferWithFaults(FaultInjector& injector, size_t size,
+                          const std::function<void(size_t)>& move) {
+  if (!injector.armed()) {
+    move(size);
+    return OkStatus();
+  }
+  size_t granted = size;
+  Status st = injector.OnTransfer(size, &granted);
+  for (int attempt = 0;
+       !st.ok() && injector.last_fault_transient() &&
+       attempt < FaultInjector::kMaxTransientRetries;
+       ++attempt)
+    st = injector.OnTransfer(size, &granted);
+  if (st.ok()) {
+    move(size);
+    return OkStatus();
+  }
+  if (granted > 0 && granted < size) move(granted);  // partial DMA
+  return st;
+}
+
+}  // namespace bridgecl::simgpu

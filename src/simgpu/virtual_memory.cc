@@ -1,74 +1,172 @@
 #include "simgpu/virtual_memory.h"
 
+#include <algorithm>
+
+#include "simgpu/fault_injector.h"
 #include "support/strings.h"
 
 namespace bridgecl::simgpu {
 
+const char* SegmentName(Segment seg) {
+  switch (seg) {
+    case Segment::kGlobal: return "global";
+    case Segment::kConstant: return "constant";
+    case Segment::kShared: return "shared";
+    case Segment::kPrivate: return "private";
+  }
+  return "unknown";
+}
+
+namespace {
+size_t RoundUpToGranule(size_t bytes) {
+  return (bytes + VirtualMemory::kGranule - 1) &
+         ~(VirtualMemory::kGranule - 1);
+}
+}  // namespace
+
 StatusOr<uint64_t> VirtualMemory::AllocGlobal(size_t bytes) {
+  if (injector_ != nullptr && injector_->armed())
+    BRIDGECL_RETURN_IF_ERROR(injector_->OnGlobalAlloc(bytes));
   if (bytes == 0) return InvalidArgumentError("zero-size allocation");
   if (global_in_use_ + bytes > global_capacity_)
     return ResourceExhaustedError(
         StrFormat("device global memory exhausted: %zu in use, %zu requested,"
                   " %zu capacity",
                   global_in_use_, bytes, global_capacity_));
-  // Bump allocation with a 256-byte alignment and a guard gap so that
-  // out-of-bounds accesses fall into unmapped space and fail loudly.
-  uint64_t base = (next_global_ + 255) & ~255ull;
-  next_global_ = base + bytes + 256;
+  // Bump allocation with a granule-aligned base and a guard gap so that
+  // accesses past an allocation's span fall into unmapped space.
+  uint64_t base = (next_global_ + kGranule - 1) & ~uint64_t{kGranule - 1};
   Region r;
-  r.storage.resize(bytes);
+  r.user_size = bytes;
+  r.generation = ++next_generation_;
+  if (guarded_) {
+    // Strict span plus poisoned redzones on both sides of the user bytes.
+    r.span = bytes;
+    r.front_pad = kRedzone;
+    r.storage.assign(kRedzone + bytes + kRedzone, kRedzonePoison);
+    std::fill_n(r.storage.begin() + kRedzone, bytes, std::byte{0});
+  } else {
+    // Real allocators hand out whole granules: the slack past the
+    // requested size is addressable and corrupts silently.
+    r.span = RoundUpToGranule(bytes);
+    r.front_pad = 0;
+    r.storage.assign(r.span, std::byte{0});
+  }
+  next_global_ = base + r.span + kGranule;
   global_allocs_.emplace(base, std::move(r));
   global_in_use_ += bytes;
+  ++live_global_count_;
   return base;
 }
 
 Status VirtualMemory::FreeGlobal(uint64_t va) {
+  if (injector_ != nullptr && injector_->armed())
+    BRIDGECL_RETURN_IF_ERROR(injector_->OnGlobalFree());
   auto it = global_allocs_.find(va);
   if (it == global_allocs_.end())
     return InvalidArgumentError(
         StrFormat("free of unknown device pointer 0x%llx",
                   static_cast<unsigned long long>(va)));
-  global_in_use_ -= it->second.storage.size();
-  global_allocs_.erase(it);
+  Region& r = it->second;
+  if (r.freed)
+    return InvalidArgumentError(StrFormat(
+        "double free of device pointer 0x%llx (global allocation of %zu"
+        " bytes, generation %llu, already freed)",
+        static_cast<unsigned long long>(va), r.user_size,
+        static_cast<unsigned long long>(r.generation)));
+  global_in_use_ -= r.user_size;
+  --live_global_count_;
+  if (r.front_pad > 0) {
+    // Guarded: leave a poisoned tombstone so later accesses are diagnosed
+    // as use-after-free (with the generation tag) instead of "unmapped".
+    std::fill(r.storage.begin(), r.storage.end(), kFreePoison);
+    r.freed = true;
+  } else {
+    global_allocs_.erase(it);
+  }
   return OkStatus();
 }
 
 void VirtualMemory::MapConstant(size_t bytes) {
   constant_.storage.assign(bytes, std::byte{0});
+  constant_.user_size = constant_.span = bytes;
 }
 void VirtualMemory::MapShared(size_t bytes) {
   shared_.storage.assign(bytes, std::byte{0});
+  shared_.user_size = shared_.span = bytes;
 }
 void VirtualMemory::MapPrivate(size_t bytes) {
   private_.storage.assign(bytes, std::byte{0});
+  private_.user_size = private_.span = bytes;
+}
+
+StatusOr<std::byte*> VirtualMemory::ResolveGlobal(uint64_t va, size_t len) {
+  auto it = global_allocs_.upper_bound(va);
+  if (it != global_allocs_.begin()) {
+    auto prev = std::prev(it);
+    uint64_t base = prev->first;
+    Region& r = prev->second;
+    if (r.freed) {
+      if (va + len <= base + r.span + kRedzone)
+        return InternalError(StrFormat(
+            "guarded-memory fault: use-after-free access of %zu bytes at"
+            " 0x%llx, %llu bytes into freed global allocation"
+            " [0x%llx, +%zu) generation %llu",
+            len, static_cast<unsigned long long>(va),
+            static_cast<unsigned long long>(va - base),
+            static_cast<unsigned long long>(base), r.user_size,
+            static_cast<unsigned long long>(r.generation)));
+    } else if (va + len <= base + r.span) {
+      return r.storage.data() + r.front_pad + (va - base);
+    } else if (r.front_pad > 0 && va < base + r.span + kRedzone) {
+      return InternalError(StrFormat(
+          "guarded-memory fault: access of %zu bytes at 0x%llx overruns"
+          " global allocation [0x%llx, +%zu) generation %llu by %llu"
+          " byte(s) into the redzone",
+          len, static_cast<unsigned long long>(va),
+          static_cast<unsigned long long>(base), r.user_size,
+          static_cast<unsigned long long>(r.generation),
+          static_cast<unsigned long long>(va + len - (base + r.span))));
+    }
+  }
+  if (it != global_allocs_.end() && it->second.front_pad > 0 &&
+      va + len > it->first - kRedzone)
+    return InternalError(StrFormat(
+        "guarded-memory fault: access of %zu bytes at 0x%llx underruns"
+        " global allocation [0x%llx, +%zu) generation %llu (front"
+        " redzone)",
+        len, static_cast<unsigned long long>(va),
+        static_cast<unsigned long long>(it->first), it->second.user_size,
+        static_cast<unsigned long long>(it->second.generation)));
+  return InternalError(StrFormat(
+      "device memory fault: access of %zu bytes at 0x%llx (segment global,"
+      " unmapped)",
+      len, static_cast<unsigned long long>(va)));
 }
 
 StatusOr<std::byte*> VirtualMemory::Resolve(uint64_t va, size_t len) {
-  auto in = [&](uint64_t base, Region& r) -> std::byte* {
-    if (va >= base && va + len <= base + r.storage.size())
-      return r.storage.data() + (va - base);
-    return nullptr;
+  if (injector_ != nullptr && injector_->armed())
+    BRIDGECL_RETURN_IF_ERROR(injector_->OnMemoryAccess(va, len));
+  auto fixed = [&](uint64_t base, Region& r,
+                   Segment seg) -> StatusOr<std::byte*> {
+    if (va + len <= base + r.span) return r.storage.data() + (va - base);
+    return InternalError(StrFormat(
+        "device memory fault: access of %zu bytes at 0x%llx overruns the"
+        " %s segment [0x%llx, +%zu)",
+        len, static_cast<unsigned long long>(va), SegmentName(seg),
+        static_cast<unsigned long long>(base), r.span));
   };
   // Order: constant (highest base) > shared > private > global.
-  if (va >= kConstantBase) {
-    if (std::byte* p = in(kConstantBase, constant_)) return p;
-  } else if (va >= kSharedBase) {
-    if (std::byte* p = in(kSharedBase, shared_)) return p;
-  } else if (va >= kPrivateBase) {
-    if (std::byte* p = in(kPrivateBase, private_)) return p;
-  } else if (va >= kGlobalBase) {
-    auto it = global_allocs_.upper_bound(va);
-    if (it != global_allocs_.begin()) {
-      --it;
-      uint64_t base = it->first;
-      Region& r = it->second;
-      if (va + len <= base + r.storage.size())
-        return r.storage.data() + (va - base);
-    }
-  }
+  if (va >= kConstantBase) return fixed(kConstantBase, constant_,
+                                        Segment::kConstant);
+  if (va >= kSharedBase) return fixed(kSharedBase, shared_, Segment::kShared);
+  if (va >= kPrivateBase) return fixed(kPrivateBase, private_,
+                                       Segment::kPrivate);
+  if (va >= kGlobalBase) return ResolveGlobal(va, len);
   return InternalError(
-      StrFormat("device memory fault: access of %zu bytes at 0x%llx", len,
-                static_cast<unsigned long long>(va)));
+      StrFormat("device memory fault: access of %zu bytes at 0x%llx"
+                " (null-guard / unmapped low memory)",
+                len, static_cast<unsigned long long>(va)));
 }
 
 StatusOr<Segment> VirtualMemory::SegmentOf(uint64_t va) const {

@@ -10,6 +10,18 @@
 //   [kSharedBase ...)     the shared/local memory of the block currently
 //                         executing (blocks run one at a time)
 //   [kPrivateBase ...)    per-work-item private stacks of the current block
+//
+// Two accuracy modes, mirroring real allocator behavior:
+//   * unguarded (default): each allocation's backing store is padded to the
+//     256-byte allocation granule, like a real device allocator. Writes a
+//     few bytes past the requested size land in the slack and corrupt
+//     silently — exactly the failure mode real GPU code exhibits. Accesses
+//     crossing the granule still hit unmapped space and fault.
+//   * guarded: strict bounds. Poisoned redzones surround each allocation,
+//     frees leave poisoned tombstones with generation tags, and every
+//     out-of-bounds / use-after-free / double-free access fails with a
+//     diagnostic naming the VA, segment, allocation extent and generation
+//     (the device-side half of a cuda-memcheck-style tool).
 #pragma once
 
 #include <cstddef>
@@ -21,7 +33,12 @@
 
 namespace bridgecl::simgpu {
 
+class FaultInjector;
+
 enum class Segment : uint8_t { kGlobal, kConstant, kShared, kPrivate };
+
+/// Human-readable segment name ("global", "constant", ...).
+const char* SegmentName(Segment seg);
 
 class VirtualMemory {
  public:
@@ -31,8 +48,25 @@ class VirtualMemory {
   static constexpr uint64_t kSharedBase = 0x0000'7E00'0000'0000ull;
   static constexpr uint64_t kPrivateBase = 0x0000'7D00'0000'0000ull;
 
+  /// Allocation granule: base alignment and the unit backing stores are
+  /// padded to in unguarded mode.
+  static constexpr size_t kGranule = 256;
+  /// Poisoned guard band around each guarded allocation.
+  static constexpr size_t kRedzone = 64;
+  static constexpr std::byte kRedzonePoison{0xA5};
+  static constexpr std::byte kFreePoison{0xDD};
+
   explicit VirtualMemory(size_t global_capacity)
       : global_capacity_(global_capacity) {}
+
+  /// Guarded mode applies to allocations made after the switch; existing
+  /// regions keep the layout they were created with.
+  void set_guarded(bool guarded) { guarded_ = guarded; }
+  bool guarded() const { return guarded_; }
+
+  /// Injector consulted (when armed) on every alloc/free/resolve; owned by
+  /// the Device. May be null.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   /// Allocate a global-memory buffer; returns its base VA.
   StatusOr<uint64_t> AllocGlobal(size_t bytes);
@@ -46,7 +80,8 @@ class VirtualMemory {
   void MapPrivate(size_t bytes);
 
   /// Resolve `va..va+len` to host memory. Fails on unmapped or
-  /// out-of-bounds accesses (the simulated segfault).
+  /// out-of-bounds accesses (the simulated segfault); in guarded mode the
+  /// failure names the allocation, its extent and generation.
   StatusOr<std::byte*> Resolve(uint64_t va, size_t len);
   /// Segment of a mapped address (for access-cost classification).
   StatusOr<Segment> SegmentOf(uint64_t va) const;
@@ -54,7 +89,7 @@ class VirtualMemory {
   size_t global_in_use() const { return global_in_use_; }
   size_t global_capacity() const { return global_capacity_; }
   /// Number of live global allocations (leak checks in tests).
-  size_t global_allocation_count() const { return global_allocs_.size(); }
+  size_t global_allocation_count() const { return live_global_count_; }
 
   uint64_t constant_base() const { return kConstantBase; }
   uint64_t shared_base() const { return kSharedBase; }
@@ -63,11 +98,22 @@ class VirtualMemory {
  private:
   struct Region {
     std::vector<std::byte> storage;
+    size_t user_size = 0;   // bytes the program requested
+    size_t span = 0;        // bytes addressable from the base VA
+    size_t front_pad = 0;   // offset of the base VA inside `storage`
+    uint64_t generation = 0;
+    bool freed = false;     // guarded tombstone (storage poisoned)
   };
 
+  StatusOr<std::byte*> ResolveGlobal(uint64_t va, size_t len);
+
+  bool guarded_ = false;
+  FaultInjector* injector_ = nullptr;
   size_t global_capacity_;
   size_t global_in_use_ = 0;
+  size_t live_global_count_ = 0;
   uint64_t next_global_ = kGlobalBase;
+  uint64_t next_generation_ = 0;
   std::map<uint64_t, Region> global_allocs_;  // base VA -> region
   Region constant_;
   Region shared_;

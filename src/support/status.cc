@@ -13,6 +13,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kUntranslatable: return "untranslatable";
+    case StatusCode::kDeviceLost: return "device_lost";
   }
   return "unknown";
 }
@@ -48,6 +49,9 @@ Status InternalError(std::string msg) {
 }
 Status UntranslatableError(std::string msg) {
   return Status(StatusCode::kUntranslatable, std::move(msg));
+}
+Status DeviceLostError(std::string msg) {
+  return Status(StatusCode::kDeviceLost, std::move(msg));
 }
 
 }  // namespace bridgecl

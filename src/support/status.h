@@ -7,9 +7,23 @@
 #pragma once
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <variant>
+
+// Always-on invariant check: unlike assert(), survives NDEBUG builds.
+// Dereferencing a non-ok StatusOr must abort loudly in release binaries
+// rather than read the wrong variant alternative (undefined behavior).
+#define BRIDGECL_CHECK(cond, what)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "BRIDGECL_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, (what));                           \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
 
 namespace bridgecl {
 
@@ -23,6 +37,7 @@ enum class StatusCode {
   kResourceExhausted, // allocation limits exceeded
   kInternal,          // invariant violation surfaced as an error
   kUntranslatable,    // source program uses a model-specific feature
+  kDeviceLost,        // simulated device loss; sticky until context release
 };
 
 /// Human-readable name of a status code ("ok", "invalid_argument", ...).
@@ -43,6 +58,17 @@ class [[nodiscard]] Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Spec error code of the emulated API (a negative CL_* value or a
+  /// positive cudaError_t value) attached where the failure crossed an
+  /// mocl/mcuda boundary; 0 when no API annotation applies. Conformance
+  /// tests and the wrapper mapping tables read this instead of parsing
+  /// messages.
+  int api_code() const { return api_code_; }
+  Status& set_api_code(int code) {
+    api_code_ = code;
+    return *this;
+  }
+
   /// "ok" or "<code>: <message>"; for logs and test failure output.
   std::string ToString() const;
 
@@ -53,6 +79,7 @@ class [[nodiscard]] Status {
  private:
   StatusCode code_;
   std::string message_;
+  int api_code_ = 0;
 };
 
 inline Status OkStatus() { return Status::Ok(); }
@@ -65,9 +92,11 @@ Status OutOfRangeError(std::string msg);
 Status ResourceExhaustedError(std::string msg);
 Status InternalError(std::string msg);
 Status UntranslatableError(std::string msg);
+Status DeviceLostError(std::string msg);
 
 /// Holds either a value of T or a non-ok Status. Dereferencing a non-ok
-/// StatusOr is a programming error (asserts).
+/// StatusOr is a programming error: it aborts, in release builds too
+/// (BRIDGECL_CHECK, not assert).
 template <typename T>
 class [[nodiscard]] StatusOr {
  public:
@@ -85,15 +114,15 @@ class [[nodiscard]] StatusOr {
   }
 
   T& value() & {
-    assert(ok());
+    BRIDGECL_CHECK(ok(), status().ToString().c_str());
     return std::get<T>(rep_);
   }
   const T& value() const& {
-    assert(ok());
+    BRIDGECL_CHECK(ok(), status().ToString().c_str());
     return std::get<T>(rep_);
   }
   T&& value() && {
-    assert(ok());
+    BRIDGECL_CHECK(ok(), status().ToString().c_str());
     return std::get<T>(std::move(rep_));
   }
 

@@ -1,0 +1,420 @@
+// Error-code conformance tables: every mocl / mcuda entry point must
+// return the spec-mandated code for null or unknown handles, invalid
+// sizes, and wrong-state objects — plus the guarded-memory demonstration
+// (an off-by-one kernel write is silent on granule-padded allocations and
+// a named, attributed fault under guarded mode) and the BRIDGECL_CHECK
+// abort contract for dereferencing a failed StatusOr. docs/ROBUSTNESS.md
+// carries the same tables in prose.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cl2cu/cl_on_cuda.h"
+#include "cu2cl/cuda_on_cl.h"
+#include "mcuda/cuda_api.h"
+#include "mcuda/cuda_errors.h"
+#include "mocl/cl_api.h"
+#include "mocl/cl_errors.h"
+#include "simgpu/device.h"
+#include "simgpu/fault_injector.h"
+
+namespace bridgecl {
+namespace {
+
+using mcuda::LaunchArg;
+using mcuda::MemcpyKind;
+using mocl::ClDeviceAttr;
+using mocl::ClKernel;
+using mocl::ClMem;
+using mocl::ClProgram;
+using mocl::MemFlags;
+using simgpu::Device;
+using simgpu::Dim3;
+using simgpu::TitanProfile;
+
+const char* kVaddCl =
+    "__kernel void vadd(__global float* a, __global float* b,"
+    "                   __global float* c, int n) {"
+    "  int i = get_global_id(0);"
+    "  if (i < n) c[i] = a[i] + b[i];"
+    "}";
+
+const char* kVaddCu =
+    "__global__ void vadd(float* a, float* b, float* c, int n) {\n"
+    "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+    "  if (i < n) c[i] = a[i] + b[i];\n"
+    "}\n";
+
+// ---------------------------------------------------------------------------
+// OpenCL entry points (native binding).
+// ---------------------------------------------------------------------------
+class MoclConformanceTest : public ::testing::Test {
+ protected:
+  Device dev{TitanProfile()};
+  std::unique_ptr<mocl::OpenClApi> cl = mocl::CreateNativeClApi(dev);
+
+  // A built vadd program with a kernel, for wrong-state probes.
+  ClProgram BuiltProgram() {
+    auto p = cl->CreateProgramWithSource(kVaddCl);
+    EXPECT_TRUE(p.ok());
+    EXPECT_TRUE(cl->BuildProgram(*p).ok());
+    return *p;
+  }
+};
+
+TEST_F(MoclConformanceTest, DeviceQueryWrongAttributeKind) {
+  EXPECT_EQ(cl->QueryDeviceInfoString(ClDeviceAttr::kMaxComputeUnits)
+                .status()
+                .api_code(),
+            mocl::CL_INVALID_VALUE);
+  EXPECT_EQ(cl->QueryDeviceInfoUint(ClDeviceAttr::kName).status().api_code(),
+            mocl::CL_INVALID_VALUE);
+}
+
+TEST_F(MoclConformanceTest, SubDevicePartitionCount) {
+  EXPECT_EQ(cl->CreateSubDevices(0).status().api_code(),
+            mocl::CL_INVALID_DEVICE_PARTITION_COUNT);
+  EXPECT_EQ(cl->CreateSubDevices(1 << 20).status().api_code(),
+            mocl::CL_INVALID_DEVICE_PARTITION_COUNT);
+}
+
+TEST_F(MoclConformanceTest, BufferSizesAndHandles) {
+  EXPECT_EQ(
+      cl->CreateBuffer(MemFlags::kReadWrite, 0, nullptr).status().api_code(),
+      mocl::CL_INVALID_BUFFER_SIZE);
+  EXPECT_EQ(cl->ReleaseMemObject(ClMem{9999}).api_code(),
+            mocl::CL_INVALID_MEM_OBJECT);
+
+  auto buf = cl->CreateBuffer(MemFlags::kReadWrite, 64, nullptr);
+  ASSERT_TRUE(buf.ok());
+  std::vector<std::byte> host(128);
+  EXPECT_EQ(cl->EnqueueWriteBuffer(*buf, 32, 64, host.data()).api_code(),
+            mocl::CL_INVALID_VALUE);
+  EXPECT_EQ(cl->EnqueueReadBuffer(*buf, 0, 128, host.data()).api_code(),
+            mocl::CL_INVALID_VALUE);
+  EXPECT_EQ(cl->EnqueueReadBuffer(ClMem{9999}, 0, 4, host.data()).api_code(),
+            mocl::CL_INVALID_MEM_OBJECT);
+
+  auto dst = cl->CreateBuffer(MemFlags::kReadWrite, 32, nullptr);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(cl->EnqueueCopyBuffer(*buf, *dst, 0, 0, 64).api_code(),
+            mocl::CL_INVALID_VALUE);
+}
+
+TEST_F(MoclConformanceTest, ImageSizeLimits) {
+  mocl::ClImageFormat fmt;  // float, 1 channel
+  const size_t w1 = dev.profile().max_image1d_width + 1;
+  EXPECT_EQ(cl->CreateImage1D(MemFlags::kReadOnly, fmt, w1, nullptr)
+                .status()
+                .api_code(),
+            mocl::CL_INVALID_IMAGE_SIZE);
+  EXPECT_EQ(cl->CreateImage2D(MemFlags::kReadOnly, fmt,
+                              dev.profile().max_image2d_width + 1, 4, nullptr)
+                .status()
+                .api_code(),
+            mocl::CL_INVALID_IMAGE_SIZE);
+
+  auto small = cl->CreateBuffer(MemFlags::kReadWrite, 16, nullptr);
+  ASSERT_TRUE(small.ok());
+  // A 16-texel float view over a 16-byte buffer does not fit.
+  EXPECT_EQ(cl->CreateImage1DFromBuffer(fmt, 16, *small).status().api_code(),
+            mocl::CL_INVALID_IMAGE_SIZE);
+}
+
+TEST_F(MoclConformanceTest, ProgramAndKernelLifecycle) {
+  EXPECT_EQ(cl->BuildProgram(ClProgram{9999}).api_code(),
+            mocl::CL_INVALID_PROGRAM);
+  EXPECT_EQ(cl->GetProgramBuildLog(ClProgram{9999}).status().api_code(),
+            mocl::CL_INVALID_PROGRAM);
+  EXPECT_EQ(cl->CreateKernel(ClProgram{9999}, "vadd").status().api_code(),
+            mocl::CL_INVALID_PROGRAM);
+
+  auto broken = cl->CreateProgramWithSource("__kernel void oops( {");
+  ASSERT_TRUE(broken.ok());
+  EXPECT_EQ(cl->BuildProgram(*broken).api_code(),
+            mocl::CL_BUILD_PROGRAM_FAILURE);
+
+  // Wrong state: a program that was never built has no executable.
+  auto unbuilt = cl->CreateProgramWithSource(kVaddCl);
+  ASSERT_TRUE(unbuilt.ok());
+  EXPECT_EQ(cl->CreateKernel(*unbuilt, "vadd").status().api_code(),
+            mocl::CL_INVALID_PROGRAM_EXECUTABLE);
+
+  ClProgram prog = BuiltProgram();
+  EXPECT_EQ(cl->CreateKernel(prog, "no_such_kernel").status().api_code(),
+            mocl::CL_INVALID_KERNEL_NAME);
+}
+
+TEST_F(MoclConformanceTest, KernelArgumentValidation) {
+  ClProgram prog = BuiltProgram();
+  auto kern = cl->CreateKernel(prog, "vadd");
+  ASSERT_TRUE(kern.ok());
+  auto buf = cl->CreateBuffer(MemFlags::kReadWrite, 64, nullptr);
+  ASSERT_TRUE(buf.ok());
+
+  EXPECT_EQ(cl->SetKernelArg(ClKernel{9999}, 0, sizeof(ClMem), &*buf)
+                .api_code(),
+            mocl::CL_INVALID_KERNEL);
+  EXPECT_EQ(cl->SetKernelArg(*kern, 7, sizeof(ClMem), &*buf).api_code(),
+            mocl::CL_INVALID_ARG_INDEX);
+  // Null value is only legal for dynamic __local parameters.
+  EXPECT_EQ(cl->SetKernelArg(*kern, 0, 16, nullptr).api_code(),
+            mocl::CL_INVALID_ARG_VALUE);
+  // Memory-object arguments must be passed as exactly sizeof(cl_mem).
+  EXPECT_EQ(cl->SetKernelArg(*kern, 0, sizeof(ClMem) + 4, &*buf).api_code(),
+            mocl::CL_INVALID_ARG_SIZE);
+}
+
+TEST_F(MoclConformanceTest, LaunchValidation) {
+  ClProgram prog = BuiltProgram();
+  auto kern = cl->CreateKernel(prog, "vadd");
+  ASSERT_TRUE(kern.ok());
+  size_t gws = 64, lws = 32;
+
+  EXPECT_EQ(cl->EnqueueNDRangeKernel(ClKernel{9999}, 1, &gws, &lws)
+                .api_code(),
+            mocl::CL_INVALID_KERNEL);
+  // Wrong state: launching before every argument is set.
+  EXPECT_EQ(cl->EnqueueNDRangeKernel(*kern, 1, &gws, &lws).api_code(),
+            mocl::CL_INVALID_KERNEL_ARGS);
+
+  auto buf = cl->CreateBuffer(MemFlags::kReadWrite, 256, nullptr);
+  ASSERT_TRUE(buf.ok());
+  int n = 64;
+  ASSERT_TRUE(cl->SetKernelArg(*kern, 0, sizeof(ClMem), &*buf).ok());
+  ASSERT_TRUE(cl->SetKernelArg(*kern, 1, sizeof(ClMem), &*buf).ok());
+  ASSERT_TRUE(cl->SetKernelArg(*kern, 2, sizeof(ClMem), &*buf).ok());
+  ASSERT_TRUE(cl->SetKernelArg(*kern, 3, sizeof(int), &n).ok());
+
+  EXPECT_EQ(cl->EnqueueNDRangeKernel(*kern, 0, &gws, &lws).api_code(),
+            mocl::CL_INVALID_WORK_DIMENSION);
+  EXPECT_EQ(cl->EnqueueNDRangeKernel(*kern, 4, &gws, &lws).api_code(),
+            mocl::CL_INVALID_WORK_DIMENSION);
+  size_t bad_lws = 48;  // 64 % 48 != 0
+  EXPECT_EQ(cl->EnqueueNDRangeKernel(*kern, 1, &gws, &bad_lws).api_code(),
+            mocl::CL_INVALID_WORK_GROUP_SIZE);
+  size_t huge = gws = static_cast<size_t>(
+      dev.profile().max_threads_per_block * 2);
+  EXPECT_EQ(cl->EnqueueNDRangeKernel(*kern, 1, &gws, &huge).api_code(),
+            mocl::CL_INVALID_WORK_GROUP_SIZE);
+}
+
+TEST_F(MoclConformanceTest, EventHandles) {
+  double q, e;
+  EXPECT_EQ(cl->GetEventProfiling(mocl::ClEvent{9999}, &q, &e).api_code(),
+            mocl::CL_INVALID_EVENT);
+}
+
+// ---------------------------------------------------------------------------
+// CUDA entry points (native binding).
+// ---------------------------------------------------------------------------
+class McudaConformanceTest : public ::testing::Test {
+ protected:
+  Device dev{TitanProfile()};
+  std::unique_ptr<mcuda::CudaApi> cu = mcuda::CreateNativeCudaApi(dev);
+};
+
+TEST_F(McudaConformanceTest, ModuleAndMemory) {
+  EXPECT_EQ(cu->RegisterModule("__global__ void oops( {").api_code(),
+            mcuda::cudaErrorInvalidDeviceFunction);
+  // An allocation larger than the device exhausts global memory.
+  EXPECT_EQ(cu->Malloc(dev.profile().global_mem_size + 1).status().api_code(),
+            mcuda::cudaErrorMemoryAllocation);
+  EXPECT_EQ(cu->Free(reinterpret_cast<void*>(0xdead000)).api_code(),
+            mcuda::cudaErrorInvalidDevicePointer);
+}
+
+TEST_F(McudaConformanceTest, MemcpyValidation) {
+  float host[4] = {};
+  auto p = cu->Malloc(sizeof(host));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(cu->Memcpy(*p, host, sizeof(host),
+                       static_cast<MemcpyKind>(99))
+                .api_code(),
+            mcuda::cudaErrorInvalidMemcpyDirection);
+  // Ranges that leave the allocation are invalid device pointers.
+  EXPECT_EQ(cu->Memcpy(*p, host, 4096, MemcpyKind::kHostToDevice).api_code(),
+            mcuda::cudaErrorInvalidDevicePointer);
+  EXPECT_TRUE(cu->Free(*p).ok());
+}
+
+TEST_F(McudaConformanceTest, SymbolValidation) {
+  float v = 1.0f;
+  EXPECT_EQ(cu->MemcpyToSymbol("no_such_symbol", &v, 4).api_code(),
+            mcuda::cudaErrorInvalidSymbol);
+  ASSERT_TRUE(cu->RegisterModule("__device__ float table[4];\n" +
+                                 std::string(kVaddCu))
+                  .ok());
+  // Wrong size: past the end of a real symbol.
+  float big[8] = {};
+  EXPECT_EQ(cu->MemcpyToSymbol("table", big, sizeof(big)).api_code(),
+            mcuda::cudaErrorInvalidValue);
+}
+
+TEST_F(McudaConformanceTest, LaunchValidation) {
+  ASSERT_TRUE(cu->RegisterModule(kVaddCu).ok());
+  EXPECT_EQ(cu->LaunchKernel("no_such_kernel", Dim3(1, 1, 1), Dim3(1, 1, 1),
+                             0, {})
+                .api_code(),
+            mcuda::cudaErrorInvalidDeviceFunction);
+  EXPECT_EQ(cu->LaunchKernel("vadd", Dim3(0, 1, 1), Dim3(1, 1, 1), 0, {})
+                .api_code(),
+            mcuda::cudaErrorInvalidConfiguration);
+  EXPECT_EQ(
+      cu->LaunchKernel(
+            "vadd", Dim3(1, 1, 1),
+            Dim3(dev.profile().max_threads_per_block + 1, 1, 1), 0, {})
+          .api_code(),
+      mcuda::cudaErrorInvalidConfiguration);
+}
+
+TEST_F(McudaConformanceTest, EventsAndTextures) {
+  void* bogus = reinterpret_cast<void*>(0x777);
+  EXPECT_EQ(cu->EventRecord(bogus).api_code(),
+            mcuda::cudaErrorInvalidResourceHandle);
+  EXPECT_EQ(cu->EventDestroy(bogus).api_code(),
+            mcuda::cudaErrorInvalidResourceHandle);
+  auto ev = cu->EventCreate();
+  ASSERT_TRUE(ev.ok());
+  // Wrong state: elapsed time over an event that was never recorded.
+  EXPECT_EQ(cu->EventElapsedUs(*ev, *ev).status().api_code(),
+            mcuda::cudaErrorNotReady);
+  EXPECT_TRUE(cu->EventDestroy(*ev).ok());
+
+  mcuda::ChannelDesc desc;
+  EXPECT_EQ(cu->BindTexture("no_such_texref", nullptr, 16, desc).api_code(),
+            mcuda::cudaErrorInvalidTexture);
+}
+
+// ---------------------------------------------------------------------------
+// Spot checks through the wrapper bindings: the same misuse produces the
+// same outer-vocabulary code when the implementation underneath is the
+// other framework.
+// ---------------------------------------------------------------------------
+TEST(WrapperConformanceTest, ClOnCudaAgreesWithNativeCl) {
+  Device dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev);
+  auto cl = cl2cu::CreateClOnCudaApi(*cuda);
+
+  EXPECT_EQ(
+      cl->CreateBuffer(MemFlags::kReadWrite, 0, nullptr).status().api_code(),
+      mocl::CL_INVALID_BUFFER_SIZE);
+  EXPECT_EQ(cl->ReleaseMemObject(ClMem{9999}).api_code(),
+            mocl::CL_INVALID_MEM_OBJECT);
+  EXPECT_EQ(cl->BuildProgram(ClProgram{9999}).api_code(),
+            mocl::CL_INVALID_PROGRAM);
+  auto broken = cl->CreateProgramWithSource("__kernel void oops( {");
+  ASSERT_TRUE(broken.ok());
+  EXPECT_EQ(cl->BuildProgram(*broken).api_code(),
+            mocl::CL_BUILD_PROGRAM_FAILURE);
+  size_t gws = 4, lws = 4;
+  EXPECT_EQ(cl->EnqueueNDRangeKernel(ClKernel{9999}, 1, &gws, &lws)
+                .api_code(),
+            mocl::CL_INVALID_KERNEL);
+}
+
+TEST(WrapperConformanceTest, CudaOnClAgreesWithNativeCuda) {
+  Device dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev);
+  auto cu = cu2cl::CreateCudaOnClApi(*cl, {});
+
+  EXPECT_EQ(cu->RegisterModule("__global__ void oops( {").api_code(),
+            mcuda::cudaErrorInvalidDeviceFunction);
+  EXPECT_EQ(cu->Free(reinterpret_cast<void*>(0xdead000)).api_code(),
+            mcuda::cudaErrorInvalidDevicePointer);
+  float v = 1.0f;
+  EXPECT_EQ(cu->MemcpyToSymbol("no_such_symbol", &v, 4).api_code(),
+            mcuda::cudaErrorInvalidSymbol);
+  // cudaMemGetInfo has no OpenCL counterpart (§3.7): unimplementable in
+  // this direction, and the wrapper must say so in CUDA vocabulary.
+  EXPECT_EQ(cu->MemGetInfo().status().api_code(),
+            mcuda::cudaErrorNotSupported);
+}
+
+// ---------------------------------------------------------------------------
+// BRIDGECL_CHECK: dereferencing a failed StatusOr aborts loudly, in
+// release builds too.
+// ---------------------------------------------------------------------------
+TEST(StatusOrCheckDeathTest, DereferencingErrorAborts) {
+  StatusOr<int> failed(InvalidArgumentError("nope"));
+  EXPECT_DEATH((void)failed.value(), "BRIDGECL_CHECK failed");
+  EXPECT_DEATH((void)*failed, "BRIDGECL_CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// Guarded-memory demonstration (the acceptance scenario): a kernel that
+// writes one element past a 25-float allocation is silent with guarding
+// off — granule padding swallows it, as on real hardware — and a named,
+// work-item-attributed fault with guarding on.
+// ---------------------------------------------------------------------------
+Status RunOffByOne(mocl::OpenClApi& cl) {
+  // 26 work-items store into a 25-float buffer: item 25 writes one past.
+  const char* src =
+      "__kernel void store(__global float* c) {"
+      "  int i = get_global_id(0);"
+      "  c[i] = (float)i;"
+      "}";
+  BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(src));
+  BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+  BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl.CreateKernel(prog, "store"));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem c, cl.CreateBuffer(MemFlags::kWriteOnly, 25 * 4, nullptr));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(ClMem), &c));
+  size_t gws = 26, lws = 13;
+  Status st = cl.EnqueueNDRangeKernel(kernel, 1, &gws, &lws);
+  (void)cl.ReleaseMemObject(c);
+  return st;
+}
+
+TEST(GuardedMemoryTest, OffByOneWriteSilentUnguardedCaughtGuarded) {
+  {
+    // set_guarded() before any allocation, so the test's outcome does not
+    // depend on the BRIDGECL_GUARDED environment (the `guarded` ctest
+    // label runs this binary with it set).
+    Device dev(TitanProfile());
+    dev.vm().set_guarded(false);
+    auto cl = mocl::CreateNativeClApi(dev);
+    EXPECT_TRUE(RunOffByOne(*cl).ok())
+        << "granule padding should swallow a 1-element overrun";
+  }
+  {
+    Device dev(TitanProfile());
+    dev.vm().set_guarded(true);
+    auto cl = mocl::CreateNativeClApi(dev);
+    Status st = RunOffByOne(*cl);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.api_code(), mocl::CL_OUT_OF_RESOURCES) << st.ToString();
+    // The diagnostic names the fault class, the address, the allocation,
+    // and the work-item that did it.
+    EXPECT_NE(st.message().find("guarded-memory fault"), std::string::npos)
+        << st.ToString();
+    EXPECT_NE(st.message().find("0x"), std::string::npos) << st.ToString();
+    EXPECT_NE(st.message().find("global allocation"), std::string::npos)
+        << st.ToString();
+    EXPECT_NE(st.message().find("redzone"), std::string::npos)
+        << st.ToString();
+    EXPECT_NE(st.message().find("work-item global (25,0,0)"),
+              std::string::npos)
+        << st.ToString();
+  }
+}
+
+// Use-after-free under guarded mode: generation tags turn a stale access
+// into a named fault instead of silently reading recycled storage.
+TEST(GuardedMemoryTest, InjectedFaultCodesSurfaceThroughNative) {
+  Device dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev);
+  simgpu::FaultPlan plan;
+  plan.points.push_back(simgpu::FaultPoint{
+      simgpu::FaultSite::kGlobalAlloc, 0, simgpu::FaultKind::kError, false,
+      0});
+  dev.faults().set_plan(plan);
+  auto buf = cl->CreateBuffer(MemFlags::kReadWrite, 64, nullptr);
+  ASSERT_FALSE(buf.ok());
+  EXPECT_EQ(buf.status().api_code(),
+            mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE);
+}
+
+}  // namespace
+}  // namespace bridgecl
