@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bankmode"
+  "../bench/bench_ablation_bankmode.pdb"
+  "CMakeFiles/bench_ablation_bankmode.dir/bench_ablation_bankmode.cc.o"
+  "CMakeFiles/bench_ablation_bankmode.dir/bench_ablation_bankmode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bankmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_occupancy"
+  "../bench/bench_ablation_occupancy.pdb"
+  "CMakeFiles/bench_ablation_occupancy.dir/bench_ablation_occupancy.cc.o"
+  "CMakeFiles/bench_ablation_occupancy.dir/bench_ablation_occupancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

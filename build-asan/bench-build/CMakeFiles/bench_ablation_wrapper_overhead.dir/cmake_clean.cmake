@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wrapper_overhead"
+  "../bench/bench_ablation_wrapper_overhead.pdb"
+  "CMakeFiles/bench_ablation_wrapper_overhead.dir/bench_ablation_wrapper_overhead.cc.o"
+  "CMakeFiles/bench_ablation_wrapper_overhead.dir/bench_ablation_wrapper_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wrapper_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

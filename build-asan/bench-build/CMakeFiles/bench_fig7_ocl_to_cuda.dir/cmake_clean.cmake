@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_ocl_to_cuda"
+  "../bench/bench_fig7_ocl_to_cuda.pdb"
+  "CMakeFiles/bench_fig7_ocl_to_cuda.dir/bench_fig7_ocl_to_cuda.cc.o"
+  "CMakeFiles/bench_fig7_ocl_to_cuda.dir/bench_fig7_ocl_to_cuda.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ocl_to_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_cuda_to_ocl"
+  "../bench/bench_fig8_cuda_to_ocl.pdb"
+  "CMakeFiles/bench_fig8_cuda_to_ocl.dir/bench_fig8_cuda_to_ocl.cc.o"
+  "CMakeFiles/bench_fig8_cuda_to_ocl.dir/bench_fig8_cuda_to_ocl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cuda_to_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

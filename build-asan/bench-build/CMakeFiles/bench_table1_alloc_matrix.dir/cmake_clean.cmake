@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_alloc_matrix"
+  "../bench/bench_table1_alloc_matrix.pdb"
+  "CMakeFiles/bench_table1_alloc_matrix.dir/bench_table1_alloc_matrix.cc.o"
+  "CMakeFiles/bench_table1_alloc_matrix.dir/bench_table1_alloc_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_alloc_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

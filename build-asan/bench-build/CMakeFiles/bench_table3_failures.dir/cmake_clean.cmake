@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_failures"
+  "../bench/bench_table3_failures.pdb"
+  "CMakeFiles/bench_table3_failures.dir/bench_table3_failures.cc.o"
+  "CMakeFiles/bench_table3_failures.dir/bench_table3_failures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

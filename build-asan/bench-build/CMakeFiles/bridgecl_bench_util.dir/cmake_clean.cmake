@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/bridgecl_bench_util.dir/bench_util.cc.o.d"
+  "libbridgecl_bench_util.a"
+  "libbridgecl_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl.dir/bridgecl_cli.cpp.o"
+  "CMakeFiles/bridgecl.dir/bridgecl_cli.cpp.o.d"
+  "bridgecl"
+  "bridgecl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

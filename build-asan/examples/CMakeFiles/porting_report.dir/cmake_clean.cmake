@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porting_report.dir/porting_report.cpp.o"
+  "CMakeFiles/porting_report.dir/porting_report.cpp.o.d"
+  "porting_report"
+  "porting_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lang")
+subdirs("simgpu")
+subdirs("interp")
+subdirs("mocl")
+subdirs("mcuda")
+subdirs("translator")
+subdirs("cl2cu")
+subdirs("cu2cl")
+subdirs("apps")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_apps.dir/dual.cc.o"
+  "CMakeFiles/bridgecl_apps.dir/dual.cc.o.d"
+  "CMakeFiles/bridgecl_apps.dir/failure_catalog.cc.o"
+  "CMakeFiles/bridgecl_apps.dir/failure_catalog.cc.o.d"
+  "CMakeFiles/bridgecl_apps.dir/npb.cc.o"
+  "CMakeFiles/bridgecl_apps.dir/npb.cc.o.d"
+  "CMakeFiles/bridgecl_apps.dir/rodinia.cc.o"
+  "CMakeFiles/bridgecl_apps.dir/rodinia.cc.o.d"
+  "CMakeFiles/bridgecl_apps.dir/rodinia2.cc.o"
+  "CMakeFiles/bridgecl_apps.dir/rodinia2.cc.o.d"
+  "CMakeFiles/bridgecl_apps.dir/runners.cc.o"
+  "CMakeFiles/bridgecl_apps.dir/runners.cc.o.d"
+  "CMakeFiles/bridgecl_apps.dir/toolkit.cc.o"
+  "CMakeFiles/bridgecl_apps.dir/toolkit.cc.o.d"
+  "libbridgecl_apps.a"
+  "libbridgecl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_cl2cu.dir/cl_on_cuda.cc.o"
+  "CMakeFiles/bridgecl_cl2cu.dir/cl_on_cuda.cc.o.d"
+  "libbridgecl_cl2cu.a"
+  "libbridgecl_cl2cu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_cl2cu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

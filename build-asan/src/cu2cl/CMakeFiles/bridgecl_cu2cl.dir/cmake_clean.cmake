@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_cu2cl.dir/cuda_on_cl.cc.o"
+  "CMakeFiles/bridgecl_cu2cl.dir/cuda_on_cl.cc.o.d"
+  "libbridgecl_cu2cl.a"
+  "libbridgecl_cu2cl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_cu2cl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbridgecl_cu2cl.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for bridgecl_cu2cl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_interp.dir/constants.cc.o"
+  "CMakeFiles/bridgecl_interp.dir/constants.cc.o.d"
+  "CMakeFiles/bridgecl_interp.dir/executor.cc.o"
+  "CMakeFiles/bridgecl_interp.dir/executor.cc.o.d"
+  "CMakeFiles/bridgecl_interp.dir/module.cc.o"
+  "CMakeFiles/bridgecl_interp.dir/module.cc.o.d"
+  "CMakeFiles/bridgecl_interp.dir/value.cc.o"
+  "CMakeFiles/bridgecl_interp.dir/value.cc.o.d"
+  "libbridgecl_interp.a"
+  "libbridgecl_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_lang.dir/ast.cc.o"
+  "CMakeFiles/bridgecl_lang.dir/ast.cc.o.d"
+  "CMakeFiles/bridgecl_lang.dir/builtins.cc.o"
+  "CMakeFiles/bridgecl_lang.dir/builtins.cc.o.d"
+  "CMakeFiles/bridgecl_lang.dir/lexer.cc.o"
+  "CMakeFiles/bridgecl_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/bridgecl_lang.dir/parser.cc.o"
+  "CMakeFiles/bridgecl_lang.dir/parser.cc.o.d"
+  "CMakeFiles/bridgecl_lang.dir/printer.cc.o"
+  "CMakeFiles/bridgecl_lang.dir/printer.cc.o.d"
+  "CMakeFiles/bridgecl_lang.dir/sema.cc.o"
+  "CMakeFiles/bridgecl_lang.dir/sema.cc.o.d"
+  "CMakeFiles/bridgecl_lang.dir/type.cc.o"
+  "CMakeFiles/bridgecl_lang.dir/type.cc.o.d"
+  "libbridgecl_lang.a"
+  "libbridgecl_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_mcuda.dir/cuda_errors.cc.o"
+  "CMakeFiles/bridgecl_mcuda.dir/cuda_errors.cc.o.d"
+  "CMakeFiles/bridgecl_mcuda.dir/native_cuda.cc.o"
+  "CMakeFiles/bridgecl_mcuda.dir/native_cuda.cc.o.d"
+  "libbridgecl_mcuda.a"
+  "libbridgecl_mcuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_mcuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mocl/cl_errors.cc" "src/mocl/CMakeFiles/bridgecl_mocl.dir/cl_errors.cc.o" "gcc" "src/mocl/CMakeFiles/bridgecl_mocl.dir/cl_errors.cc.o.d"
+  "/root/repo/src/mocl/native_cl.cc" "src/mocl/CMakeFiles/bridgecl_mocl.dir/native_cl.cc.o" "gcc" "src/mocl/CMakeFiles/bridgecl_mocl.dir/native_cl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/interp/CMakeFiles/bridgecl_interp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lang/CMakeFiles/bridgecl_lang.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simgpu/CMakeFiles/bridgecl_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/bridgecl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

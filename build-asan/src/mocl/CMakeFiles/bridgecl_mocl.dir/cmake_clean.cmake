@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_mocl.dir/cl_errors.cc.o"
+  "CMakeFiles/bridgecl_mocl.dir/cl_errors.cc.o.d"
+  "CMakeFiles/bridgecl_mocl.dir/native_cl.cc.o"
+  "CMakeFiles/bridgecl_mocl.dir/native_cl.cc.o.d"
+  "libbridgecl_mocl.a"
+  "libbridgecl_mocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_mocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

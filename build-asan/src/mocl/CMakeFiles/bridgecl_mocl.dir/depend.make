@@ -1,0 +1,2 @@
+# Empty dependencies file for bridgecl_mocl.
+# This may be replaced when dependencies are built.

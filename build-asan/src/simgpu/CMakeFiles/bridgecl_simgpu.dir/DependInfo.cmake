@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/device.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/device.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/device.cc.o.d"
+  "/root/repo/src/simgpu/device_profile.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/device_profile.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/device_profile.cc.o.d"
+  "/root/repo/src/simgpu/fault_injector.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/fault_injector.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/fault_injector.cc.o.d"
+  "/root/repo/src/simgpu/fiber.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/fiber.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/fiber.cc.o.d"
+  "/root/repo/src/simgpu/virtual_memory.cc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/virtual_memory.cc.o" "gcc" "src/simgpu/CMakeFiles/bridgecl_simgpu.dir/virtual_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/support/CMakeFiles/bridgecl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

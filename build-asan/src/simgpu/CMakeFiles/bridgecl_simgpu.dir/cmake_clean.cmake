@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_simgpu.dir/device.cc.o"
+  "CMakeFiles/bridgecl_simgpu.dir/device.cc.o.d"
+  "CMakeFiles/bridgecl_simgpu.dir/device_profile.cc.o"
+  "CMakeFiles/bridgecl_simgpu.dir/device_profile.cc.o.d"
+  "CMakeFiles/bridgecl_simgpu.dir/fault_injector.cc.o"
+  "CMakeFiles/bridgecl_simgpu.dir/fault_injector.cc.o.d"
+  "CMakeFiles/bridgecl_simgpu.dir/fiber.cc.o"
+  "CMakeFiles/bridgecl_simgpu.dir/fiber.cc.o.d"
+  "CMakeFiles/bridgecl_simgpu.dir/virtual_memory.cc.o"
+  "CMakeFiles/bridgecl_simgpu.dir/virtual_memory.cc.o.d"
+  "libbridgecl_simgpu.a"
+  "libbridgecl_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_support.dir/source_location.cc.o"
+  "CMakeFiles/bridgecl_support.dir/source_location.cc.o.d"
+  "CMakeFiles/bridgecl_support.dir/status.cc.o"
+  "CMakeFiles/bridgecl_support.dir/status.cc.o.d"
+  "CMakeFiles/bridgecl_support.dir/strings.cc.o"
+  "CMakeFiles/bridgecl_support.dir/strings.cc.o.d"
+  "libbridgecl_support.a"
+  "libbridgecl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

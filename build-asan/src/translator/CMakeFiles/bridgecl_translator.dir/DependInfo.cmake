@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translator/cl_to_cu.cc" "src/translator/CMakeFiles/bridgecl_translator.dir/cl_to_cu.cc.o" "gcc" "src/translator/CMakeFiles/bridgecl_translator.dir/cl_to_cu.cc.o.d"
+  "/root/repo/src/translator/classifier.cc" "src/translator/CMakeFiles/bridgecl_translator.dir/classifier.cc.o" "gcc" "src/translator/CMakeFiles/bridgecl_translator.dir/classifier.cc.o.d"
+  "/root/repo/src/translator/cu_to_cl.cc" "src/translator/CMakeFiles/bridgecl_translator.dir/cu_to_cl.cc.o" "gcc" "src/translator/CMakeFiles/bridgecl_translator.dir/cu_to_cl.cc.o.d"
+  "/root/repo/src/translator/host_rewriter.cc" "src/translator/CMakeFiles/bridgecl_translator.dir/host_rewriter.cc.o" "gcc" "src/translator/CMakeFiles/bridgecl_translator.dir/host_rewriter.cc.o.d"
+  "/root/repo/src/translator/rewrite_util.cc" "src/translator/CMakeFiles/bridgecl_translator.dir/rewrite_util.cc.o" "gcc" "src/translator/CMakeFiles/bridgecl_translator.dir/rewrite_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/lang/CMakeFiles/bridgecl_lang.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/bridgecl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridgecl_translator.dir/cl_to_cu.cc.o"
+  "CMakeFiles/bridgecl_translator.dir/cl_to_cu.cc.o.d"
+  "CMakeFiles/bridgecl_translator.dir/classifier.cc.o"
+  "CMakeFiles/bridgecl_translator.dir/classifier.cc.o.d"
+  "CMakeFiles/bridgecl_translator.dir/cu_to_cl.cc.o"
+  "CMakeFiles/bridgecl_translator.dir/cu_to_cl.cc.o.d"
+  "CMakeFiles/bridgecl_translator.dir/host_rewriter.cc.o"
+  "CMakeFiles/bridgecl_translator.dir/host_rewriter.cc.o.d"
+  "CMakeFiles/bridgecl_translator.dir/rewrite_util.cc.o"
+  "CMakeFiles/bridgecl_translator.dir/rewrite_util.cc.o.d"
+  "libbridgecl_translator.a"
+  "libbridgecl_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridgecl_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_conformance_test.dir/error_conformance_test.cc.o"
+  "CMakeFiles/error_conformance_test.dir/error_conformance_test.cc.o.d"
+  "error_conformance_test"
+  "error_conformance_test.pdb"
+  "error_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

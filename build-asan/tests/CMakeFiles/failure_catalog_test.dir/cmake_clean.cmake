@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_catalog_test.dir/failure_catalog_test.cc.o"
+  "CMakeFiles/failure_catalog_test.dir/failure_catalog_test.cc.o.d"
+  "failure_catalog_test"
+  "failure_catalog_test.pdb"
+  "failure_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_sweep_test.dir/fault_sweep_test.cc.o"
+  "CMakeFiles/fault_sweep_test.dir/fault_sweep_test.cc.o.d"
+  "fault_sweep_test"
+  "fault_sweep_test.pdb"
+  "fault_sweep_test[1]_tests.cmake"
+  "fault_sweep_test[2]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_test.dir/figure4_test.cc.o"
+  "CMakeFiles/figure4_test.dir/figure4_test.cc.o.d"
+  "figure4_test"
+  "figure4_test.pdb"
+  "figure4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

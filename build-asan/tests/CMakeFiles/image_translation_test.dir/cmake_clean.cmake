@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_translation_test.dir/image_translation_test.cc.o"
+  "CMakeFiles/image_translation_test.dir/image_translation_test.cc.o.d"
+  "image_translation_test"
+  "image_translation_test.pdb"
+  "image_translation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_translation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

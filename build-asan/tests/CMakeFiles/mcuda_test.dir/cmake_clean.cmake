@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcuda_test.dir/mcuda_test.cc.o"
+  "CMakeFiles/mcuda_test.dir/mcuda_test.cc.o.d"
+  "mcuda_test"
+  "mcuda_test.pdb"
+  "mcuda_test[1]_tests.cmake"
+  "mcuda_test[2]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcuda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocl_test.dir/mocl_test.cc.o"
+  "CMakeFiles/mocl_test.dir/mocl_test.cc.o.d"
+  "mocl_test"
+  "mocl_test.pdb"
+  "mocl_test[1]_tests.cmake"
+  "mocl_test[2]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simgpu_test.cc" "tests/CMakeFiles/simgpu_test.dir/simgpu_test.cc.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/apps/CMakeFiles/bridgecl_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cl2cu/CMakeFiles/bridgecl_cl2cu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cu2cl/CMakeFiles/bridgecl_cu2cl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/translator/CMakeFiles/bridgecl_translator.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mocl/CMakeFiles/bridgecl_mocl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mcuda/CMakeFiles/bridgecl_mcuda.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/interp/CMakeFiles/bridgecl_interp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simgpu/CMakeFiles/bridgecl_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lang/CMakeFiles/bridgecl_lang.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/bridgecl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgpu_test.dir/simgpu_test.cc.o"
+  "CMakeFiles/simgpu_test.dir/simgpu_test.cc.o.d"
+  "simgpu_test"
+  "simgpu_test.pdb"
+  "simgpu_test[1]_tests.cmake"
+  "simgpu_test[2]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrappers_test.dir/wrappers_test.cc.o"
+  "CMakeFiles/wrappers_test.dir/wrappers_test.cc.o.d"
+  "wrappers_test"
+  "wrappers_test.pdb"
+  "wrappers_test[1]_tests.cmake"
+  "wrappers_test[2]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrappers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

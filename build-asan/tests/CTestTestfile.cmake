@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/support_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lang_lexer_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lang_parser_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lang_sema_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lang_printer_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/simgpu_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/simgpu_test[2]_include.cmake")
+include("/root/repo/build-asan/tests/interp_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/interp_test[2]_include.cmake")
+include("/root/repo/build-asan/tests/mocl_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mocl_test[2]_include.cmake")
+include("/root/repo/build-asan/tests/mcuda_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mcuda_test[2]_include.cmake")
+include("/root/repo/build-asan/tests/translator_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/wrappers_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/wrappers_test[2]_include.cmake")
+include("/root/repo/build-asan/tests/host_rewriter_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/failure_catalog_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/figure4_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/translator_exec_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/image_translation_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/events_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fault_sweep_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fault_sweep_test[2]_include.cmake")
+include("/root/repo/build-asan/tests/error_conformance_test[1]_include.cmake")
