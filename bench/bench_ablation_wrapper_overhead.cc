@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "trace/session.h"
 
 namespace bridgecl::bench {
 namespace {
@@ -145,6 +146,43 @@ int main(int argc, char** argv) {
     printf("  CUDA on OpenCL     : %9.1f us  (%.1fx slower: one wrapper "
            "call -> many clGetDeviceInfo calls)\n",
            wrapped, wrapped / native);
+  }
+  {
+    // Same two wrapped workloads, attributed from the trace recorder
+    // instead of wall-deltas: per-span wrapper gap and top commands.
+    // With BRIDGECL_TRACE_DIR set the Chrome traces are written too.
+    printf("\nTrace attribution (wrapper gap = wrapper span time not spent "
+           "in forwarded native calls):\n");
+    struct Case {
+      const char* label;
+      int prop_queries;  // 0: run the launch storm instead
+    };
+    for (const Case& cs : {Case{"launch storm", 0},
+                           Case{"deviceQuery fan-out", 64}}) {
+      Device dev(TitanProfile());
+      trace::SessionOptions topt;
+      topt.trace_path = TracePathFor(
+          cs.prop_queries ? "ablation_devicequery" : "ablation_storm",
+          Config::kCudaOnClTitan);
+      trace::TraceSession session(dev, topt);
+      auto cl = mocl::CreateNativeClApi(dev);
+      auto cu = cu2cl::CreateCudaOnClApi(*cl);
+      if (cs.prop_queries > 0) {
+        for (int i = 0; i < cs.prop_queries; ++i)
+          if (!cu->GetDeviceProperties().ok()) return 1;
+      } else if (CudaStorm(*cu, launches) < 0) {
+        return 1;
+      }
+      trace::WrapperOverhead wo = trace::WrapperOverheadOf(session.recorder());
+      printf("  %-20s wrapper spans=%llu fanout=%llu gap=%.1fus of "
+             "%.1fus traced (%.4f%%)\n",
+             cs.label, static_cast<unsigned long long>(wo.wrapper_calls),
+             static_cast<unsigned long long>(wo.fanout_calls),
+             wo.wrapper_gap_us, wo.total_us, 100.0 * wo.fraction());
+      Measurement m;
+      m.top_commands = trace::TopCommands(session.recorder(), 3);
+      printf("  %-20s top: %s\n", "", TopCommandsLine(m, 3).c_str());
+    }
   }
 
   benchmark::Initialize(&argc, argv);

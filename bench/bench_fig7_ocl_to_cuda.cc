@@ -41,7 +41,12 @@ void RunSuite(const char* label, std::vector<apps::AppPtr> suite,
     Row row;
     row.name = app->name();
     Measurement orig = RunApp(*app, Config::kClNativeTitan);
-    Measurement trans = RunApp(*app, Config::kClOnCudaTitan);
+    // Trace the wrapped run: top commands are printed under each row and,
+    // with BRIDGECL_TRACE_DIR set, the full Chrome trace is written too.
+    RunOptions topt;
+    topt.trace = true;
+    topt.trace_path = TracePathFor(app->name(), Config::kClOnCudaTitan);
+    Measurement trans = RunApp(*app, Config::kClOnCudaTitan, topt);
     if (!orig.ok || !trans.ok) {
       printf("%-22s TRANSLATION/RUN FAILED: %s\n", row.name.c_str(),
              (orig.ok ? trans.error : orig.error).c_str());
@@ -67,6 +72,7 @@ void RunSuite(const char* label, std::vector<apps::AppPtr> suite,
       }
     }
     printf("\n");
+    printf("%-22s   top: %s\n", "", TopCommandsLine(trans, 3).c_str());
   }
   printf("%-22s %12s %14s %8.3f", "geomean(trans/orig)", "", "",
          GeoMean(ratios));

@@ -32,7 +32,10 @@ void RunRodinia() {
   for (auto& app : apps::RodiniaApps()) {
     if (!app->has_cuda()) continue;
     Measurement cu = RunApp(*app, Config::kCudaNativeTitan);
-    Measurement tcl = RunApp(*app, Config::kCudaOnClTitan);
+    RunOptions topt;
+    topt.trace = true;
+    topt.trace_path = TracePathFor(app->name(), Config::kCudaOnClTitan);
+    Measurement tcl = RunApp(*app, Config::kCudaOnClTitan, topt);
     Measurement ocl = RunApp(*app, Config::kClNativeTitan);
     Measurement amd = RunApp(*app, Config::kCudaOnClAmd);
     if (!cu.ok || !tcl.ok) {
@@ -46,6 +49,7 @@ void RunRodinia() {
     printf("%-16s %11.1f %12.1f %12.1f %12.1f  %8.3f\n",
            app->name().c_str(), cu.time_us, tcl.time_us,
            ocl.ok ? ocl.time_us : -1.0, amd.ok ? amd.time_us : -1.0, r);
+    printf("%-16s   top: %s\n", "", TopCommandsLine(tcl, 3).c_str());
   }
   printf("%-16s geomean trans/CUDA = %.3f; origCL/CUDA = %.3f\n", "",
          GeoMean(ratios), GeoMean(orig_cl_ratios));
@@ -76,7 +80,10 @@ void RunToolkit() {
   for (auto& app : apps::ToolkitApps()) {
     if (!app->has_cuda()) continue;
     Measurement cu = RunApp(*app, Config::kCudaNativeTitan);
-    Measurement tcl = RunApp(*app, Config::kCudaOnClTitan);
+    RunOptions topt;
+    topt.trace = true;
+    topt.trace_path = TracePathFor(app->name(), Config::kCudaOnClTitan);
+    Measurement tcl = RunApp(*app, Config::kCudaOnClTitan, topt);
     if (!cu.ok || !tcl.ok) {
       printf("%-22s FAILED: %s\n", app->name().c_str(),
              (cu.ok ? tcl.error : cu.error).c_str());
@@ -89,6 +96,17 @@ void RunToolkit() {
            app->name() == "deviceQuery"
                ? "   <- wrapper fans out clGetDeviceInfo (S6.3)"
                : "");
+    printf("%-22s   top: %s\n", "", TopCommandsLine(tcl, 3).c_str());
+    if (app->name() == "deviceQuery") {
+      // The §6.3 outlier, attributed from the trace: one wrapper call
+      // fanning out to many clGetDeviceInfo commands.
+      const trace::WrapperOverhead& wo = tcl.wrapper_overhead;
+      printf("%-22s   wrapper spans=%llu fanout=%llu gap=%.1fus "
+             "(%.3f%% of traced time)\n",
+             "", static_cast<unsigned long long>(wo.wrapper_calls),
+             static_cast<unsigned long long>(wo.fanout_calls),
+             wo.wrapper_gap_us, 100.0 * wo.fraction());
+    }
   }
   printf("%-22s geomean (excl. deviceQuery) = %.3f\n", "",
          GeoMean(ratios));

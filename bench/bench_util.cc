@@ -1,8 +1,10 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/strings.h"
+#include "trace/session.h"
 
 namespace bridgecl::bench {
 
@@ -22,13 +24,38 @@ const char* ConfigName(Config c) {
   return "?";
 }
 
+const char* ConfigSlug(Config c) {
+  switch (c) {
+    case Config::kClNativeTitan: return "cl_native_titan";
+    case Config::kClOnCudaTitan: return "cl_on_cuda_titan";
+    case Config::kCudaNativeTitan: return "cuda_native_titan";
+    case Config::kCudaOnClTitan: return "cuda_on_cl_titan";
+    case Config::kCudaOnClAmd: return "cuda_on_cl_hd7970";
+    case Config::kClNativeAmd: return "cl_native_hd7970";
+  }
+  return "unknown";
+}
+
 Measurement RunApp(apps::App& app, Config config) {
+  return RunApp(app, config, RunOptions{});
+}
+
+Measurement RunApp(apps::App& app, Config config, const RunOptions& options) {
   Measurement m;
   const simgpu::DeviceProfile& profile =
       (config == Config::kCudaOnClAmd || config == Config::kClNativeAmd)
           ? HD7970Profile()
           : TitanProfile();
   Device device(profile);
+  // Attach the programmatic session before the API stack is built so the
+  // native factories' BRIDGECL_TRACE auto-attach sees the device as
+  // already traced and stands down (docs/OBSERVABILITY.md).
+  std::optional<trace::TraceSession> session;
+  if (options.trace || !options.trace_path.empty()) {
+    trace::SessionOptions topt;
+    topt.trace_path = options.trace_path;
+    session.emplace(device, topt);
+  }
   Status st;
   double build_us = 0;
   switch (config) {
@@ -64,7 +91,47 @@ Measurement RunApp(apps::App& app, Config config) {
   m.error = st.ok() ? "" : st.ToString();
   m.time_us = device.now_us() - build_us;
   m.shared_bank_words = device.stats().shared_bank_words;
+  if (session.has_value()) {
+    m.traced = true;
+    m.top_commands = trace::TopCommands(session->recorder(), 3);
+    m.wrapper_overhead = trace::WrapperOverheadOf(session->recorder());
+    // Writes trace_path if set; detach happens in the dtor. A failed
+    // write must not fail the measurement — report it and move on.
+    Status fst = session->Flush();
+    if (!fst.ok())
+      fprintf(stderr, "trace write failed: %s\n", fst.ToString().c_str());
+  }
   return m;
+}
+
+std::string TracePathFor(const std::string& app_name, Config config) {
+  const char* dir = std::getenv("BRIDGECL_TRACE_DIR");
+  if (dir == nullptr || dir[0] == '\0') return "";
+  return std::string(dir) + "/" + app_name + "_" + ConfigSlug(config) +
+         ".trace.json";
+}
+
+std::string TopCommandsLine(const Measurement& m, size_t n) {
+  std::string out;
+  size_t shown = 0;
+  for (const trace::CommandCost& c : m.top_commands) {
+    if (shown == n) break;
+    if (!out.empty()) out += " | ";
+    out += c.layer;
+    out += "/";
+    out += c.name;
+    if (!c.kernel.empty()) {
+      out += "[";
+      out += c.kernel;
+      out += "]";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " %.1fus (x%llu)", c.exclusive_us,
+                  static_cast<unsigned long long>(c.count));
+    out += buf;
+    ++shown;
+  }
+  return out;
 }
 
 void PrintHeader(const std::string& title) {

@@ -14,6 +14,7 @@
 #include "mcuda/cuda_api.h"
 #include "mocl/cl_api.h"
 #include "simgpu/device.h"
+#include "trace/exporters.h"
 
 namespace bridgecl::bench {
 
@@ -28,6 +29,14 @@ enum class Config {
 };
 
 const char* ConfigName(Config c);
+/// Filename-safe config identifier ("cl_on_cuda_titan", ...).
+const char* ConfigSlug(Config c);
+
+/// Per-run tracing controls (docs/OBSERVABILITY.md).
+struct RunOptions {
+  bool trace = false;      // attach a recorder; fills the trace fields
+  std::string trace_path;  // non-empty: also write Chrome trace JSON here
+};
 
 struct Measurement {
   bool ok = false;
@@ -35,10 +44,24 @@ struct Measurement {
   double time_us = 0;     // simulated, excluding program build
   double checksum = 0;
   uint64_t shared_bank_words = 0;  // §6.2 diagnostics
+  // Filled when the run was traced (RunOptions::trace / trace_path):
+  bool traced = false;
+  std::vector<trace::CommandCost> top_commands;  // by exclusive time
+  trace::WrapperOverhead wrapper_overhead;
 };
 
 /// Run `app` once under `config` on a fresh simulated device.
 Measurement RunApp(apps::App& app, Config config);
+Measurement RunApp(apps::App& app, Config config, const RunOptions& options);
+
+/// Per-run trace destination honouring BRIDGECL_TRACE_DIR:
+/// "<dir>/<app>_<config-slug>.trace.json", or "" when the variable is
+/// unset (benches then trace in memory only).
+std::string TracePathFor(const std::string& app_name, Config config);
+
+/// Compact one-line rendering of the top `n` commands by exclusive
+/// simulated time: "layer/name[kernel] 12.3us (xN)" joined with " | ".
+std::string TopCommandsLine(const Measurement& m, size_t n);
 
 /// Prints the bench banner with the simulated Table 2 configuration.
 void PrintHeader(const std::string& title);

@@ -6,16 +6,27 @@
 //   bridgecl --host -o out/ main.cu         # write main.cu.cl + main.cu.cpp
 //   bridgecl --classify  main.cu            # Table 3-style triage
 //   bridgecl --to=opencl --emulate-atomics kernel.cu
+//   bridgecl --profile                      # trace a wrapped demo workload
 //
 // Reads from stdin when no file is given. Prints translated source on
-// stdout; diagnostics on stderr.
+// stdout; diagnostics on stderr. --profile takes no input: it runs a
+// built-in launch/copy workload through the CUDA→OpenCL wrapper on the
+// simulated device and prints the trace summary (docs/OBSERVABILITY.md);
+// BRIDGECL_TRACE=<file> additionally writes the Chrome trace JSON.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "cu2cl/cuda_on_cl.h"
+#include "mcuda/cuda_api.h"
+#include "mocl/cl_api.h"
+#include "simgpu/device.h"
+#include "trace/exporters.h"
+#include "trace/session.h"
 #include "translator/classifier.h"
 #include "translator/host_rewriter.h"
 #include "translator/translate.h"
@@ -27,7 +38,7 @@ namespace {
 int Usage() {
   fprintf(stderr,
           "usage: bridgecl [--to=cuda|opencl] [--host] [--classify]\n"
-          "                [--emulate-atomics] [file]\n"
+          "                [--profile] [--emulate-atomics] [file]\n"
           "exit codes: 0 ok, 2 usage, 3 i/o, 10+N translation failure\n"
           "            where N is the StatusCode (untranslatable = %d)\n",
           10 + static_cast<int>(StatusCode::kUntranslatable));
@@ -74,10 +85,50 @@ int FailOpenCl(const Status& st, const DiagnosticEngine& diags) {
   return ExitCodeFor(st);
 }
 
+/// --profile: a built-in launch/copy workload plus one device query run
+/// through the CUDA→OpenCL wrapper on the simulated Titan, then the
+/// per-kernel summary and wrapper-overhead attribution from the trace
+/// recorder. The session also honors BRIDGECL_TRACE for the JSON file.
+int ProfileDemo() {
+  simgpu::Device device(simgpu::TitanProfile());
+  trace::SessionOptions topt = trace::SessionOptionsFromEnv();
+  topt.summary = false;  // the summary goes to stdout here, not stderr
+  trace::TraceSession session(device, topt);
+  auto cl = mocl::CreateNativeClApi(device);
+  auto cu = cu2cl::CreateCudaOnClApi(*cl);
+  static constexpr char kNoop[] =
+      "__global__ void noop(int* p) { if (threadIdx.x == 0) p[0] += 1; }";
+  auto fail = [](const Status& st) {
+    fprintf(stderr, "profile workload failed: %s\n", st.ToString().c_str());
+    return 1;
+  };
+  Status st = cu->RegisterModule(kNoop);
+  if (!st.ok()) return fail(st);
+  auto p = cu->Malloc(64);
+  if (!p.ok()) return fail(p.status());
+  int v = 0;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<mcuda::LaunchArg> args = {mcuda::LaunchArg::Ptr(*p)};
+    st = cu->LaunchKernel("noop", simgpu::Dim3(4), simgpu::Dim3(64), 0,
+                          args);
+    if (!st.ok()) return fail(st);
+    st = cu->Memcpy(&v, *p, 4, mcuda::MemcpyKind::kDeviceToHost);
+    if (!st.ok()) return fail(st);
+  }
+  if (!cu->GetDeviceProperties().ok()) return 1;
+  fputs(trace::SummaryTable(session.recorder()).c_str(), stdout);
+  st = session.Flush();
+  if (!st.ok()) {
+    fprintf(stderr, "cannot write trace: %s\n", st.ToString().c_str());
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kNone, kToCuda, kToOpenCl, kHost, kClassify };
+  enum class Mode { kNone, kToCuda, kToOpenCl, kHost, kClassify, kProfile };
   Mode mode = Mode::kNone;
   translator::TranslateOptions opts;
   std::string file;
@@ -93,6 +144,8 @@ int main(int argc, char** argv) {
       mode = Mode::kHost;
     } else if (arg == "--classify") {
       mode = Mode::kClassify;
+    } else if (arg == "--profile") {
+      mode = Mode::kProfile;
     } else if (arg == "--emulate-atomics") {
       opts.allow_atomic_emulation = true;
     } else if (arg == "-o") {
@@ -109,6 +162,7 @@ int main(int argc, char** argv) {
     }
   }
   if (mode == Mode::kNone) return Usage();
+  if (mode == Mode::kProfile) return ProfileDemo();
 
   std::string source;
   if (file.empty()) {
@@ -183,6 +237,7 @@ int main(int argc, char** argv) {
       return 10 + static_cast<int>(StatusCode::kUntranslatable);
     }
     case Mode::kNone:
+    case Mode::kProfile:  // handled above
       break;
   }
   return Usage();

@@ -7,6 +7,7 @@
 #include "mcuda/cuda_errors.h"
 #include "mocl/cl_errors.h"
 #include "support/strings.h"
+#include "trace/trace.h"
 #include "translator/translate.h"
 
 namespace bridgecl::cl2cu {
@@ -25,6 +26,7 @@ using mocl::ClProgram;
 using mocl::ClSamplerDesc;
 using mocl::MemFlags;
 using mocl::OpenClApi;
+using trace::TraceKind;
 using translator::KernelTranslationInfo;
 using translator::TranslationResult;
 
@@ -120,7 +122,12 @@ class ClOnCudaApi final : public OpenClApi {
     return "BridgeCL OpenCL-on-CUDA wrapper";
   }
 
+  /// Shared trace: wrapper spans record into the inner CUDA runtime's
+  /// recorder, so forwarded native calls nest under them naturally.
+  trace::TraceRecorder* Tracer() const override { return cu_.Tracer(); }
+
   StatusOr<std::string> QueryDeviceInfoString(ClDeviceAttr attr) override {
+    auto span = Span(TraceKind::kApiCall, "clGetDeviceInfo");
     BRIDGECL_ASSIGN_OR_RETURN(mcuda::CudaDeviceProps p,
                               Seal(cu_.GetDeviceProperties(),
                                    mocl::CL_INVALID_DEVICE));
@@ -136,6 +143,7 @@ class ClOnCudaApi final : public OpenClApi {
   }
 
   StatusOr<uint64_t> QueryDeviceInfoUint(ClDeviceAttr attr) override {
+    auto span = Span(TraceKind::kApiCall, "clGetDeviceInfo");
     BRIDGECL_ASSIGN_OR_RETURN(mcuda::CudaDeviceProps p,
                               Seal(cu_.GetDeviceProperties(),
                                    mocl::CL_INVALID_DEVICE));
@@ -173,6 +181,10 @@ class ClOnCudaApi final : public OpenClApi {
   // -- buffers: cl_mem == CUDA device pointer (§4) --------------------------
   StatusOr<ClMem> CreateBuffer(MemFlags, size_t size,
                                const void* host_ptr) override {
+    auto span = Span(host_ptr != nullptr ? TraceKind::kH2D
+                                         : TraceKind::kApiCall,
+                     "clCreateBuffer");
+    if (host_ptr != nullptr) span.SetBytes(size);
     if (size == 0)
       return AsCl(InvalidArgumentError("buffer size must be non-zero"),
                   mocl::CL_INVALID_BUFFER_SIZE);
@@ -192,6 +204,7 @@ class ClOnCudaApi final : public OpenClApi {
   }
 
   Status ReleaseMemObject(ClMem mem) override {
+    auto span = Span(TraceKind::kApiCall, "clReleaseMemObject");
     if (auto it = buffers_.find(mem.handle); it != buffers_.end()) {
       BRIDGECL_RETURN_IF_ERROR(
           Seal(cu_.Free(it->second.dev_ptr), mocl::CL_OUT_OF_RESOURCES));
@@ -214,51 +227,67 @@ class ClOnCudaApi final : public OpenClApi {
 
   Status EnqueueWriteBuffer(ClMem mem, size_t offset, size_t size,
                             const void* src) override {
+    auto span = Span(TraceKind::kH2D, "clEnqueueWriteBuffer");
+    span.SetBytes(size);
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
     if (offset + size > b->size)
-      return AsCl(OutOfRangeError("write beyond buffer end"),
-                  mocl::CL_INVALID_VALUE);
-    return Seal(cu_.Memcpy(static_cast<std::byte*>(b->dev_ptr) + offset, src,
-                           size, MemcpyKind::kHostToDevice),
-                mocl::CL_OUT_OF_RESOURCES);
+      return span.Sealed(AsCl(OutOfRangeError("write beyond buffer end"),
+                              mocl::CL_INVALID_VALUE));
+    return span.Sealed(
+        Seal(cu_.Memcpy(static_cast<std::byte*>(b->dev_ptr) + offset, src,
+                        size, MemcpyKind::kHostToDevice),
+             mocl::CL_OUT_OF_RESOURCES));
   }
 
   Status EnqueueReadBuffer(ClMem mem, size_t offset, size_t size,
                            void* dst) override {
+    auto span = Span(TraceKind::kD2H, "clEnqueueReadBuffer");
+    span.SetBytes(size);
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
     if (offset + size > b->size)
-      return AsCl(OutOfRangeError("read beyond buffer end"),
-                  mocl::CL_INVALID_VALUE);
-    return Seal(cu_.Memcpy(dst, static_cast<std::byte*>(b->dev_ptr) + offset,
-                           size, MemcpyKind::kDeviceToHost),
-                mocl::CL_OUT_OF_RESOURCES);
+      return span.Sealed(AsCl(OutOfRangeError("read beyond buffer end"),
+                              mocl::CL_INVALID_VALUE));
+    return span.Sealed(
+        Seal(cu_.Memcpy(dst, static_cast<std::byte*>(b->dev_ptr) + offset,
+                        size, MemcpyKind::kDeviceToHost),
+             mocl::CL_OUT_OF_RESOURCES));
   }
 
   Status EnqueueCopyBuffer(ClMem src, ClMem dst, size_t src_offset,
                            size_t dst_offset, size_t size) override {
+    auto span = Span(TraceKind::kD2D, "clEnqueueCopyBuffer");
+    span.SetBytes(size);
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * d, FindBuffer(dst));
-    return Seal(cu_.Memcpy(static_cast<std::byte*>(d->dev_ptr) + dst_offset,
-                           static_cast<std::byte*>(s->dev_ptr) + src_offset,
-                           size, MemcpyKind::kDeviceToDevice),
-                mocl::CL_OUT_OF_RESOURCES);
+    return span.Sealed(
+        Seal(cu_.Memcpy(static_cast<std::byte*>(d->dev_ptr) + dst_offset,
+                        static_cast<std::byte*>(s->dev_ptr) + src_offset,
+                        size, MemcpyKind::kDeviceToDevice),
+             mocl::CL_OUT_OF_RESOURCES));
   }
 
   // -- images (§5: CLImage objects in CUDA memory) ---------------------------
   StatusOr<ClMem> CreateImage2D(MemFlags flags, const ClImageFormat& format,
                                 size_t width, size_t height,
                                 const void* host_ptr) override {
+    auto span = Span(host_ptr != nullptr ? TraceKind::kH2D
+                                         : TraceKind::kApiCall,
+                     "clCreateImage2D");
     return MakeImage(flags, format, width, height, host_ptr);
   }
 
   StatusOr<ClMem> CreateImage1D(MemFlags flags, const ClImageFormat& format,
                                 size_t width, const void* host_ptr) override {
+    auto span = Span(host_ptr != nullptr ? TraceKind::kH2D
+                                         : TraceKind::kApiCall,
+                     "clCreateImage1D");
     return MakeImage(flags, format, width, 1, host_ptr);
   }
 
   StatusOr<ClMem> CreateImage1DFromBuffer(const ClImageFormat& format,
                                           size_t width,
                                           ClMem buffer) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateImage1DFromBuffer");
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(buffer));
     size_t texel = lang::ScalarByteSize(format.elem) * format.channels;
     if (width * texel > b->size)
@@ -268,20 +297,25 @@ class ClOnCudaApi final : public OpenClApi {
   }
 
   Status EnqueueWriteImage(ClMem image, const void* src) override {
+    auto span = Span(TraceKind::kH2D, "clEnqueueWriteImage");
     BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
-    return Seal(cu_.Memcpy(img->data_ptr, src, img->byte_size,
-                           MemcpyKind::kHostToDevice),
-                mocl::CL_OUT_OF_RESOURCES);
+    span.SetBytes(img->byte_size);
+    return span.Sealed(Seal(cu_.Memcpy(img->data_ptr, src, img->byte_size,
+                                       MemcpyKind::kHostToDevice),
+                            mocl::CL_OUT_OF_RESOURCES));
   }
 
   Status EnqueueReadImage(ClMem image, void* dst) override {
+    auto span = Span(TraceKind::kD2H, "clEnqueueReadImage");
     BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
-    return Seal(cu_.Memcpy(dst, img->data_ptr, img->byte_size,
-                           MemcpyKind::kDeviceToHost),
-                mocl::CL_OUT_OF_RESOURCES);
+    span.SetBytes(img->byte_size);
+    return span.Sealed(Seal(cu_.Memcpy(dst, img->data_ptr, img->byte_size,
+                                       MemcpyKind::kDeviceToHost),
+                            mocl::CL_OUT_OF_RESOURCES));
   }
 
   StatusOr<uint64_t> CreateSampler(const ClSamplerDesc& desc) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateSampler");
     uint64_t bits = 0;
     if (desc.normalized_coords) bits |= interp::kSamplerNormalizedCoords;
     if (desc.address_clamp) bits |= interp::kSamplerAddressClamp;
@@ -292,12 +326,14 @@ class ClOnCudaApi final : public OpenClApi {
   // -- programs: run-time translation + nvcc (Figure 2) ----------------------
   StatusOr<ClProgram> CreateProgramWithSource(
       const std::string& source) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateProgramWithSource");
     uint64_t id = next_id_++;
     programs_[id].source = source;
     return ClProgram{id};
   }
 
   Status BuildProgram(ClProgram program) override {
+    auto span = Span(TraceKind::kApiCall, "clBuildProgram");
     auto it = programs_.find(program.handle);
     if (it == programs_.end())
       return AsCl(InvalidArgumentError("unknown program"),
@@ -330,6 +366,7 @@ class ClOnCudaApi final : public OpenClApi {
 
   StatusOr<ClKernel> CreateKernel(ClProgram program,
                                   const std::string& name) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateKernel");
     auto it = programs_.find(program.handle);
     if (it == programs_.end())
       return AsCl(InvalidArgumentError("unknown program"),
@@ -352,6 +389,7 @@ class ClOnCudaApi final : public OpenClApi {
 
   Status SetKernelArg(ClKernel kernel, int index, size_t size,
                       const void* value) override {
+    auto span = Span(TraceKind::kApiCall, "clSetKernelArg");
     auto it = kernels_.find(kernel.handle);
     if (it == kernels_.end())
       return AsCl(InvalidArgumentError("unknown kernel"),
@@ -420,6 +458,7 @@ class ClOnCudaApi final : public OpenClApi {
 
   Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
                               const size_t* gws, const size_t* lws) override {
+    auto span = Span(TraceKind::kKernelLaunch, "clEnqueueNDRangeKernel");
     auto it = kernels_.find(kernel.handle);
     if (it == kernels_.end())
       return AsCl(InvalidArgumentError("unknown kernel"),
@@ -490,12 +529,16 @@ class ClOnCudaApi final : public OpenClApi {
         }
       }
     }
-    return Seal(cu_.LaunchKernel(k.name, grid, l, shared_total, args),
-                mocl::CL_OUT_OF_RESOURCES);
+    Status st = Seal(cu_.LaunchKernel(k.name, grid, l, shared_total, args),
+                     mocl::CL_OUT_OF_RESOURCES);
+    if (st.ok()) span.SetKernel(k.name, 0, 0);  // details on the native span
+    return span.Sealed(std::move(st));
   }
 
   Status Finish() override {
-    return Seal(cu_.DeviceSynchronize(), mocl::CL_OUT_OF_RESOURCES);
+    auto span = Span(TraceKind::kApiCall, "clFinish");
+    return span.Sealed(
+        Seal(cu_.DeviceSynchronize(), mocl::CL_OUT_OF_RESOURCES));
   }
 
   StatusOr<mocl::ClEvent> EnqueueNDRangeKernelWithEvent(
@@ -512,6 +555,7 @@ class ClOnCudaApi final : public OpenClApi {
 
   Status GetEventProfiling(mocl::ClEvent event, double* queued_us,
                            double* end_us) override {
+    auto span = Span(TraceKind::kApiCall, "clGetEventProfilingInfo");
     auto it = event_times_.find(event.handle);
     if (it == event_times_.end())
       return AsCl(InvalidArgumentError("unknown event"),
@@ -542,6 +586,12 @@ class ClOnCudaApi final : public OpenClApi {
   double BuildTimeUs() const override { return 0; }
 
  private:
+  /// Wrapper-layer trace span over the shared recorder; forwarded native
+  /// CUDA calls open child spans inside it. No-op when tracing is off.
+  trace::TraceSpan Span(TraceKind kind, const char* name) {
+    return trace::TraceSpan(cu_.Tracer(), kind, "cl2cu", name);
+  }
+
   /// Boundary sealer: every Status leaving this wrapper carries a CL
   /// api_code. An inner cudaError annotation is re-mapped through
   /// ClFromCuda; an unannotated Status gets the per-StatusCode default

@@ -6,6 +6,7 @@
 #include "mcuda/cuda_errors.h"
 #include "mocl/cl_errors.h"
 #include "support/strings.h"
+#include "trace/trace.h"
 
 namespace bridgecl::cu2cl {
 namespace {
@@ -24,6 +25,7 @@ using mocl::ClSamplerDesc;
 using mocl::MemFlags;
 using mocl::OpenClApi;
 using simgpu::Dim3;
+using trace::TraceKind;
 using translator::KernelTranslationInfo;
 using translator::TranslationResult;
 
@@ -92,7 +94,12 @@ class CudaOnClApi final : public CudaApi {
   CudaOnClApi(OpenClApi& cl, const CudaOnClOptions& options)
       : cl_(cl), options_(options) {}
 
+  /// Shared trace: wrapper spans record into the inner CL runtime's
+  /// recorder, so forwarded native calls nest under them naturally.
+  trace::TraceRecorder* Tracer() const override { return cl_.Tracer(); }
+
   Status RegisterModule(const std::string& cuda_source) override {
+    auto span = Span(TraceKind::kApiCall, "cudaRegisterFatBinary");
     // Translate now (static source-to-source step, Figure 3)...
     DiagnosticEngine diags;
     auto tr =
@@ -123,6 +130,7 @@ class CudaOnClApi final : public CudaApi {
   }
 
   StatusOr<void*> Malloc(size_t size) override {
+    auto span = Span(TraceKind::kApiCall, "cudaMalloc");
     BRIDGECL_ASSIGN_OR_RETURN(
         ClMem mem, Seal(cl_.CreateBuffer(MemFlags::kReadWrite, size, nullptr),
                         mcuda::cudaErrorMemoryAllocation));
@@ -132,6 +140,7 @@ class CudaOnClApi final : public CudaApi {
   }
 
   Status Free(void* ptr) override {
+    auto span = Span(TraceKind::kApiCall, "cudaFree");
     ClMem mem{reinterpret_cast<uint64_t>(ptr)};
     // cudaFree on an unknown pointer is cudaErrorInvalidDevicePointer;
     // a fault while releasing a known buffer keeps its mapped code.
@@ -143,35 +152,41 @@ class CudaOnClApi final : public CudaApi {
 
   Status Memcpy(void* dst, const void* src, size_t size,
                 MemcpyKind kind) override {
+    auto span = Span(TraceKindForMemcpy(kind), "cudaMemcpy");
+    span.SetBytes(size);
     switch (kind) {
       case MemcpyKind::kHostToDevice:
-        return Seal(cl_.EnqueueWriteBuffer(
-                        ClMem{reinterpret_cast<uint64_t>(dst)}, 0, size, src),
-                    mcuda::cudaErrorLaunchFailure);
+        return span.Sealed(
+            Seal(cl_.EnqueueWriteBuffer(
+                     ClMem{reinterpret_cast<uint64_t>(dst)}, 0, size, src),
+                 mcuda::cudaErrorLaunchFailure));
       case MemcpyKind::kDeviceToHost:
-        return Seal(
+        return span.Sealed(Seal(
             cl_.EnqueueReadBuffer(
                 ClMem{reinterpret_cast<uint64_t>(
                     const_cast<void*>(src) == nullptr
                         ? 0
                         : reinterpret_cast<uint64_t>(src))},
                 0, size, dst),
-            mcuda::cudaErrorLaunchFailure);
+            mcuda::cudaErrorLaunchFailure));
       case MemcpyKind::kDeviceToDevice:
-        return Seal(cl_.EnqueueCopyBuffer(
-                        ClMem{reinterpret_cast<uint64_t>(src)},
-                        ClMem{reinterpret_cast<uint64_t>(dst)}, 0, 0, size),
-                    mcuda::cudaErrorLaunchFailure);
+        return span.Sealed(
+            Seal(cl_.EnqueueCopyBuffer(
+                     ClMem{reinterpret_cast<uint64_t>(src)},
+                     ClMem{reinterpret_cast<uint64_t>(dst)}, 0, 0, size),
+                 mcuda::cudaErrorLaunchFailure));
       case MemcpyKind::kHostToHost:
         std::memmove(dst, src, size);
         return OkStatus();
     }
-    return AsCuda(InvalidArgumentError("bad memcpy kind"),
-                  mcuda::cudaErrorInvalidMemcpyDirection);
+    return span.Sealed(AsCuda(InvalidArgumentError("bad memcpy kind"),
+                              mcuda::cudaErrorInvalidMemcpyDirection));
   }
 
   Status MemcpyToSymbol(const std::string& symbol, const void* src,
                         size_t size, size_t offset) override {
+    auto span = Span(TraceKind::kH2D, "cudaMemcpyToSymbol");
+    span.SetBytes(size);
     // §4.3: the static symbol became a dynamically allocated buffer.
     auto it = symbols_.find(symbol);
     if (it == symbols_.end())
@@ -187,6 +202,8 @@ class CudaOnClApi final : public CudaApi {
 
   Status MemcpyFromSymbol(void* dst, const std::string& symbol, size_t size,
                           size_t offset) override {
+    auto span = Span(TraceKind::kD2H, "cudaMemcpyFromSymbol");
+    span.SetBytes(size);
     auto it = symbols_.find(symbol);
     if (it == symbols_.end())
       return AsCuda(NotFoundError("no device symbol '" + symbol + "'"),
@@ -209,6 +226,7 @@ class CudaOnClApi final : public CudaApi {
   Status LaunchKernel(const std::string& kernel, Dim3 grid, Dim3 block,
                       size_t shared_bytes,
                       std::span<const LaunchArg> args) override {
+    auto span = Span(TraceKind::kKernelLaunch, "cudaLaunchKernel");
     BRIDGECL_RETURN_IF_ERROR(EnsureBuilt());
     const KernelTranslationInfo* info = translation_.Find(kernel);
     if (info == nullptr)
@@ -273,18 +291,22 @@ class CudaOnClApi final : public CudaApi {
                      static_cast<size_t>(grid.z) * block.z};
     size_t lws[3] = {block.x, block.y, block.z};
     Status st = cl_.EnqueueNDRangeKernel(k, 3, gws, lws);
+    if (st.ok()) span.SetKernel(kernel, 0, 0);  // details on the native span
     // A device-side assert keeps its CUDA-specific code even though the
     // inner CL layer had to report it as a generic execution failure.
     if (!st.ok() && st.message().find("assert") != std::string::npos)
-      return AsCuda(std::move(st), mcuda::cudaErrorAssert);
-    return Seal(std::move(st), mcuda::cudaErrorLaunchOutOfResources);
+      return span.Sealed(AsCuda(std::move(st), mcuda::cudaErrorAssert));
+    return span.Sealed(
+        Seal(std::move(st), mcuda::cudaErrorLaunchOutOfResources));
   }
 
   Status DeviceSynchronize() override {
-    return Seal(cl_.Finish(), mcuda::cudaErrorLaunchFailure);
+    auto span = Span(TraceKind::kApiCall, "cudaDeviceSynchronize");
+    return span.Sealed(Seal(cl_.Finish(), mcuda::cudaErrorLaunchFailure));
   }
 
   StatusOr<CudaDeviceProps> GetDeviceProperties() override {
+    auto span = Span(TraceKind::kApiCall, "cudaGetDeviceProperties");
     // §6.3 deviceQuery: the wrapper fills cudaDeviceProp by invoking
     // clGetDeviceInfo once per attribute — the measured slowdown.
     CudaDeviceProps p;
@@ -341,6 +363,7 @@ class CudaOnClApi final : public CudaApi {
   Status BindTexture(const std::string& texref, void* device_ptr,
                      size_t bytes, const ChannelDesc& desc,
                      bool normalized) override {
+    auto span = Span(TraceKind::kApiCall, "cudaBindTexture");
     ClImageFormat fmt;
     fmt.elem = desc.elem;
     fmt.channels = desc.channels;
@@ -365,6 +388,7 @@ class CudaOnClApi final : public CudaApi {
   Status BindTexture2D(const std::string& texref, void* device_ptr,
                        size_t width, size_t height, size_t pitch,
                        const ChannelDesc& desc) override {
+    auto span = Span(TraceKind::kApiCall, "cudaBindTexture2D");
     // Snapshot the linear memory into a 2D image (CL 1.2 cannot alias a
     // buffer as a 2D image).
     (void)pitch;
@@ -393,6 +417,7 @@ class CudaOnClApi final : public CudaApi {
 
   StatusOr<void*> MallocArray(const ChannelDesc& desc, size_t width,
                               size_t height) override {
+    auto span = Span(TraceKind::kApiCall, "cudaMallocArray");
     ClImageFormat fmt;
     fmt.elem = desc.elem;
     fmt.channels = desc.channels;
@@ -406,6 +431,7 @@ class CudaOnClApi final : public CudaApi {
   }
 
   Status MemcpyToArray(void* array, const void* src, size_t) override {
+    auto span = Span(TraceKind::kH2D, "cudaMemcpyToArray");
     auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
     if (it == arrays_.end())
       return AsCuda(InvalidArgumentError("unknown cudaArray"),
@@ -416,6 +442,7 @@ class CudaOnClApi final : public CudaApi {
 
   Status BindTextureToArray(const std::string& texref, void* array,
                             bool filter_linear, bool normalized) override {
+    auto span = Span(TraceKind::kApiCall, "cudaBindTextureToArray");
     auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
     if (it == arrays_.end())
       return AsCuda(InvalidArgumentError("unknown cudaArray"),
@@ -431,18 +458,21 @@ class CudaOnClApi final : public CudaApi {
   }
 
   Status UnbindTexture(const std::string& texref) override {
+    auto span = Span(TraceKind::kApiCall, "cudaUnbindTexture");
     auto it = textures_.find(texref);
     if (it != textures_.end()) it->second.bound = false;
     return OkStatus();
   }
 
   StatusOr<void*> EventCreate() override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventCreate");
     uint64_t id = next_event_++;
     events_[id] = -1.0;
     return reinterpret_cast<void*>(id);
   }
 
   Status EventRecord(void* event) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventRecord");
     auto it = events_.find(reinterpret_cast<uint64_t>(event));
     if (it == events_.end())
       return AsCuda(InvalidArgumentError("unknown event"),
@@ -452,6 +482,7 @@ class CudaOnClApi final : public CudaApi {
   }
 
   StatusOr<double> EventElapsedUs(void* start, void* end) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventElapsedTime");
     auto s = events_.find(reinterpret_cast<uint64_t>(start));
     auto e = events_.find(reinterpret_cast<uint64_t>(end));
     if (s == events_.end() || e == events_.end())
@@ -464,6 +495,7 @@ class CudaOnClApi final : public CudaApi {
   }
 
   Status EventDestroy(void* event) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventDestroy");
     return events_.erase(reinterpret_cast<uint64_t>(event)) == 1
                ? OkStatus()
                : AsCuda(InvalidArgumentError("unknown event"),
@@ -479,6 +511,26 @@ class CudaOnClApi final : public CudaApi {
   double NowUs() const override { return cl_.NowUs(); }
 
  private:
+  /// Wrapper-layer trace span over the shared recorder; forwarded native
+  /// CL calls open child spans inside it. No-op when tracing is off.
+  trace::TraceSpan Span(TraceKind kind, const char* name) {
+    return trace::TraceSpan(cl_.Tracer(), kind, "cu2cl", name);
+  }
+
+  static TraceKind TraceKindForMemcpy(MemcpyKind kind) {
+    switch (kind) {
+      case MemcpyKind::kHostToDevice:
+        return TraceKind::kH2D;
+      case MemcpyKind::kDeviceToHost:
+        return TraceKind::kD2H;
+      case MemcpyKind::kDeviceToDevice:
+        return TraceKind::kD2D;
+      case MemcpyKind::kHostToHost:
+        break;
+    }
+    return TraceKind::kApiCall;
+  }
+
   /// Boundary sealer: every Status leaving this wrapper carries a
   /// cudaError api_code. An inner CL annotation is re-mapped through
   /// CudaFromCl; an unannotated Status gets the per-StatusCode default

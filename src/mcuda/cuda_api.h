@@ -144,6 +144,12 @@ class CudaApi {
 
   /// Simulated host-visible clock.
   virtual double NowUs() const = 0;
+
+  /// The trace recorder attached to the underlying device, or null when
+  /// tracing is off (docs/OBSERVABILITY.md). The native binding returns
+  /// Device::tracer(); wrapper bindings forward to the inner runtime so a
+  /// wrapped stack records into one shared trace.
+  virtual trace::TraceRecorder* Tracer() const { return nullptr; }
 };
 
 /// Native binding over a simulated device.

@@ -8,6 +8,8 @@
 #include "mcuda/cuda_errors.h"
 #include "simgpu/fault_injector.h"
 #include "support/strings.h"
+#include "trace/session.h"
+#include "trace/trace.h"
 
 namespace bridgecl::mcuda {
 namespace {
@@ -21,6 +23,7 @@ using simgpu::Dim3;
 using simgpu::FaultInjector;
 using simgpu::RetryTransient;
 using simgpu::TransferWithFaults;
+using trace::TraceKind;
 
 struct ArrayRec {
   uint64_t data_va = 0;
@@ -35,11 +38,18 @@ struct TextureRec {
 
 class NativeCudaApi final : public CudaApi {
  public:
-  explicit NativeCudaApi(Device& device) : device_(device) {
+  explicit NativeCudaApi(Device& device)
+      : device_(device),
+        // BRIDGECL_TRACE / BRIDGECL_TRACE_SUMMARY attach a recorder to the
+        // device for this runtime's lifetime (docs/OBSERVABILITY.md).
+        auto_trace_(trace::TraceSession::MaybeAttachFromEnv(device)) {
     device_.set_bank_mode(device_.profile().cuda_bank_mode);
   }
 
+  trace::TraceRecorder* Tracer() const override { return device_.tracer(); }
+
   Status RegisterModule(const std::string& cuda_source) override {
+    auto span = Span(TraceKind::kApiCall, "cudaRegisterFatBinary");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     // Static compilation: no run-time build cost is charged (CUDA embeds
     // compiled device code in the executable, §3.4).
@@ -56,6 +66,7 @@ class NativeCudaApi final : public CudaApi {
   }
 
   StatusOr<void*> Malloc(size_t size) override {
+    auto span = Span(TraceKind::kApiCall, "cudaMalloc");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto va_or = RetryTransient(
@@ -65,6 +76,7 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status Free(void* ptr) override {
+    auto span = Span(TraceKind::kApiCall, "cudaFree");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     Status st = RetryTransient(device_.faults(), [&] {
@@ -77,57 +89,63 @@ class NativeCudaApi final : public CudaApi {
 
   Status Memcpy(void* dst, const void* src, size_t size,
                 MemcpyKind kind) override {
+    auto span = Span(TraceKindForMemcpy(kind), "cudaMemcpy");
+    span.SetBytes(size);
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     switch (kind) {
       case MemcpyKind::kHostToDevice: {
         BRIDGECL_ASSIGN_OR_RETURN(
             std::byte * p, DeviceRange(reinterpret_cast<uint64_t>(dst), size));
-        return Seal(TransferWithFaults(device_.faults(), size,
-                                       [&](size_t n) {
-                                         std::memcpy(p, src, n);
-                                         device_.ChargeCopy(n);
-                                         device_.stats().host_to_device_bytes +=
-                                             n;
-                                       }),
-                    cudaErrorLaunchFailure);
+        return span.Sealed(
+            Seal(TransferWithFaults(device_.faults(), size,
+                                    [&](size_t n) {
+                                      std::memcpy(p, src, n);
+                                      device_.ChargeCopy(n);
+                                      device_.stats().host_to_device_bytes +=
+                                          n;
+                                    }),
+                 cudaErrorLaunchFailure));
       }
       case MemcpyKind::kDeviceToHost: {
         BRIDGECL_ASSIGN_OR_RETURN(
             std::byte * p, DeviceRange(reinterpret_cast<uint64_t>(src), size));
-        return Seal(TransferWithFaults(device_.faults(), size,
-                                       [&](size_t n) {
-                                         std::memcpy(dst, p, n);
-                                         device_.ChargeCopy(n);
-                                         device_.stats().device_to_host_bytes +=
-                                             n;
-                                       }),
-                    cudaErrorLaunchFailure);
+        return span.Sealed(
+            Seal(TransferWithFaults(device_.faults(), size,
+                                    [&](size_t n) {
+                                      std::memcpy(dst, p, n);
+                                      device_.ChargeCopy(n);
+                                      device_.stats().device_to_host_bytes +=
+                                          n;
+                                    }),
+                 cudaErrorLaunchFailure));
       }
       case MemcpyKind::kDeviceToDevice: {
         BRIDGECL_ASSIGN_OR_RETURN(
             std::byte * ps, DeviceRange(reinterpret_cast<uint64_t>(src), size));
         BRIDGECL_ASSIGN_OR_RETURN(
             std::byte * pd, DeviceRange(reinterpret_cast<uint64_t>(dst), size));
-        return Seal(
+        return span.Sealed(Seal(
             TransferWithFaults(device_.faults(), size,
                                [&](size_t n) {
                                  std::memmove(pd, ps, n);
                                  device_.ChargeCopy(n / 4);
                                  device_.stats().device_to_device_bytes += n;
                                }),
-            cudaErrorLaunchFailure);
+            cudaErrorLaunchFailure));
       }
       case MemcpyKind::kHostToHost:
         std::memmove(dst, src, size);
         return OkStatus();
     }
-    return AsCuda(InvalidArgumentError("bad memcpy kind"),
-                  cudaErrorInvalidMemcpyDirection);
+    return span.Sealed(AsCuda(InvalidArgumentError("bad memcpy kind"),
+                              cudaErrorInvalidMemcpyDirection));
   }
 
   Status MemcpyToSymbol(const std::string& symbol, const void* src,
                         size_t size, size_t offset) override {
+    auto span = Span(TraceKind::kH2D, "cudaMemcpyToSymbol");
+    span.SetBytes(size);
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(Module::Symbol sym, FindSymbol(symbol));
@@ -147,6 +165,8 @@ class NativeCudaApi final : public CudaApi {
 
   Status MemcpyFromSymbol(void* dst, const std::string& symbol, size_t size,
                           size_t offset) override {
+    auto span = Span(TraceKind::kD2H, "cudaMemcpyFromSymbol");
+    span.SetBytes(size);
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(Module::Symbol sym, FindSymbol(symbol));
@@ -165,6 +185,7 @@ class NativeCudaApi final : public CudaApi {
   }
 
   StatusOr<std::pair<size_t, size_t>> MemGetInfo() override {
+    auto span = Span(TraceKind::kApiCall, "cudaMemGetInfo");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     size_t total = device_.vm().global_capacity();
@@ -174,6 +195,7 @@ class NativeCudaApi final : public CudaApi {
   Status LaunchKernel(const std::string& kernel, Dim3 grid, Dim3 block,
                       size_t shared_bytes,
                       std::span<const LaunchArg> args) override {
+    auto span = Span(TraceKind::kKernelLaunch, "cudaLaunchKernel");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(Module * m, FindKernelModule(kernel));
@@ -192,25 +214,33 @@ class NativeCudaApi final : public CudaApi {
     std::vector<KernelArg> kargs;
     kargs.reserve(args.size());
     for (const LaunchArg& a : args) kargs.push_back(KernelArg::Bytes(a.bytes));
+    interp::LaunchResult result{};
     Status st = RetryTransient(device_.faults(), [&] {
-      return interp::LaunchKernel(device_, *m, kernel, cfg, kargs).status();
+      auto r = interp::LaunchKernel(device_, *m, kernel, cfg, kargs);
+      if (r.ok()) result = *r;
+      return r.status();
     });
+    if (st.ok())
+      span.SetKernel(kernel, m->RegistersFor(m->FindKernel(kernel)),
+                     result.occupancy);
     if (!st.ok() && st.code() == StatusCode::kInternal &&
         st.message().find("assert") != std::string::npos)
-      return AsCuda(std::move(st), cudaErrorAssert);
+      return span.Sealed(AsCuda(std::move(st), cudaErrorAssert));
     // Per-block shared memory over the limit is the classic
     // cudaErrorLaunchOutOfResources; device-side faults are the sticky
     // "unspecified launch failure".
-    return Seal(std::move(st), cudaErrorLaunchOutOfResources);
+    return span.Sealed(Seal(std::move(st), cudaErrorLaunchOutOfResources));
   }
 
   Status DeviceSynchronize() override {
+    auto span = Span(TraceKind::kApiCall, "cudaDeviceSynchronize");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     return OkStatus();
   }
 
   StatusOr<CudaDeviceProps> GetDeviceProperties() override {
+    auto span = Span(TraceKind::kApiCall, "cudaGetDeviceProperties");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     // Native CUDA fills the whole struct in a single driver query.
     device_.ChargeApiCall();
@@ -233,6 +263,7 @@ class NativeCudaApi final : public CudaApi {
   Status BindTexture(const std::string& texref, void* device_ptr,
                      size_t bytes, const ChannelDesc& desc,
                      bool normalized) override {
+    auto span = Span(TraceKind::kApiCall, "cudaBindTexture");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     size_t texel = lang::ScalarByteSize(desc.elem) * desc.channels;
@@ -250,6 +281,7 @@ class NativeCudaApi final : public CudaApi {
   Status BindTexture2D(const std::string& texref, void* device_ptr,
                        size_t width, size_t height, size_t pitch,
                        const ChannelDesc& desc) override {
+    auto span = Span(TraceKind::kApiCall, "cudaBindTexture2D");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     return MakeBinding(texref, reinterpret_cast<uint64_t>(device_ptr), width,
@@ -258,6 +290,7 @@ class NativeCudaApi final : public CudaApi {
 
   StatusOr<void*> MallocArray(const ChannelDesc& desc, size_t width,
                               size_t height) override {
+    auto span = Span(TraceKind::kApiCall, "cudaMallocArray");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     size_t texel = lang::ScalarByteSize(desc.elem) * desc.channels;
@@ -277,6 +310,8 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status MemcpyToArray(void* array, const void* src, size_t bytes) override {
+    auto span = Span(TraceKind::kH2D, "cudaMemcpyToArray");
+    span.SetBytes(bytes);
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
@@ -299,6 +334,7 @@ class NativeCudaApi final : public CudaApi {
 
   Status BindTextureToArray(const std::string& texref, void* array,
                             bool filter_linear, bool normalized) override {
+    auto span = Span(TraceKind::kApiCall, "cudaBindTextureToArray");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = arrays_.find(reinterpret_cast<uint64_t>(array));
@@ -315,6 +351,7 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status UnbindTexture(const std::string& texref) override {
+    auto span = Span(TraceKind::kApiCall, "cudaUnbindTexture");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = textures_.find(texref);
@@ -331,6 +368,7 @@ class NativeCudaApi final : public CudaApi {
   }
 
   StatusOr<void*> EventCreate() override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventCreate");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     uint64_t id = next_event_++;
@@ -339,6 +377,7 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status EventRecord(void* event) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventRecord");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = events_.find(reinterpret_cast<uint64_t>(event));
@@ -350,6 +389,7 @@ class NativeCudaApi final : public CudaApi {
   }
 
   StatusOr<double> EventElapsedUs(void* start, void* end) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventElapsedTime");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto s = events_.find(reinterpret_cast<uint64_t>(start));
@@ -364,6 +404,7 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Status EventDestroy(void* event) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventDestroy");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     return events_.erase(reinterpret_cast<uint64_t>(event)) == 1
@@ -386,6 +427,25 @@ class NativeCudaApi final : public CudaApi {
   double NowUs() const override { return device_.now_us(); }
 
  private:
+  /// Per-entry-point trace span; a no-op when no recorder is attached.
+  trace::TraceSpan Span(TraceKind kind, const char* name) {
+    return trace::TraceSpan(device_.tracer(), kind, "mcuda", name);
+  }
+
+  static TraceKind TraceKindForMemcpy(MemcpyKind kind) {
+    switch (kind) {
+      case MemcpyKind::kHostToDevice:
+        return TraceKind::kH2D;
+      case MemcpyKind::kDeviceToHost:
+        return TraceKind::kD2H;
+      case MemcpyKind::kDeviceToDevice:
+        return TraceKind::kD2D;
+      case MemcpyKind::kHostToHost:
+        break;
+    }
+    return TraceKind::kApiCall;
+  }
+
   /// Sticky device-lost gate: once the simulated device is lost, every
   /// runtime call returns cudaErrorDevicesUnavailable until teardown
   /// (Device::faults().ResetContext() or a new Device).
@@ -467,6 +527,9 @@ class NativeCudaApi final : public CudaApi {
   }
 
   Device& device_;
+  /// Environment-driven trace session; owns the recorder wired into
+  /// device_ when BRIDGECL_TRACE / BRIDGECL_TRACE_SUMMARY is set.
+  std::unique_ptr<trace::TraceSession> auto_trace_;
   std::vector<std::unique_ptr<Module>> modules_;
   std::unordered_map<uint64_t, ArrayRec> arrays_;
   std::unordered_map<std::string, TextureRec> textures_;

@@ -164,6 +164,12 @@ class OpenClApi {
   /// Simulated device-time spent inside program builds; the paper excludes
   /// OpenCL build time from its measurements (§6.2), benches subtract this.
   virtual double BuildTimeUs() const = 0;
+
+  /// The trace recorder attached to the underlying device, or null when
+  /// tracing is off (docs/OBSERVABILITY.md). The native binding returns
+  /// Device::tracer(); wrapper bindings forward to the inner runtime so a
+  /// wrapped stack records into one shared trace.
+  virtual trace::TraceRecorder* Tracer() const { return nullptr; }
 };
 
 /// The native binding ("vendor OpenCL framework") over a simulated device.

@@ -8,6 +8,8 @@
 #include "mocl/cl_errors.h"
 #include "simgpu/fault_injector.h"
 #include "support/strings.h"
+#include "trace/session.h"
+#include "trace/trace.h"
 
 namespace bridgecl::mocl {
 namespace {
@@ -22,6 +24,7 @@ using simgpu::Dim3;
 using simgpu::FaultInjector;
 using simgpu::RetryTransient;
 using simgpu::TransferWithFaults;
+using trace::TraceKind;
 
 /// Fixed simulated cost of an on-line clBuildProgram (front end + codegen).
 constexpr double kBuildCostUs = 4000.0;
@@ -56,15 +59,22 @@ struct KernelRec {
 
 class NativeClApi final : public OpenClApi {
  public:
-  explicit NativeClApi(Device& device) : device_(device) {
+  explicit NativeClApi(Device& device)
+      : device_(device),
+        // BRIDGECL_TRACE / BRIDGECL_TRACE_SUMMARY attach a recorder to the
+        // device for this runtime's lifetime (docs/OBSERVABILITY.md).
+        auto_trace_(trace::TraceSession::MaybeAttachFromEnv(device)) {
     device_.set_bank_mode(device_.profile().opencl_bank_mode);
   }
+
+  trace::TraceRecorder* Tracer() const override { return device_.tracer(); }
 
   std::string PlatformName() const override {
     return "BridgeCL mini-OpenCL 1.2";
   }
 
   StatusOr<std::string> QueryDeviceInfoString(ClDeviceAttr attr) override {
+    auto span = Span(TraceKind::kApiCall, "clGetDeviceInfo");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     ChargeQuery();
     switch (attr) {
@@ -79,6 +89,7 @@ class NativeClApi final : public OpenClApi {
   }
 
   StatusOr<uint64_t> QueryDeviceInfoUint(ClDeviceAttr attr) override {
+    auto span = Span(TraceKind::kApiCall, "clGetDeviceInfo");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     ChargeQuery();
     const auto& p = device_.profile();
@@ -108,6 +119,7 @@ class NativeClApi final : public OpenClApi {
   }
 
   StatusOr<int> CreateSubDevices(int n) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateSubDevices");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (n <= 0 || n > device_.profile().compute_units)
@@ -120,6 +132,12 @@ class NativeClApi final : public OpenClApi {
   // -- buffers ---------------------------------------------------------------
   StatusOr<ClMem> CreateBuffer(MemFlags flags, size_t size,
                                const void* host_ptr) override {
+    // CL_MEM_COPY_HOST_PTR makes this an h2d command; a plain allocation
+    // is an api-call. One span either way.
+    auto span = Span(host_ptr != nullptr ? TraceKind::kH2D
+                                         : TraceKind::kApiCall,
+                     "clCreateBuffer");
+    if (host_ptr != nullptr) span.SetBytes(size);
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (size == 0)
@@ -145,6 +163,7 @@ class NativeClApi final : public OpenClApi {
   }
 
   Status ReleaseMemObject(ClMem mem) override {
+    auto span = Span(TraceKind::kApiCall, "clReleaseMemObject");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (auto it = buffers_.find(mem.handle); it != buffers_.end()) {
@@ -168,28 +187,36 @@ class NativeClApi final : public OpenClApi {
 
   Status EnqueueWriteBuffer(ClMem mem, size_t offset, size_t size,
                             const void* src) override {
+    auto span = Span(TraceKind::kH2D, "clEnqueueWriteBuffer");
+    span.SetBytes(size);
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
     if (offset + size > b->size)
-      return AsCl(OutOfRangeError("write beyond buffer end"),
-                  CL_INVALID_VALUE);
-    return Seal(CopyIn(b->va + offset, src, size), CL_OUT_OF_RESOURCES);
+      return span.Sealed(AsCl(OutOfRangeError("write beyond buffer end"),
+                              CL_INVALID_VALUE));
+    return span.Sealed(
+        Seal(CopyIn(b->va + offset, src, size), CL_OUT_OF_RESOURCES));
   }
 
   Status EnqueueReadBuffer(ClMem mem, size_t offset, size_t size,
                            void* dst) override {
+    auto span = Span(TraceKind::kD2H, "clEnqueueReadBuffer");
+    span.SetBytes(size);
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
     if (offset + size > b->size)
-      return AsCl(OutOfRangeError("read beyond buffer end"),
-                  CL_INVALID_VALUE);
-    return Seal(CopyOut(dst, b->va + offset, size), CL_OUT_OF_RESOURCES);
+      return span.Sealed(AsCl(OutOfRangeError("read beyond buffer end"),
+                              CL_INVALID_VALUE));
+    return span.Sealed(
+        Seal(CopyOut(dst, b->va + offset, size), CL_OUT_OF_RESOURCES));
   }
 
   Status EnqueueCopyBuffer(ClMem src, ClMem dst, size_t src_offset,
                            size_t dst_offset, size_t size) override {
+    auto span = Span(TraceKind::kD2D, "clEnqueueCopyBuffer");
+    span.SetBytes(size);
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
@@ -206,13 +233,16 @@ class NativeClApi final : public OpenClApi {
       device_.ChargeCopy(n / 4);  // on-device copies are faster
       device_.stats().device_to_device_bytes += n;
     });
-    return Seal(std::move(st), CL_OUT_OF_RESOURCES);
+    return span.Sealed(Seal(std::move(st), CL_OUT_OF_RESOURCES));
   }
 
   // -- images ----------------------------------------------------------------
   StatusOr<ClMem> CreateImage2D(MemFlags flags, const ClImageFormat& format,
                                 size_t width, size_t height,
                                 const void* host_ptr) override {
+    auto span = Span(host_ptr != nullptr ? TraceKind::kH2D
+                                         : TraceKind::kApiCall,
+                     "clCreateImage2D");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     const auto& p = device_.profile();
@@ -227,6 +257,9 @@ class NativeClApi final : public OpenClApi {
 
   StatusOr<ClMem> CreateImage1D(MemFlags flags, const ClImageFormat& format,
                                 size_t width, const void* host_ptr) override {
+    auto span = Span(host_ptr != nullptr ? TraceKind::kH2D
+                                         : TraceKind::kApiCall,
+                     "clCreateImage1D");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (width > device_.profile().max_image1d_width)
@@ -241,6 +274,7 @@ class NativeClApi final : public OpenClApi {
   StatusOr<ClMem> CreateImage1DFromBuffer(const ClImageFormat& format,
                                           size_t width,
                                           ClMem buffer) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateImage1DFromBuffer");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     if (width > device_.profile().max_image1d_width)
@@ -260,22 +294,27 @@ class NativeClApi final : public OpenClApi {
   }
 
   Status EnqueueWriteImage(ClMem image, const void* src) override {
+    auto span = Span(TraceKind::kH2D, "clEnqueueWriteImage");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
-    return Seal(CopyIn(img->data_va, src, img->byte_size),
-                CL_OUT_OF_RESOURCES);
+    span.SetBytes(img->byte_size);
+    return span.Sealed(Seal(CopyIn(img->data_va, src, img->byte_size),
+                            CL_OUT_OF_RESOURCES));
   }
 
   Status EnqueueReadImage(ClMem image, void* dst) override {
+    auto span = Span(TraceKind::kD2H, "clEnqueueReadImage");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     BRIDGECL_ASSIGN_OR_RETURN(ImageRec * img, FindImage(image));
-    return Seal(CopyOut(dst, img->data_va, img->byte_size),
-                CL_OUT_OF_RESOURCES);
+    span.SetBytes(img->byte_size);
+    return span.Sealed(Seal(CopyOut(dst, img->data_va, img->byte_size),
+                            CL_OUT_OF_RESOURCES));
   }
 
   StatusOr<uint64_t> CreateSampler(const ClSamplerDesc& desc) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateSampler");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     uint64_t bits = 0;
@@ -288,6 +327,7 @@ class NativeClApi final : public OpenClApi {
   // -- programs & kernels -----------------------------------------------------
   StatusOr<ClProgram> CreateProgramWithSource(
       const std::string& source) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateProgramWithSource");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     uint64_t id = next_id_++;
@@ -296,6 +336,7 @@ class NativeClApi final : public OpenClApi {
   }
 
   Status BuildProgram(ClProgram program) override {
+    auto span = Span(TraceKind::kApiCall, "clBuildProgram");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = programs_.find(program.handle);
@@ -326,19 +367,22 @@ class NativeClApi final : public OpenClApi {
 
   StatusOr<ClKernel> CreateKernel(ClProgram program,
                                   const std::string& name) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateKernel");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = programs_.find(program.handle);
     if (it == programs_.end())
-      return AsCl(InvalidArgumentError("unknown program"),
-                  CL_INVALID_PROGRAM);
+      return span.Sealed(AsCl(InvalidArgumentError("unknown program"),
+                              CL_INVALID_PROGRAM));
     if (it->second.module == nullptr)
-      return AsCl(FailedPreconditionError("program is not built"),
-                  CL_INVALID_PROGRAM_EXECUTABLE);
+      return span.Sealed(
+          AsCl(FailedPreconditionError("program is not built"),
+               CL_INVALID_PROGRAM_EXECUTABLE));
     const lang::FunctionDecl* fn = it->second.module->FindKernel(name);
     if (fn == nullptr)
-      return AsCl(NotFoundError("no kernel '" + name + "' in program"),
-                  CL_INVALID_KERNEL_NAME);
+      return span.Sealed(
+          AsCl(NotFoundError("no kernel '" + name + "' in program"),
+               CL_INVALID_KERNEL_NAME));
     uint64_t id = next_id_++;
     KernelRec& k = kernels_[id];
     k.program = program.handle;
@@ -350,6 +394,7 @@ class NativeClApi final : public OpenClApi {
 
   Status SetKernelArg(ClKernel kernel, int index, size_t size,
                       const void* value) override {
+    auto span = Span(TraceKind::kApiCall, "clSetKernelArg");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = kernels_.find(kernel.handle);
@@ -408,6 +453,7 @@ class NativeClApi final : public OpenClApi {
 
   Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
                               const size_t* gws, const size_t* lws) override {
+    auto span = Span(TraceKind::kKernelLaunch, "clEnqueueNDRangeKernel");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = kernels_.find(kernel.handle);
@@ -450,16 +496,22 @@ class NativeClApi final : public OpenClApi {
     cfg.grid = grid;
     cfg.block = l;
     Module* module = programs_[k.program].module.get();
+    interp::LaunchResult result{};
     Status st = RetryTransient(device_.faults(), [&] {
-      return interp::LaunchKernel(device_, *module, k.name, cfg, k.args)
-          .status();
+      auto r = interp::LaunchKernel(device_, *module, k.name, cfg, k.args);
+      if (r.ok()) result = *r;
+      return r.status();
     });
+    if (st.ok())
+      span.SetKernel(k.name, module->RegistersFor(module->FindKernel(k.name)),
+                     result.occupancy);
     // Device-side failures (memory faults, traps, exhausted resources)
     // surface at the launch/finish boundary as CL_OUT_OF_RESOURCES.
-    return Seal(std::move(st), CL_OUT_OF_RESOURCES);
+    return span.Sealed(Seal(std::move(st), CL_OUT_OF_RESOURCES));
   }
 
   Status Finish() override {
+    auto span = Span(TraceKind::kApiCall, "clFinish");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     return OkStatus();
@@ -468,6 +520,9 @@ class NativeClApi final : public OpenClApi {
   StatusOr<ClEvent> EnqueueNDRangeKernelWithEvent(
       ClKernel kernel, int work_dim, const size_t* gws,
       const size_t* lws) override {
+    // The COMMAND_QUEUED timestamp and the traced launch span share the
+    // same clock; events_test.cc checks queued <= end and that both fall
+    // inside the recorded span window.
     double queued = device_.now_us();
     BRIDGECL_RETURN_IF_ERROR(
         EnqueueNDRangeKernel(kernel, work_dim, gws, lws));
@@ -478,6 +533,7 @@ class NativeClApi final : public OpenClApi {
 
   Status GetEventProfiling(ClEvent event, double* queued_us,
                            double* end_us) override {
+    auto span = Span(TraceKind::kApiCall, "clGetEventProfilingInfo");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = events_.find(event.handle);
@@ -509,6 +565,11 @@ class NativeClApi final : public OpenClApi {
   double BuildTimeUs() const override { return build_time_us_; }
 
  private:
+  /// Per-entry-point trace span; a no-op when no recorder is attached.
+  trace::TraceSpan Span(TraceKind kind, const char* name) {
+    return trace::TraceSpan(device_.tracer(), kind, "mocl", name);
+  }
+
   /// Sticky device-lost gate: once the simulated device is lost, every
   /// entry point on this context returns CL_OUT_OF_RESOURCES until the
   /// context is torn down (Device::faults().ResetContext() or a new
@@ -648,6 +709,9 @@ class NativeClApi final : public OpenClApi {
   }
 
   Device& device_;
+  /// Environment-driven trace session; owns the recorder wired into
+  /// device_ when BRIDGECL_TRACE / BRIDGECL_TRACE_SUMMARY is set.
+  std::unique_ptr<trace::TraceSession> auto_trace_;
   uint64_t next_id_ = 1;
   double build_time_us_ = 0;
   std::unordered_map<uint64_t, BufferRec> buffers_;

@@ -15,6 +15,10 @@
 #include "simgpu/virtual_memory.h"
 #include "support/status.h"
 
+namespace bridgecl::trace {
+class TraceRecorder;  // trace/trace.h — the per-command tracing subsystem
+}
+
 namespace bridgecl::simgpu {
 
 /// Counters accumulated across kernel launches; benchmarks and tests read
@@ -93,6 +97,13 @@ class Device {
   void ResetStats() { stats_ = DeviceStats{}; }
   void ResetClock() { clock_us_ = 0; }
 
+  /// The trace recorder attached to this device, or null. Owned by a
+  /// trace::TraceSession (or equivalent), never by the device; recording
+  /// only *reads* the clock and stats, so attaching a recorder cannot
+  /// change any simulated value (docs/OBSERVABILITY.md).
+  trace::TraceRecorder* tracer() const { return tracer_; }
+  void set_tracer(trace::TraceRecorder* t) { tracer_ = t; }
+
  private:
   DeviceProfile profile_;
   FaultInjector faults_;  // must outlive vm_'s pointer to it
@@ -100,6 +111,7 @@ class Device {
   DeviceStats stats_;
   BankMode bank_mode_ = BankMode::k32Bit;
   double clock_us_ = 0;
+  trace::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace bridgecl::simgpu

@@ -1,0 +1,73 @@
+// Trace consumers: Chrome trace_event JSON (chrome://tracing / Perfetto),
+// a human-readable per-kernel summary, per-command cost aggregation, and
+// the wrapper-overhead attribution the paper's §6 evaluation rests on.
+// All outputs are deterministic: same recorded events → byte-identical
+// strings (trace_test round-trips and diffs them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "trace/trace.h"
+
+namespace bridgecl::trace {
+
+/// Serializes the recorded events as Chrome trace_event JSON ("X" complete
+/// events, timestamps in simulated microseconds). Loadable in
+/// chrome://tracing and https://ui.perfetto.dev (docs/OBSERVABILITY.md).
+std::string ChromeTraceJson(const TraceRecorder& recorder);
+
+/// ChromeTraceJson written to `path` (overwrites).
+Status WriteChromeTrace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+/// One row of the per-command cost aggregation: commands grouped by
+/// (layer, entry point, kernel), ranked by *exclusive* simulated time
+/// (span duration minus the durations of directly nested spans), so
+/// wrapper and native layers never double-count the same microseconds.
+struct CommandCost {
+  const char* layer = "";
+  const char* name = "";
+  std::string kernel;  // empty unless a kernel-launch command
+  uint64_t count = 0;
+  double exclusive_us = 0;
+  double inclusive_us = 0;
+};
+
+/// All command groups, most expensive (exclusive) first; ties broken by
+/// layer/name/kernel so the order is deterministic.
+std::vector<CommandCost> CommandCosts(const TraceRecorder& recorder);
+
+/// The top `n` of CommandCosts.
+std::vector<CommandCost> TopCommands(const TraceRecorder& recorder,
+                                     size_t n);
+
+/// §6 wrapper-overhead attribution. For every wrapper-layer span (cl2cu /
+/// cu2cl) the *gap* is its duration minus the durations of the spans
+/// directly nested under it — simulated time spent in the wrapper body
+/// itself rather than in forwarded native work. The paper's claim is that
+/// this is ≈ 0; `fraction()` is the number to compare against 1%.
+struct WrapperOverhead {
+  double wrapper_gap_us = 0;    // Σ per-wrapper-span gaps
+  double wrapper_incl_us = 0;   // Σ top-level wrapper span durations
+  double native_us = 0;         // Σ native spans nested under wrappers
+  double total_us = 0;          // traced window: max end − min begin
+  uint64_t wrapper_calls = 0;   // number of wrapper-layer spans
+  uint64_t fanout_calls = 0;    // wrapper spans forwarding >1 native call
+                                // (the §6.3 deviceQuery pattern)
+
+  double fraction() const {
+    return total_us > 0 ? wrapper_gap_us / total_us : 0;
+  }
+};
+
+WrapperOverhead WrapperOverheadOf(const TraceRecorder& recorder);
+
+/// Human-readable report: per-kernel table (launches, simulated time,
+/// work-items, shared bank words, occupancy, regs/thread), the top
+/// commands by exclusive time, and — when wrapper spans are present — the
+/// wrapper-overhead attribution.
+std::string SummaryTable(const TraceRecorder& recorder);
+
+}  // namespace bridgecl::trace

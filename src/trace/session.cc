@@ -1,0 +1,47 @@
+#include "trace/session.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bridgecl::trace {
+
+SessionOptions SessionOptionsFromEnv() {
+  SessionOptions opts;
+  if (const char* path = std::getenv("BRIDGECL_TRACE");
+      path != nullptr && path[0] != '\0')
+    opts.trace_path = path;
+  if (const char* s = std::getenv("BRIDGECL_TRACE_SUMMARY");
+      s != nullptr && s[0] != '\0' && s[0] != '0')
+    opts.summary = true;
+  return opts;
+}
+
+TraceSession::TraceSession(simgpu::Device& device, SessionOptions options)
+    : device_(device), options_(std::move(options)), recorder_(device) {
+  device_.set_tracer(&recorder_);
+}
+
+TraceSession::~TraceSession() {
+  (void)Flush();
+  if (device_.tracer() == &recorder_) device_.set_tracer(nullptr);
+}
+
+std::unique_ptr<TraceSession> TraceSession::MaybeAttachFromEnv(
+    simgpu::Device& device) {
+  if (device.tracer() != nullptr) return nullptr;
+  SessionOptions opts = SessionOptionsFromEnv();
+  if (opts.trace_path.empty() && !opts.summary) return nullptr;
+  return std::make_unique<TraceSession>(device, std::move(opts));
+}
+
+Status TraceSession::Flush() {
+  if (flushed_) return OkStatus();
+  if (!options_.trace_path.empty())
+    BRIDGECL_RETURN_IF_ERROR(WriteChromeTrace(recorder_, options_.trace_path));
+  if (options_.summary)
+    fputs(SummaryTable(recorder_).c_str(), stderr);
+  flushed_ = true;
+  return OkStatus();
+}
+
+}  // namespace bridgecl::trace

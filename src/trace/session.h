@@ -1,0 +1,60 @@
+// TraceSession: ownership + activation glue between a TraceRecorder and a
+// simgpu::Device.
+//
+// A session attaches a recorder to a device for its lifetime and, on
+// destruction (or an explicit Flush), emits the configured outputs:
+//
+//   BRIDGECL_TRACE=<file>      write Chrome trace_event JSON to <file>
+//   BRIDGECL_TRACE_SUMMARY=1   print the per-kernel summary to stderr
+//
+// The native API factories (CreateNativeClApi / CreateNativeCudaApi) call
+// MaybeAttachFromEnv so *any* program in the repo — tests, benches,
+// examples — honors the environment variables with no code changes; the
+// programmatic path (bench_util, trace_test) constructs a session
+// directly. The device must outlive the session.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "trace/exporters.h"
+#include "trace/trace.h"
+
+namespace bridgecl::trace {
+
+struct SessionOptions {
+  std::string trace_path;  // non-empty: write Chrome trace JSON on Flush
+  bool summary = false;    // print SummaryTable to stderr on Flush
+};
+
+/// BRIDGECL_TRACE / BRIDGECL_TRACE_SUMMARY, parsed.
+SessionOptions SessionOptionsFromEnv();
+
+class TraceSession {
+ public:
+  TraceSession(simgpu::Device& device, SessionOptions options);
+  ~TraceSession();  // Flush() + detach
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Attaches a session driven purely by the environment variables.
+  /// Returns null when neither variable is set or the device already has
+  /// a recorder (the outermost session wins — a wrapper stack shares one
+  /// device and must share one trace).
+  static std::unique_ptr<TraceSession> MaybeAttachFromEnv(
+      simgpu::Device& device);
+
+  TraceRecorder& recorder() { return recorder_; }
+
+  /// Writes/prints the configured outputs. Idempotent on success; the
+  /// destructor calls it and ignores failures.
+  Status Flush();
+
+ private:
+  simgpu::Device& device_;
+  SessionOptions options_;
+  TraceRecorder recorder_;
+  bool flushed_ = false;
+};
+
+}  // namespace bridgecl::trace

@@ -9,6 +9,8 @@
 #include "mcuda/cuda_api.h"
 #include "mocl/cl_api.h"
 #include "simgpu/device.h"
+#include "trace/session.h"
+#include "trace/trace.h"
 
 namespace bridgecl {
 namespace {
@@ -68,6 +70,39 @@ TEST(EventsTest, WrapperProfilingAgreesWithNative) {
   ASSERT_TRUE(t_wrapped.ok()) << t_wrapped.status().ToString();
   // The translated kernel performs the same work; windows are within 20%.
   EXPECT_NEAR(*t_wrapped, *t_native, *t_native * 0.2);
+}
+
+TEST(EventsTest, QueuedNeverExceedsEndAndBracketsTraceSpan) {
+  // COMMAND_QUEUED is stamped before the launch runs and COMMAND_END
+  // after, on the same simulated clock the trace recorder reads — so
+  // queued <= end always, and the recorded kernel-launch span must fall
+  // inside the [queued, end] window.
+  Device dev(TitanProfile());
+  trace::TraceSession session(dev, {});
+  auto cl = mocl::CreateNativeClApi(dev);
+  auto prog = cl->CreateProgramWithSource(kClKernel);
+  ASSERT_TRUE(prog.ok());
+  ASSERT_TRUE(cl->BuildProgram(*prog).ok());
+  auto kernel = cl->CreateKernel(*prog, "spin");
+  auto g = cl->CreateBuffer(MemFlags::kReadWrite, 64 * 4, nullptr);
+  ASSERT_TRUE(kernel.ok() && g.ok());
+  int iters = 64;
+  ASSERT_TRUE(cl->SetKernelArg(*kernel, 0, sizeof(ClMem), &*g).ok());
+  ASSERT_TRUE(cl->SetKernelArg(*kernel, 1, sizeof(int), &iters).ok());
+  size_t gws = 64, lws = 32;
+  auto ev = cl->EnqueueNDRangeKernelWithEvent(*kernel, 1, &gws, &lws);
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  double queued = 0, end = 0;
+  ASSERT_TRUE(cl->GetEventProfiling(*ev, &queued, &end).ok());
+  EXPECT_LE(queued, end);
+
+  const trace::TraceEvent* launch = nullptr;
+  for (const trace::TraceEvent& e : session.recorder().events())
+    if (e.kind == trace::TraceKind::kKernelLaunch) launch = &e;
+  ASSERT_NE(launch, nullptr);
+  EXPECT_LE(queued, launch->begin_us);
+  EXPECT_LE(launch->begin_us, launch->end_us);
+  EXPECT_LE(launch->end_us, end);
 }
 
 TEST(EventsTest, UnknownEventRejected) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo-hygiene guard: fail if any build tree (build*/ at the repo root) is
+# tracked by git. PR 1 accidentally committed build/ and build-asan/; this
+# script — registered as the ctest test `repo_hygiene` — keeps them out.
+#
+# Usage: check_no_build_artifacts.sh [repo_root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 1
+
+if ! command -v git >/dev/null 2>&1; then
+  echo "repo_hygiene: git not available, skipping"
+  exit 0
+fi
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "repo_hygiene: not a git work tree, skipping"
+  exit 0
+fi
+
+tracked=$(git ls-files 'build*/' | head -20)
+if [ -n "$tracked" ]; then
+  echo "repo_hygiene: FAIL — build artifacts are tracked by git:"
+  echo "$tracked"
+  echo "(run: git rm -r --cached 'build*/' and keep build*/ in .gitignore)"
+  exit 1
+fi
+
+if ! grep -q '^build\*/' .gitignore 2>/dev/null; then
+  echo "repo_hygiene: FAIL — .gitignore no longer ignores build*/"
+  exit 1
+fi
+
+echo "repo_hygiene: OK — no build trees tracked"
+exit 0
