@@ -134,6 +134,43 @@ std::string TopCommandsLine(const Measurement& m, size_t n) {
   return out;
 }
 
+std::string BenchReport::ToJson() const {
+  std::string out = "{\"bench\":\"" + name_ + "\",\"results\":{";
+  bool first_cfg = true;
+  for (const auto& [config, metrics] : results_) {
+    if (!first_cfg) out += ",";
+    first_cfg = false;
+    out += "\"" + config + "\":{";
+    bool first_metric = true;
+    for (const auto& [metric, value] : metrics) {
+      if (!first_metric) out += ",";
+      first_metric = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3f", value);
+      out += "\"" + metric + "\":" + buf;
+    }
+    out += "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+StatusOr<std::string> BenchReport::Write() const {
+  const char* dir = std::getenv("BRIDGECL_BENCH_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                         : "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status(StatusCode::kInternal, "cannot open " + path);
+  const std::string json = ToJson();
+  size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (wrote != json.size())
+    return Status(StatusCode::kInternal, "short write to " + path);
+  return path;
+}
+
 void PrintHeader(const std::string& title) {
   printf("\n%s\n", std::string(76, '=').c_str());
   printf("%s\n", title.c_str());

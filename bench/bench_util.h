@@ -5,6 +5,7 @@
 // fair comparison").
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 
@@ -65,5 +66,30 @@ std::string TopCommandsLine(const Measurement& m, size_t n);
 
 /// Prints the bench banner with the simulated Table 2 configuration.
 void PrintHeader(const std::string& title);
+
+/// Machine-readable benchmark output, one file per bench binary, so the
+/// perf trajectory can be compared across revisions. Records are
+/// per-config named metrics (simulated microseconds, ratios, ...); Write
+/// emits them as deterministic JSON to `BENCH_<name>.json` in
+/// BRIDGECL_BENCH_DIR (or the working directory when unset):
+///   {"bench": "<name>", "results": {"<config>": {"<metric>": <value>}}}
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& config, const std::string& metric,
+           double value) {
+    results_[config][metric] = value;
+  }
+
+  /// Serializes the report (sorted keys: byte-stable across runs).
+  std::string ToJson() const;
+  /// Writes `BENCH_<name>.json`; returns the path written.
+  StatusOr<std::string> Write() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::map<std::string, double>> results_;
+};
 
 }  // namespace bridgecl::bench

@@ -1,7 +1,10 @@
 #include "cl2cu/cl_on_cuda.h"
 
 #include <cstring>
+#include <functional>
+#include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "interp/image.h"
 #include "mcuda/cuda_errors.h"
@@ -19,10 +22,12 @@ using mcuda::LaunchArg;
 using mcuda::MemcpyKind;
 using mocl::AsCl;
 using mocl::ClDeviceAttr;
+using mocl::ClEvent;
 using mocl::ClImageFormat;
 using mocl::ClKernel;
 using mocl::ClMem;
 using mocl::ClProgram;
+using mocl::ClQueue;
 using mocl::ClSamplerDesc;
 using mocl::MemFlags;
 using mocl::OpenClApi;
@@ -114,9 +119,45 @@ struct KernelRec {
   std::vector<ArgRec> args;
 };
 
+/// Everything cuLaunchKernel needs, marshalled once and fired on either
+/// the legacy (synchronous) or the stream launch path.
+struct LaunchPlan {
+  std::string name;
+  simgpu::Dim3 grid = simgpu::Dim3(1, 1, 1);
+  simgpu::Dim3 block = simgpu::Dim3(1, 1, 1);
+  size_t shared_bytes = 0;
+  std::vector<LaunchArg> args;
+};
+
+/// One cl_command_queue over CUDA streams (docs/CONCURRENCY.md). An
+/// in-order queue is exactly one cudaStream. An out-of-order queue has no
+/// single-stream equivalent, so every command runs on a fresh stream wired
+/// to its dependencies with cudaStreamWaitEvent — the wait-list DAG is
+/// rebuilt from the narrower native primitives, the §3.4 wrapping pattern.
+struct QueueRec {
+  bool ooo = false;
+  void* stream = nullptr;          // in-order stream; null = default stream
+  std::vector<void*> cmd_streams;  // OoO: one fresh stream per command
+  std::vector<void*> cmd_events;   // OoO: per-command completion events
+  std::vector<void*> barrier_deps; // OoO: what post-barrier commands await
+};
+
+/// One cl_event. Events from the legacy profiled path are born resolved
+/// (absolute times known); events from asynchronous enqueues carry a CUDA
+/// event and resolve lazily against the t0 base (cuEventElapsedTime only
+/// reports relative time, so the wrapper anchors it once).
+struct EventRec {
+  double queued_us = 0;
+  bool resolved = false;
+  double end_us = 0;
+  void* cuda_event = nullptr;
+};
+
 class ClOnCudaApi final : public OpenClApi {
  public:
-  explicit ClOnCudaApi(CudaApi& cu) : cu_(cu) {}
+  explicit ClOnCudaApi(CudaApi& cu) : cu_(cu) {
+    queues_[0] = QueueRec{};  // the default in-order queue always exists
+  }
 
   std::string PlatformName() const override {
     return "BridgeCL OpenCL-on-CUDA wrapper";
@@ -459,6 +500,40 @@ class ClOnCudaApi final : public OpenClApi {
   Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
                               const size_t* gws, const size_t* lws) override {
     auto span = Span(TraceKind::kKernelLaunch, "clEnqueueNDRangeKernel");
+    LaunchPlan plan;
+    BRIDGECL_RETURN_IF_ERROR(PrepareLaunch(kernel, work_dim, gws, lws, &plan));
+    Status st = Seal(cu_.LaunchKernel(plan.name, plan.grid, plan.block,
+                                      plan.shared_bytes, plan.args),
+                     mocl::CL_OUT_OF_RESOURCES);
+    if (st.ok()) span.SetKernel(plan.name, 0, 0);  // details on the native span
+    return span.Sealed(std::move(st));
+  }
+
+  Status EnqueueNDRangeKernelOn(ClQueue queue, ClKernel kernel, int work_dim,
+                                const size_t* gws, const size_t* lws,
+                                std::span<const ClEvent> wait_events,
+                                ClEvent* out_event) override {
+    auto span = Span(TraceKind::kKernelLaunch, "clEnqueueNDRangeKernel");
+    double queued = cu_.NowUs();
+    BRIDGECL_ASSIGN_OR_RETURN(QueueRec * q, FindQueue(queue));
+    LaunchPlan plan;
+    BRIDGECL_RETURN_IF_ERROR(PrepareLaunch(kernel, work_dim, gws, lws, &plan));
+    Status st = EnqueueOn(*q, /*blocking=*/false, queued, wait_events,
+                          out_event, [&](void* stream) {
+                            return cu_.LaunchKernelOnStream(
+                                plan.name, plan.grid, plan.block,
+                                plan.shared_bytes, plan.args, stream);
+                          });
+    if (st.ok()) span.SetKernel(plan.name, 0, 0);
+    return span.Sealed(std::move(st));
+  }
+
+ private:
+  /// Shared NDRange→<<<grid,block,shared>>> marshalling for the legacy and
+  /// stream launch paths: kernel lookup, grid derivation (§3.5) and
+  /// argument packing, including the deferred __constant copy (§4.2).
+  Status PrepareLaunch(ClKernel kernel, int work_dim, const size_t* gws,
+                       const size_t* lws, LaunchPlan* plan) {
     auto it = kernels_.find(kernel.handle);
     if (it == kernels_.end())
       return AsCl(InvalidArgumentError("unknown kernel"),
@@ -529,39 +604,227 @@ class ClOnCudaApi final : public OpenClApi {
         }
       }
     }
-    Status st = Seal(cu_.LaunchKernel(k.name, grid, l, shared_total, args),
-                     mocl::CL_OUT_OF_RESOURCES);
-    if (st.ok()) span.SetKernel(k.name, 0, 0);  // details on the native span
-    return span.Sealed(std::move(st));
+    plan->name = k.name;
+    plan->grid = grid;
+    plan->block = l;
+    plan->shared_bytes = shared_total;
+    plan->args = std::move(args);
+    return OkStatus();
   }
 
+ public:
   Status Finish() override {
     auto span = Span(TraceKind::kApiCall, "clFinish");
     return span.Sealed(
         Seal(cu_.DeviceSynchronize(), mocl::CL_OUT_OF_RESOURCES));
   }
 
+  // -- command queues & asynchronous enqueues (docs/CONCURRENCY.md) ----------
+  StatusOr<ClQueue> CreateCommandQueue(uint64_t properties) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateCommandQueue");
+    if ((properties & ~mocl::CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE) != 0)
+      return AsCl(InvalidArgumentError("unknown command-queue property bits"),
+                  mocl::CL_INVALID_VALUE);
+    QueueRec rec;
+    rec.ooo =
+        (properties & mocl::CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE) != 0;
+    if (!rec.ooo) {
+      // In-order CL queue == one CUDA stream; OoO queues make streams
+      // per command instead.
+      BRIDGECL_ASSIGN_OR_RETURN(
+          rec.stream, Seal(cu_.StreamCreate(), mocl::CL_OUT_OF_RESOURCES));
+    }
+    uint64_t id = next_queue_++;
+    queues_[id] = rec;
+    return ClQueue{id};
+  }
+
+  Status ReleaseCommandQueue(ClQueue queue) override {
+    auto span = Span(TraceKind::kApiCall, "clReleaseCommandQueue");
+    if (queue.handle == 0)
+      return span.Sealed(
+          AsCl(InvalidArgumentError("cannot release the default queue"),
+               mocl::CL_INVALID_COMMAND_QUEUE));
+    auto it = queues_.find(queue.handle);
+    if (it == queues_.end())
+      return span.Sealed(AsCl(InvalidArgumentError("unknown command queue"),
+                              mocl::CL_INVALID_COMMAND_QUEUE));
+    Status st = DrainQueue(it->second);  // implicit clFinish
+    if (it->second.stream != nullptr) {
+      Status ds =
+          Seal(cu_.StreamDestroy(it->second.stream), mocl::CL_OUT_OF_RESOURCES);
+      if (st.ok()) st = std::move(ds);
+    }
+    queues_.erase(it);
+    return span.Sealed(std::move(st));
+  }
+
+  Status EnqueueWriteBufferOn(ClQueue queue, ClMem mem, size_t offset,
+                              size_t size, const void* src, bool blocking,
+                              std::span<const ClEvent> wait_events,
+                              ClEvent* out_event) override {
+    auto span = Span(TraceKind::kH2D, "clEnqueueWriteBuffer");
+    span.SetBytes(size);
+    double queued = cu_.NowUs();
+    BRIDGECL_ASSIGN_OR_RETURN(QueueRec * q, FindQueue(queue));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+    if (offset + size > b->size)
+      return span.Sealed(AsCl(OutOfRangeError("write beyond buffer end"),
+                              mocl::CL_INVALID_VALUE));
+    void* dst = static_cast<std::byte*>(b->dev_ptr) + offset;
+    return span.Sealed(EnqueueOn(
+        *q, blocking, queued, wait_events, out_event, [&](void* stream) {
+          return cu_.MemcpyAsync(dst, src, size, MemcpyKind::kHostToDevice,
+                                 stream);
+        }));
+  }
+
+  Status EnqueueReadBufferOn(ClQueue queue, ClMem mem, size_t offset,
+                             size_t size, void* dst, bool blocking,
+                             std::span<const ClEvent> wait_events,
+                             ClEvent* out_event) override {
+    auto span = Span(TraceKind::kD2H, "clEnqueueReadBuffer");
+    span.SetBytes(size);
+    double queued = cu_.NowUs();
+    BRIDGECL_ASSIGN_OR_RETURN(QueueRec * q, FindQueue(queue));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+    if (offset + size > b->size)
+      return span.Sealed(AsCl(OutOfRangeError("read beyond buffer end"),
+                              mocl::CL_INVALID_VALUE));
+    const void* from = static_cast<std::byte*>(b->dev_ptr) + offset;
+    return span.Sealed(EnqueueOn(
+        *q, blocking, queued, wait_events, out_event, [&](void* stream) {
+          return cu_.MemcpyAsync(dst, from, size, MemcpyKind::kDeviceToHost,
+                                 stream);
+        }));
+  }
+
+  Status EnqueueCopyBufferOn(ClQueue queue, ClMem src, ClMem dst,
+                             size_t src_offset, size_t dst_offset, size_t size,
+                             std::span<const ClEvent> wait_events,
+                             ClEvent* out_event) override {
+    auto span = Span(TraceKind::kD2D, "clEnqueueCopyBuffer");
+    span.SetBytes(size);
+    double queued = cu_.NowUs();
+    BRIDGECL_ASSIGN_OR_RETURN(QueueRec * q, FindQueue(queue));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * d, FindBuffer(dst));
+    if (src_offset + size > s->size || dst_offset + size > d->size)
+      return span.Sealed(AsCl(OutOfRangeError("copy beyond buffer end"),
+                              mocl::CL_INVALID_VALUE));
+    void* to = static_cast<std::byte*>(d->dev_ptr) + dst_offset;
+    const void* from = static_cast<std::byte*>(s->dev_ptr) + src_offset;
+    return span.Sealed(EnqueueOn(
+        *q, /*blocking=*/false, queued, wait_events, out_event,
+        [&](void* stream) {
+          return cu_.MemcpyAsync(to, from, size, MemcpyKind::kDeviceToDevice,
+                                 stream);
+        }));
+  }
+
+  StatusOr<ClEvent> EnqueueMarkerWithWaitList(
+      ClQueue queue, std::span<const ClEvent> wait_events) override {
+    auto span = Span(TraceKind::kApiCall, "clEnqueueMarkerWithWaitList");
+    double queued = cu_.NowUs();
+    BRIDGECL_ASSIGN_OR_RETURN(QueueRec * q, FindQueue(queue));
+    return MarkerImpl(*q, wait_events, queued);
+  }
+
+  StatusOr<ClEvent> EnqueueBarrier(ClQueue queue) override {
+    auto span = Span(TraceKind::kApiCall, "clEnqueueBarrierWithWaitList");
+    double queued = cu_.NowUs();
+    BRIDGECL_ASSIGN_OR_RETURN(QueueRec * q, FindQueue(queue));
+    BRIDGECL_ASSIGN_OR_RETURN(ClEvent ev, MarkerImpl(*q, {}, queued));
+    // The barrier's own completion event now dominates everything enqueued
+    // so far: post-barrier commands need only wait on it.
+    if (q->ooo && !q->cmd_events.empty())
+      q->barrier_deps.assign(1, q->cmd_events.back());
+    return ev;
+  }
+
+  Status Flush(ClQueue queue) override {
+    // Submission hint: commands were already handed to the CUDA runtime at
+    // enqueue, so flushing only validates the handle.
+    auto span = Span(TraceKind::kApiCall, "clFlush");
+    BRIDGECL_ASSIGN_OR_RETURN(QueueRec * q, FindQueue(queue));
+    (void)q;
+    return OkStatus();
+  }
+
+  Status Finish(ClQueue queue) override {
+    auto span = Span(TraceKind::kApiCall, "clFinish");
+    BRIDGECL_ASSIGN_OR_RETURN(QueueRec * q, FindQueue(queue));
+    return span.Sealed(DrainQueue(*q));
+  }
+
+  Status WaitForEvents(std::span<const ClEvent> events) override {
+    auto span = Span(TraceKind::kApiCall, "clWaitForEvents");
+    Status first;
+    for (const ClEvent& e : events) {
+      auto it = event_map_.find(e.handle);
+      if (it == event_map_.end())
+        return span.Sealed(AsCl(InvalidArgumentError("unknown event"),
+                                mocl::CL_INVALID_EVENT));
+      if (it->second.cuda_event == nullptr) continue;  // already complete
+      Status st = Seal(cu_.EventSynchronize(it->second.cuda_event),
+                       mocl::CL_OUT_OF_RESOURCES);
+      if (first.ok() && !st.ok()) first = std::move(st);
+    }
+    return span.Sealed(std::move(first));
+  }
+
+  Status ReleaseEvent(ClEvent event) override {
+    auto span = Span(TraceKind::kApiCall, "clReleaseEvent");
+    auto it = event_map_.find(event.handle);
+    if (it == event_map_.end())
+      return span.Sealed(AsCl(InvalidArgumentError("unknown event"),
+                              mocl::CL_INVALID_EVENT));
+    Status st;
+    if (it->second.cuda_event != nullptr)
+      st = Seal(cu_.EventDestroy(it->second.cuda_event),
+                mocl::CL_INVALID_EVENT);
+    event_map_.erase(it);
+    return span.Sealed(std::move(st));
+  }
+
   StatusOr<mocl::ClEvent> EnqueueNDRangeKernelWithEvent(
       ClKernel kernel, int work_dim, const size_t* gws,
       const size_t* lws) override {
-    // Wrapper implementation over CUDA events (cuEventRecord pairs).
+    // Legacy profiled path: the launch is synchronous, so the event is
+    // born with its absolute times already resolved.
     double queued = cu_.NowUs();
     BRIDGECL_RETURN_IF_ERROR(
         EnqueueNDRangeKernel(kernel, work_dim, gws, lws));
     uint64_t id = next_id_++;
-    event_times_[id] = {queued, cu_.NowUs()};
+    EventRec er;
+    er.queued_us = queued;
+    er.resolved = true;
+    er.end_us = cu_.NowUs();
+    event_map_[id] = er;
     return mocl::ClEvent{id};
   }
 
   Status GetEventProfiling(mocl::ClEvent event, double* queued_us,
                            double* end_us) override {
     auto span = Span(TraceKind::kApiCall, "clGetEventProfilingInfo");
-    auto it = event_times_.find(event.handle);
-    if (it == event_times_.end())
+    auto it = event_map_.find(event.handle);
+    if (it == event_map_.end())
       return AsCl(InvalidArgumentError("unknown event"),
                   mocl::CL_INVALID_EVENT);
-    *queued_us = it->second.first;
-    *end_us = it->second.second;
+    EventRec& er = it->second;
+    if (!er.resolved) {
+      // Asynchronous event: wait for it, then anchor cuEventElapsedTime's
+      // relative reading to the t0 base to recover an absolute end time.
+      BRIDGECL_RETURN_IF_ERROR(Seal(cu_.EventSynchronize(er.cuda_event),
+                                    mocl::CL_OUT_OF_RESOURCES));
+      BRIDGECL_ASSIGN_OR_RETURN(double rel,
+                                Seal(cu_.EventElapsedUs(t0_, er.cuda_event),
+                                     mocl::CL_INVALID_EVENT));
+      er.end_us = t0_now_ + rel;
+      er.resolved = true;
+    }
+    *queued_us = er.queued_us;
+    *end_us = er.end_us;
     return OkStatus();
   }
 
@@ -612,6 +875,139 @@ class ClOnCudaApi final : public OpenClApi {
   static StatusOr<T> Seal(StatusOr<T> v, int fallback) {
     if (v.ok()) return v;
     return StatusOr<T>(Seal(std::move(v).status(), fallback));
+  }
+
+  StatusOr<QueueRec*> FindQueue(ClQueue queue) {
+    auto it = queues_.find(queue.handle);
+    if (it == queues_.end())
+      return AsCl(InvalidArgumentError("unknown command queue"),
+                  mocl::CL_INVALID_COMMAND_QUEUE);
+    return &it->second;
+  }
+
+  /// Lazily plants the absolute-time base: a CUDA event recorded on the
+  /// default stream and synchronized, so its completion instant is NowUs()
+  /// exactly. Asynchronous CL events report absolute end times as
+  /// t0_now_ + cuEventElapsedTime(t0, event).
+  Status EnsureT0() {
+    if (t0_ != nullptr) return OkStatus();
+    BRIDGECL_ASSIGN_OR_RETURN(
+        void* ev, Seal(cu_.EventCreate(), mocl::CL_OUT_OF_RESOURCES));
+    Status st = cu_.EventRecord(ev);
+    if (st.ok()) st = cu_.EventSynchronize(ev);
+    if (!st.ok()) {
+      (void)cu_.EventDestroy(ev);
+      return Seal(std::move(st), mocl::CL_OUT_OF_RESOURCES);
+    }
+    t0_ = ev;
+    t0_now_ = cu_.NowUs();
+    return OkStatus();
+  }
+
+  /// Common choreography for one asynchronous command on `q`: resolve the
+  /// wait list to CUDA events, pick or create the stream, wire the
+  /// dependencies with cudaStreamWaitEvent, run `issue` on that stream,
+  /// then record the completion events (per-command for OoO bookkeeping,
+  /// user-visible when `out_event` is wanted).
+  Status EnqueueOn(QueueRec& q, bool blocking, double queued,
+                   std::span<const ClEvent> wait_events, ClEvent* out_event,
+                   const std::function<Status(void*)>& issue) {
+    if (out_event != nullptr) BRIDGECL_RETURN_IF_ERROR(EnsureT0());
+    std::vector<void*> deps;
+    for (const ClEvent& w : wait_events) {
+      auto it = event_map_.find(w.handle);
+      if (it == event_map_.end())
+        return AsCl(InvalidArgumentError("unknown event in wait list"),
+                    mocl::CL_INVALID_EVENT);
+      // Resolved events already completed; no dependency edge needed.
+      if (it->second.cuda_event != nullptr)
+        deps.push_back(it->second.cuda_event);
+    }
+    void* stream = q.stream;
+    if (q.ooo) {
+      BRIDGECL_ASSIGN_OR_RETURN(
+          stream, Seal(cu_.StreamCreate(), mocl::CL_OUT_OF_RESOURCES));
+      q.cmd_streams.push_back(stream);
+      for (void* d : q.barrier_deps)
+        BRIDGECL_RETURN_IF_ERROR(Seal(cu_.StreamWaitEvent(stream, d),
+                                      mocl::CL_OUT_OF_RESOURCES));
+    }
+    for (void* d : deps)
+      BRIDGECL_RETURN_IF_ERROR(
+          Seal(cu_.StreamWaitEvent(stream, d), mocl::CL_OUT_OF_RESOURCES));
+    BRIDGECL_RETURN_IF_ERROR(Seal(issue(stream), mocl::CL_OUT_OF_RESOURCES));
+    if (q.ooo) {
+      BRIDGECL_ASSIGN_OR_RETURN(
+          void* ce, Seal(cu_.EventCreate(), mocl::CL_OUT_OF_RESOURCES));
+      Status st = cu_.EventRecordOnStream(ce, stream);
+      if (!st.ok()) {
+        (void)cu_.EventDestroy(ce);
+        return Seal(std::move(st), mocl::CL_OUT_OF_RESOURCES);
+      }
+      q.cmd_events.push_back(ce);
+    }
+    if (out_event != nullptr) {
+      BRIDGECL_ASSIGN_OR_RETURN(
+          void* ue, Seal(cu_.EventCreate(), mocl::CL_OUT_OF_RESOURCES));
+      Status st = cu_.EventRecordOnStream(ue, stream);
+      if (!st.ok()) {
+        (void)cu_.EventDestroy(ue);
+        return Seal(std::move(st), mocl::CL_OUT_OF_RESOURCES);
+      }
+      uint64_t id = next_id_++;
+      EventRec er;
+      er.queued_us = queued;
+      er.cuda_event = ue;
+      event_map_[id] = er;
+      *out_event = ClEvent{id};
+    }
+    if (blocking)
+      return Seal(cu_.StreamSynchronize(stream), mocl::CL_OUT_OF_RESOURCES);
+    return OkStatus();
+  }
+
+  /// Marker event on `q`. An empty wait list on an out-of-order queue
+  /// means "everything enqueued so far", which with per-command streams is
+  /// a wait on every per-command event.
+  StatusOr<ClEvent> MarkerImpl(QueueRec& q, std::span<const ClEvent> wait,
+                               double queued) {
+    ClEvent ev;
+    if (q.ooo && wait.empty()) {
+      std::vector<void*> all = q.cmd_events;  // snapshot before the marker
+      BRIDGECL_RETURN_IF_ERROR(EnqueueOn(
+          q, /*blocking=*/false, queued, {}, &ev, [&](void* stream) {
+            for (void* d : all)
+              BRIDGECL_RETURN_IF_ERROR(Seal(cu_.StreamWaitEvent(stream, d),
+                                            mocl::CL_OUT_OF_RESOURCES));
+            return OkStatus();
+          }));
+      return ev;
+    }
+    BRIDGECL_RETURN_IF_ERROR(
+        EnqueueOn(q, /*blocking=*/false, queued, wait, &ev,
+                  [](void*) { return OkStatus(); }));
+    return ev;
+  }
+
+  /// clFinish semantics for one queue: drain it and surface the first
+  /// deferred error. Out-of-order queues also retire their per-command
+  /// streams and bookkeeping events here.
+  Status DrainQueue(QueueRec& q) {
+    Status first;
+    if (!q.ooo) {
+      first = cu_.StreamSynchronize(q.stream);  // null = default stream
+    } else {
+      for (void* s : q.cmd_streams) {
+        Status st = cu_.StreamSynchronize(s);
+        if (first.ok() && !st.ok()) first = std::move(st);
+      }
+      for (void* s : q.cmd_streams) (void)cu_.StreamDestroy(s);
+      for (void* e : q.cmd_events) (void)cu_.EventDestroy(e);
+      q.cmd_streams.clear();
+      q.cmd_events.clear();
+      q.barrier_deps.clear();
+    }
+    return Seal(std::move(first), mocl::CL_OUT_OF_RESOURCES);
   }
 
   StatusOr<BufferRec*> FindBuffer(ClMem mem) {
@@ -695,7 +1091,11 @@ class ClOnCudaApi final : public OpenClApi {
   std::unordered_map<uint64_t, ProgramRec> programs_;
   std::unordered_map<uint64_t, std::string> build_log_;
   std::unordered_map<uint64_t, KernelRec> kernels_;
-  std::unordered_map<uint64_t, std::pair<double, double>> event_times_;
+  std::map<uint64_t, QueueRec> queues_;  // ordered: deterministic teardown
+  std::unordered_map<uint64_t, EventRec> event_map_;
+  uint64_t next_queue_ = 0x4800'0000'0000'0000ull;
+  void* t0_ = nullptr;  // lazy absolute-time base (EnsureT0)
+  double t0_now_ = 0;   // NowUs() at the instant t0_ completed
 };
 
 }  // namespace

@@ -17,10 +17,12 @@ using mcuda::CudaApi;
 using mcuda::CudaDeviceProps;
 using mcuda::LaunchArg;
 using mcuda::MemcpyKind;
+using mocl::ClEvent;
 using mocl::ClImageFormat;
 using mocl::ClKernel;
 using mocl::ClMem;
 using mocl::ClProgram;
+using mocl::ClQueue;
 using mocl::ClSamplerDesc;
 using mocl::MemFlags;
 using mocl::OpenClApi;
@@ -87,6 +89,16 @@ struct TextureRec {
   ClMem image;
   uint64_t sampler = 0;
   bool bound = false;
+};
+
+/// One cudaEvent_t. The legacy cudaEventRecord path stamps a host
+/// timestamp (synchronous flows make that exact); recording on a stream
+/// instead plants a CL marker event whose profiled end time is the
+/// event's completion instant.
+struct EventRec {
+  double host_us = -1.0;  // legacy host-clock recording; -1 = never
+  bool has_cl = false;    // recorded through a stream marker
+  ClEvent cl_event;
 };
 
 class CudaOnClApi final : public CudaApi {
@@ -226,6 +238,24 @@ class CudaOnClApi final : public CudaApi {
   Status LaunchKernel(const std::string& kernel, Dim3 grid, Dim3 block,
                       size_t shared_bytes,
                       std::span<const LaunchArg> args) override {
+    return LaunchCommon(kernel, grid, block, shared_bytes, args, nullptr);
+  }
+
+  Status LaunchKernelOnStream(const std::string& kernel, Dim3 grid,
+                              Dim3 block, size_t shared_bytes,
+                              std::span<const LaunchArg> args,
+                              void* stream) override {
+    BRIDGECL_ASSIGN_OR_RETURN(ClQueue q, QueueFor(stream));
+    return LaunchCommon(kernel, grid, block, shared_bytes, args, &q);
+  }
+
+ private:
+  /// The static rewriter's launch sequence (§3.5), shared by the legacy
+  /// synchronous path (queue == nullptr: clEnqueueNDRangeKernel) and the
+  /// stream path (asynchronous enqueue on the stream's command queue).
+  Status LaunchCommon(const std::string& kernel, Dim3 grid, Dim3 block,
+                      size_t shared_bytes, std::span<const LaunchArg> args,
+                      const ClQueue* queue) {
     auto span = Span(TraceKind::kKernelLaunch, "cudaLaunchKernel");
     BRIDGECL_RETURN_IF_ERROR(EnsureBuilt());
     const KernelTranslationInfo* info = translation_.Find(kernel);
@@ -290,7 +320,10 @@ class CudaOnClApi final : public CudaApi {
                      static_cast<size_t>(grid.y) * block.y,
                      static_cast<size_t>(grid.z) * block.z};
     size_t lws[3] = {block.x, block.y, block.z};
-    Status st = cl_.EnqueueNDRangeKernel(k, 3, gws, lws);
+    Status st = queue == nullptr
+                    ? cl_.EnqueueNDRangeKernel(k, 3, gws, lws)
+                    : cl_.EnqueueNDRangeKernelOn(*queue, k, 3, gws, lws, {},
+                                                 nullptr);
     if (st.ok()) span.SetKernel(kernel, 0, 0);  // details on the native span
     // A device-side assert keeps its CUDA-specific code even though the
     // inner CL layer had to report it as a generic execution failure.
@@ -300,9 +333,131 @@ class CudaOnClApi final : public CudaApi {
         Seal(std::move(st), mcuda::cudaErrorLaunchOutOfResources));
   }
 
+ public:
   Status DeviceSynchronize() override {
     auto span = Span(TraceKind::kApiCall, "cudaDeviceSynchronize");
+    // Legacy clFinish is a device-wide barrier, so this drains every
+    // stream's queue, matching cudaDeviceSynchronize.
     return span.Sealed(Seal(cl_.Finish(), mcuda::cudaErrorLaunchFailure));
+  }
+
+  // -- streams over command queues (docs/CONCURRENCY.md) ---------------------
+  StatusOr<void*> StreamCreate() override {
+    auto span = Span(TraceKind::kApiCall, "cudaStreamCreate");
+    // cudaStream_t == an in-order cl_command_queue; the queue handle is
+    // cast to void* exactly as the paper's handle-cast idiom (§4).
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClQueue q,
+        Seal(cl_.CreateCommandQueue(0), mcuda::cudaErrorMemoryAllocation));
+    live_streams_[q.handle] = q;
+    return reinterpret_cast<void*>(q.handle);
+  }
+
+  Status StreamDestroy(void* stream) override {
+    auto span = Span(TraceKind::kApiCall, "cudaStreamDestroy");
+    if (stream == nullptr)
+      return AsCuda(InvalidArgumentError("cannot destroy the default stream"),
+                    mcuda::cudaErrorInvalidResourceHandle);
+    auto it = live_streams_.find(reinterpret_cast<uint64_t>(stream));
+    if (it == live_streams_.end())
+      return AsCuda(InvalidArgumentError("unknown stream"),
+                    mcuda::cudaErrorInvalidResourceHandle);
+    // Implicit synchronize: releasing the queue drains it first, so the
+    // stream's deferred async errors surface here.
+    Status st = Seal(cl_.ReleaseCommandQueue(it->second),
+                     mcuda::cudaErrorLaunchFailure);
+    live_streams_.erase(it);
+    return span.Sealed(std::move(st));
+  }
+
+  Status StreamSynchronize(void* stream) override {
+    auto span = Span(TraceKind::kApiCall, "cudaStreamSynchronize");
+    BRIDGECL_ASSIGN_OR_RETURN(ClQueue q, QueueFor(stream));
+    return span.Sealed(Seal(cl_.Finish(q), mcuda::cudaErrorLaunchFailure));
+  }
+
+  Status MemcpyAsync(void* dst, const void* src, size_t size, MemcpyKind kind,
+                     void* stream) override {
+    auto span = Span(TraceKindForMemcpy(kind), "cudaMemcpyAsync");
+    span.SetBytes(size);
+    BRIDGECL_ASSIGN_OR_RETURN(ClQueue q, QueueFor(stream));
+    switch (kind) {
+      case MemcpyKind::kHostToDevice:
+        return span.Sealed(Seal(
+            cl_.EnqueueWriteBufferOn(q, ClMem{reinterpret_cast<uint64_t>(dst)},
+                                     0, size, src, /*blocking=*/false, {},
+                                     nullptr),
+            mcuda::cudaErrorLaunchFailure));
+      case MemcpyKind::kDeviceToHost:
+        return span.Sealed(Seal(
+            cl_.EnqueueReadBufferOn(q, ClMem{reinterpret_cast<uint64_t>(src)},
+                                    0, size, dst, /*blocking=*/false, {},
+                                    nullptr),
+            mcuda::cudaErrorLaunchFailure));
+      case MemcpyKind::kDeviceToDevice:
+        return span.Sealed(Seal(
+            cl_.EnqueueCopyBufferOn(q, ClMem{reinterpret_cast<uint64_t>(src)},
+                                    ClMem{reinterpret_cast<uint64_t>(dst)}, 0,
+                                    0, size, {}, nullptr),
+            mcuda::cudaErrorLaunchFailure));
+      case MemcpyKind::kHostToHost:
+        // Host-to-host copies are synchronous even on the Async entry
+        // point (CUDA semantics).
+        std::memmove(dst, src, size);
+        return OkStatus();
+    }
+    return span.Sealed(AsCuda(InvalidArgumentError("bad memcpy kind"),
+                              mcuda::cudaErrorInvalidMemcpyDirection));
+  }
+
+  Status EventRecordOnStream(void* event, void* stream) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventRecord");
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end())
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    mcuda::cudaErrorInvalidResourceHandle);
+    BRIDGECL_ASSIGN_OR_RETURN(ClQueue q, QueueFor(stream));
+    // The CL marker completes when everything enqueued on the queue so
+    // far completes — exactly cudaEventRecord's capture semantics.
+    BRIDGECL_ASSIGN_OR_RETURN(ClEvent ev,
+                              Seal(cl_.EnqueueMarkerWithWaitList(q, {}),
+                                   mcuda::cudaErrorLaunchFailure));
+    if (it->second.has_cl)
+      (void)cl_.ReleaseEvent(it->second.cl_event);  // re-record
+    it->second.has_cl = true;
+    it->second.cl_event = ev;
+    return OkStatus();
+  }
+
+  Status StreamWaitEvent(void* stream, void* event) override {
+    auto span = Span(TraceKind::kApiCall, "cudaStreamWaitEvent");
+    BRIDGECL_ASSIGN_OR_RETURN(ClQueue q, QueueFor(stream));
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end())
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    mcuda::cudaErrorInvalidResourceHandle);
+    if (!it->second.has_cl) return OkStatus();  // unrecorded: no-op (CUDA)
+    // A marker with the event in its wait list orders everything later on
+    // the queue after the event; the marker's own event is internal.
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClEvent marker,
+        Seal(cl_.EnqueueMarkerWithWaitList(
+                 q, std::span<const ClEvent>(&it->second.cl_event, 1)),
+             mcuda::cudaErrorLaunchFailure));
+    return span.Sealed(
+        Seal(cl_.ReleaseEvent(marker), mcuda::cudaErrorLaunchFailure));
+  }
+
+  Status EventSynchronize(void* event) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventSynchronize");
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end())
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    mcuda::cudaErrorInvalidResourceHandle);
+    if (!it->second.has_cl) return OkStatus();  // never recorded: complete
+    return span.Sealed(Seal(
+        cl_.WaitForEvents(std::span<const ClEvent>(&it->second.cl_event, 1)),
+        mcuda::cudaErrorLaunchFailure));
   }
 
   StatusOr<CudaDeviceProps> GetDeviceProperties() override {
@@ -467,7 +622,7 @@ class CudaOnClApi final : public CudaApi {
   StatusOr<void*> EventCreate() override {
     auto span = Span(TraceKind::kApiCall, "cudaEventCreate");
     uint64_t id = next_event_++;
-    events_[id] = -1.0;
+    events_[id] = EventRec{};
     return reinterpret_cast<void*>(id);
   }
 
@@ -477,7 +632,11 @@ class CudaOnClApi final : public CudaApi {
     if (it == events_.end())
       return AsCuda(InvalidArgumentError("unknown event"),
                     mcuda::cudaErrorInvalidResourceHandle);
-    it->second = cl_.NowUs();
+    if (it->second.has_cl) {
+      (void)cl_.ReleaseEvent(it->second.cl_event);  // re-record
+      it->second.has_cl = false;
+    }
+    it->second.host_us = cl_.NowUs();
     return OkStatus();
   }
 
@@ -488,18 +647,23 @@ class CudaOnClApi final : public CudaApi {
     if (s == events_.end() || e == events_.end())
       return AsCuda(InvalidArgumentError("unknown event"),
                     mcuda::cudaErrorInvalidResourceHandle);
-    if (s->second < 0 || e->second < 0)
-      return AsCuda(FailedPreconditionError("event was never recorded"),
-                    mcuda::cudaErrorNotReady);
-    return e->second - s->second;
+    BRIDGECL_ASSIGN_OR_RETURN(double ts, EndTimeOf(s->second));
+    BRIDGECL_ASSIGN_OR_RETURN(double te, EndTimeOf(e->second));
+    return te - ts;
   }
 
   Status EventDestroy(void* event) override {
     auto span = Span(TraceKind::kApiCall, "cudaEventDestroy");
-    return events_.erase(reinterpret_cast<uint64_t>(event)) == 1
-               ? OkStatus()
-               : AsCuda(InvalidArgumentError("unknown event"),
-                        mcuda::cudaErrorInvalidResourceHandle);
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end())
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    mcuda::cudaErrorInvalidResourceHandle);
+    Status st;
+    if (it->second.has_cl)
+      st = Seal(cl_.ReleaseEvent(it->second.cl_event),
+                mcuda::cudaErrorInvalidResourceHandle);
+    events_.erase(it);
+    return span.Sealed(std::move(st));
   }
 
   Status SetKernelRegisters(const std::string& kernel, int regs) override {
@@ -568,6 +732,37 @@ class CudaOnClApi final : public CudaApi {
     return OkStatus();
   }
 
+  /// Resolves a cudaStream_t to its command queue; the null stream is the
+  /// default queue, anything else must be a live created stream.
+  StatusOr<ClQueue> QueueFor(void* stream) {
+    if (stream == nullptr) return ClQueue{};
+    auto it = live_streams_.find(reinterpret_cast<uint64_t>(stream));
+    if (it == live_streams_.end())
+      return AsCuda(InvalidArgumentError("unknown stream"),
+                    mcuda::cudaErrorInvalidResourceHandle);
+    return it->second;
+  }
+
+  /// Absolute completion time of an event, for cudaEventElapsedTime: the
+  /// profiled end of its CL marker (waiting for it first), or the legacy
+  /// host timestamp. Never-recorded events are cudaErrorNotReady.
+  StatusOr<double> EndTimeOf(EventRec& er) {
+    if (er.has_cl) {
+      BRIDGECL_RETURN_IF_ERROR(
+          Seal(cl_.WaitForEvents(std::span<const ClEvent>(&er.cl_event, 1)),
+               mcuda::cudaErrorLaunchFailure));
+      double queued = 0, end = 0;
+      BRIDGECL_RETURN_IF_ERROR(
+          Seal(cl_.GetEventProfiling(er.cl_event, &queued, &end),
+               mcuda::cudaErrorInvalidResourceHandle));
+      return end;
+    }
+    if (er.host_us < 0)
+      return AsCuda(FailedPreconditionError("event was never recorded"),
+                    mcuda::cudaErrorNotReady);
+    return er.host_us;
+  }
+
   StatusOr<ClKernel> KernelFor(const std::string& name) {
     if (auto it = kernels_.find(name); it != kernels_.end())
       return it->second;
@@ -589,7 +784,8 @@ class CudaOnClApi final : public CudaApi {
   std::unordered_map<uint64_t, ClMem> arrays_;
   std::unordered_map<uint64_t, size_t> buffer_sizes_;
   uint64_t next_event_ = 0x7000'0000'0000'0000ull;
-  std::unordered_map<uint64_t, double> events_;
+  std::unordered_map<uint64_t, EventRec> events_;
+  std::unordered_map<uint64_t, ClQueue> live_streams_;
 };
 
 }  // namespace

@@ -108,6 +108,35 @@ class CudaApi {
                               std::span<const LaunchArg> args) = 0;
   virtual Status DeviceSynchronize() = 0;
 
+  // -- streams (cudaStream_t, docs/CONCURRENCY.md) ---------------------------
+  /// cudaStreamCreate. Streams are in-order; the null stream is the
+  /// default (legacy) stream every stream-less entry point targets.
+  virtual StatusOr<void*> StreamCreate() = 0;
+  /// cudaStreamDestroy: implicit synchronize, then teardown; surfaces the
+  /// stream's deferred async errors.
+  virtual Status StreamDestroy(void* stream) = 0;
+  /// cudaStreamSynchronize: blocks until the stream drains; deferred
+  /// async-command errors surface here (docs/ROBUSTNESS.md).
+  virtual Status StreamSynchronize(void* stream) = 0;
+  /// cudaMemcpyAsync: returns immediately; failures are deferred to the
+  /// next synchronization point on `stream`.
+  virtual Status MemcpyAsync(void* dst, const void* src, size_t size,
+                             MemcpyKind kind, void* stream) = 0;
+  /// k<<<grid, block, shared, stream>>>(args...): asynchronous launch.
+  virtual Status LaunchKernelOnStream(const std::string& kernel,
+                                      simgpu::Dim3 grid, simgpu::Dim3 block,
+                                      size_t shared_bytes,
+                                      std::span<const LaunchArg> args,
+                                      void* stream) = 0;
+  /// cudaEventRecord(event, stream): the event completes when everything
+  /// enqueued on `stream` so far completes.
+  virtual Status EventRecordOnStream(void* event, void* stream) = 0;
+  /// cudaStreamWaitEvent: later commands on `stream` wait for `event`.
+  /// Waiting on a never-recorded event is a no-op (CUDA semantics).
+  virtual Status StreamWaitEvent(void* stream, void* event) = 0;
+  /// cudaEventSynchronize; a never-recorded event is already "complete".
+  virtual Status EventSynchronize(void* event) = 0;
+
   // -- device queries -----------------------------------------------------------
   virtual StatusOr<CudaDeviceProps> GetDeviceProperties() = 0;
 

@@ -1,4 +1,5 @@
 #include <cstring>
+#include <functional>
 #include <unordered_map>
 
 #include "interp/executor.h"
@@ -6,6 +7,7 @@
 #include "interp/module.h"
 #include "mcuda/cuda_api.h"
 #include "mcuda/cuda_errors.h"
+#include "sched/scheduler.h"
 #include "simgpu/fault_injector.h"
 #include "support/strings.h"
 #include "trace/session.h"
@@ -42,7 +44,8 @@ class NativeCudaApi final : public CudaApi {
       : device_(device),
         // BRIDGECL_TRACE / BRIDGECL_TRACE_SUMMARY attach a recorder to the
         // device for this runtime's lifetime (docs/OBSERVABILITY.md).
-        auto_trace_(trace::TraceSession::MaybeAttachFromEnv(device)) {
+        auto_trace_(trace::TraceSession::MaybeAttachFromEnv(device)),
+        sched_(device, "mcuda") {
     device_.set_bank_mode(device_.profile().cuda_bank_mode);
   }
 
@@ -89,57 +92,15 @@ class NativeCudaApi final : public CudaApi {
 
   Status Memcpy(void* dst, const void* src, size_t size,
                 MemcpyKind kind) override {
-    auto span = Span(TraceKindForMemcpy(kind), "cudaMemcpy");
-    span.SetBytes(size);
-    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
-    device_.ChargeApiCall();
-    switch (kind) {
-      case MemcpyKind::kHostToDevice: {
-        BRIDGECL_ASSIGN_OR_RETURN(
-            std::byte * p, DeviceRange(reinterpret_cast<uint64_t>(dst), size));
-        return span.Sealed(
-            Seal(TransferWithFaults(device_.faults(), size,
-                                    [&](size_t n) {
-                                      std::memcpy(p, src, n);
-                                      device_.ChargeCopy(n);
-                                      device_.stats().host_to_device_bytes +=
-                                          n;
-                                    }),
-                 cudaErrorLaunchFailure));
-      }
-      case MemcpyKind::kDeviceToHost: {
-        BRIDGECL_ASSIGN_OR_RETURN(
-            std::byte * p, DeviceRange(reinterpret_cast<uint64_t>(src), size));
-        return span.Sealed(
-            Seal(TransferWithFaults(device_.faults(), size,
-                                    [&](size_t n) {
-                                      std::memcpy(dst, p, n);
-                                      device_.ChargeCopy(n);
-                                      device_.stats().device_to_host_bytes +=
-                                          n;
-                                    }),
-                 cudaErrorLaunchFailure));
-      }
-      case MemcpyKind::kDeviceToDevice: {
-        BRIDGECL_ASSIGN_OR_RETURN(
-            std::byte * ps, DeviceRange(reinterpret_cast<uint64_t>(src), size));
-        BRIDGECL_ASSIGN_OR_RETURN(
-            std::byte * pd, DeviceRange(reinterpret_cast<uint64_t>(dst), size));
-        return span.Sealed(Seal(
-            TransferWithFaults(device_.faults(), size,
-                               [&](size_t n) {
-                                 std::memmove(pd, ps, n);
-                                 device_.ChargeCopy(n / 4);
-                                 device_.stats().device_to_device_bytes += n;
-                               }),
-            cudaErrorLaunchFailure));
-      }
-      case MemcpyKind::kHostToHost:
-        std::memmove(dst, src, size);
-        return OkStatus();
-    }
-    return span.Sealed(AsCuda(InvalidArgumentError("bad memcpy kind"),
-                              cudaErrorInvalidMemcpyDirection));
+    return MemcpyImpl(dst, src, size, kind, sched::kDefaultQueue,
+                      /*blocking=*/true, "cudaMemcpy");
+  }
+
+  Status MemcpyAsync(void* dst, const void* src, size_t size, MemcpyKind kind,
+                     void* stream) override {
+    return MemcpyImpl(dst, src, size, kind,
+                      reinterpret_cast<uint64_t>(stream),
+                      /*blocking=*/false, "cudaMemcpyAsync");
   }
 
   Status MemcpyToSymbol(const std::string& symbol, const void* src,
@@ -195,48 +156,87 @@ class NativeCudaApi final : public CudaApi {
   Status LaunchKernel(const std::string& kernel, Dim3 grid, Dim3 block,
                       size_t shared_bytes,
                       std::span<const LaunchArg> args) override {
-    auto span = Span(TraceKind::kKernelLaunch, "cudaLaunchKernel");
-    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
-    device_.ChargeApiCall();
-    BRIDGECL_ASSIGN_OR_RETURN(Module * m, FindKernelModule(kernel));
-    if (grid.Count() == 0 || block.Count() == 0 ||
-        block.Count() >
-            static_cast<uint64_t>(device_.profile().max_threads_per_block))
-      return AsCuda(
-          InvalidArgumentError(StrFormat(
-              "launch configuration %s x %s is invalid for this device",
-              grid.ToString().c_str(), block.ToString().c_str())),
-          cudaErrorInvalidConfiguration);
-    interp::LaunchConfig cfg;
-    cfg.grid = grid;
-    cfg.block = block;
-    cfg.dynamic_shared_bytes = shared_bytes;
-    std::vector<KernelArg> kargs;
-    kargs.reserve(args.size());
-    for (const LaunchArg& a : args) kargs.push_back(KernelArg::Bytes(a.bytes));
-    interp::LaunchResult result{};
-    Status st = RetryTransient(device_.faults(), [&] {
-      auto r = interp::LaunchKernel(device_, *m, kernel, cfg, kargs);
-      if (r.ok()) result = *r;
-      return r.status();
-    });
-    if (st.ok())
-      span.SetKernel(kernel, m->RegistersFor(m->FindKernel(kernel)),
-                     result.occupancy);
-    if (!st.ok() && st.code() == StatusCode::kInternal &&
-        st.message().find("assert") != std::string::npos)
-      return span.Sealed(AsCuda(std::move(st), cudaErrorAssert));
-    // Per-block shared memory over the limit is the classic
-    // cudaErrorLaunchOutOfResources; device-side faults are the sticky
-    // "unspecified launch failure".
-    return span.Sealed(Seal(std::move(st), cudaErrorLaunchOutOfResources));
+    return LaunchImpl(kernel, grid, block, shared_bytes, args,
+                      sched::kDefaultQueue, /*blocking=*/true);
+  }
+
+  Status LaunchKernelOnStream(const std::string& kernel, Dim3 grid,
+                              Dim3 block, size_t shared_bytes,
+                              std::span<const LaunchArg> args,
+                              void* stream) override {
+    return LaunchImpl(kernel, grid, block, shared_bytes, args,
+                      reinterpret_cast<uint64_t>(stream),
+                      /*blocking=*/false);
   }
 
   Status DeviceSynchronize() override {
     auto span = Span(TraceKind::kApiCall, "cudaDeviceSynchronize");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
-    return OkStatus();
+    // Drains every stream; deferred async errors surface here with the
+    // code the failing command sealed (docs/ROBUSTNESS.md).
+    return span.Sealed(Seal(sched_.SynchronizeAll(), cudaErrorLaunchFailure));
+  }
+
+  StatusOr<void*> StreamCreate() override {
+    auto span = Span(TraceKind::kApiCall, "cudaStreamCreate");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    // Scheduler queue ids start at 1, so the handle is never the null
+    // (default) stream.
+    return reinterpret_cast<void*>(sched_.CreateQueue(false));
+  }
+
+  Status StreamDestroy(void* stream) override {
+    auto span = Span(TraceKind::kApiCall, "cudaStreamDestroy");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    const uint64_t q = reinterpret_cast<uint64_t>(stream);
+    if (q == sched::kDefaultQueue || !sched_.HasQueue(q))
+      return span.Sealed(AsCuda(InvalidArgumentError("unknown stream"),
+                                cudaErrorInvalidResourceHandle));
+    return span.Sealed(Seal(sched_.ReleaseQueue(q), cudaErrorLaunchFailure));
+  }
+
+  Status StreamSynchronize(void* stream) override {
+    auto span = Span(TraceKind::kApiCall, "cudaStreamSynchronize");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    const uint64_t q = reinterpret_cast<uint64_t>(stream);
+    if (!sched_.HasQueue(q))
+      return span.Sealed(AsCuda(InvalidArgumentError("unknown stream"),
+                                cudaErrorInvalidResourceHandle));
+    return span.Sealed(Seal(sched_.Synchronize(q), cudaErrorLaunchFailure));
+  }
+
+  Status StreamWaitEvent(void* stream, void* event) override {
+    auto span = Span(TraceKind::kApiCall, "cudaStreamWaitEvent");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    const uint64_t q = reinterpret_cast<uint64_t>(stream);
+    if (!sched_.HasQueue(q))
+      return span.Sealed(AsCuda(InvalidArgumentError("unknown stream"),
+                                cudaErrorInvalidResourceHandle));
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end())
+      return span.Sealed(AsCuda(InvalidArgumentError("unknown event"),
+                                cudaErrorInvalidResourceHandle));
+    if (it->second == 0) return OkStatus();  // unrecorded: no-op (CUDA)
+    return span.Sealed(Seal(sched_.StreamWaitEvent(q, it->second),
+                            cudaErrorInvalidResourceHandle));
+  }
+
+  Status EventSynchronize(void* event) override {
+    auto span = Span(TraceKind::kApiCall, "cudaEventSynchronize");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end())
+      return span.Sealed(AsCuda(InvalidArgumentError("unknown event"),
+                                cudaErrorInvalidResourceHandle));
+    if (it->second == 0) return OkStatus();  // unrecorded: already complete
+    return span.Sealed(
+        Seal(sched_.EventSynchronize(it->second), cudaErrorLaunchFailure));
   }
 
   StatusOr<CudaDeviceProps> GetDeviceProperties() override {
@@ -372,19 +372,37 @@ class NativeCudaApi final : public CudaApi {
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     uint64_t id = next_event_++;
-    events_[id] = -1.0;  // created but not recorded
+    events_[id] = 0;  // created but not recorded
     return reinterpret_cast<void*>(id);
   }
 
   Status EventRecord(void* event) override {
+    return EventRecordOnStream(event, nullptr);
+  }
+
+  Status EventRecordOnStream(void* event, void* stream) override {
     auto span = Span(TraceKind::kApiCall, "cudaEventRecord");
+    double queued = device_.now_us();
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
     auto it = events_.find(reinterpret_cast<uint64_t>(event));
     if (it == events_.end())
       return AsCuda(InvalidArgumentError("unknown event"),
                     cudaErrorInvalidResourceHandle);
-    it->second = device_.now_us();
+    const uint64_t q = reinterpret_cast<uint64_t>(stream);
+    if (!sched_.HasQueue(q))
+      return span.Sealed(AsCuda(InvalidArgumentError("unknown stream"),
+                                cudaErrorInvalidResourceHandle));
+    // A cudaEvent records as a scheduler marker: it completes when the
+    // stream's previously enqueued work completes.
+    sched::CommandSpec spec;
+    spec.queue = q;
+    auto res = sched_.Enqueue(spec, /*blocking=*/false, queued,
+                              [] { return OkStatus(); });
+    BRIDGECL_RETURN_IF_ERROR(
+        span.Sealed(Seal(std::move(res.status), cudaErrorLaunchFailure)));
+    if (it->second != 0) sched_.ReleaseEvent(it->second);  // re-record
+    it->second = res.event;
     return OkStatus();
   }
 
@@ -397,20 +415,28 @@ class NativeCudaApi final : public CudaApi {
     if (s == events_.end() || e == events_.end())
       return AsCuda(InvalidArgumentError("unknown event"),
                     cudaErrorInvalidResourceHandle);
-    if (s->second < 0 || e->second < 0)
+    if (s->second == 0 || e->second == 0)
       return AsCuda(FailedPreconditionError("event was never recorded"),
                     cudaErrorNotReady);
-    return e->second - s->second;
+    auto ts = sched_.TimesOf(s->second);
+    auto te = sched_.TimesOf(e->second);
+    if (!ts.ok() || !te.ok())
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    cudaErrorInvalidResourceHandle);
+    return te->end_us - ts->end_us;
   }
 
   Status EventDestroy(void* event) override {
     auto span = Span(TraceKind::kApiCall, "cudaEventDestroy");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
-    return events_.erase(reinterpret_cast<uint64_t>(event)) == 1
-               ? OkStatus()
-               : AsCuda(InvalidArgumentError("unknown event"),
-                        cudaErrorInvalidResourceHandle);
+    auto it = events_.find(reinterpret_cast<uint64_t>(event));
+    if (it == events_.end())
+      return AsCuda(InvalidArgumentError("unknown event"),
+                    cudaErrorInvalidResourceHandle);
+    if (it->second != 0) sched_.ReleaseEvent(it->second);
+    events_.erase(it);
+    return OkStatus();
   }
 
   Status SetKernelRegisters(const std::string& kernel, int regs) override {
@@ -460,6 +486,144 @@ class NativeCudaApi final : public CudaApi {
   Status Seal(Status st, int fallback) {
     int code = CudaCodeFor(st, fallback);
     return AsCuda(std::move(st), code);
+  }
+
+  /// Shared body of cudaMemcpy / cudaMemcpyAsync: pointer validation is
+  /// immediate (cudaErrorInvalidDevicePointer at the call), the transfer
+  /// itself is a scheduler command on `queue`'s copy engine.
+  Status MemcpyImpl(void* dst, const void* src, size_t size, MemcpyKind kind,
+                    uint64_t queue, bool blocking, const char* name) {
+    auto span = Span(TraceKindForMemcpy(kind), name);
+    span.SetBytes(size);
+    double queued = device_.now_us();
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    if (kind == MemcpyKind::kHostToHost) {
+      // Pageable host-to-host copies are synchronous even under the Async
+      // entry point; no device engine is involved.
+      std::memmove(dst, src, size);
+      return OkStatus();
+    }
+    if (!sched_.HasQueue(queue))
+      return span.Sealed(AsCuda(InvalidArgumentError("unknown stream"),
+                                cudaErrorInvalidResourceHandle));
+    sched::CommandSpec spec;
+    spec.queue = queue;
+    spec.bytes = size;
+    std::function<Status()> exec;
+    switch (kind) {
+      case MemcpyKind::kHostToDevice: {
+        BRIDGECL_ASSIGN_OR_RETURN(
+            std::byte * p, DeviceRange(reinterpret_cast<uint64_t>(dst), size));
+        spec.kind = sched::CommandKind::kCopyH2D;
+        exec = [this, p, src, size] {
+          return Seal(TransferWithFaults(device_.faults(), size,
+                                         [&](size_t n) {
+                                           std::memcpy(p, src, n);
+                                           device_.ChargeCopy(n);
+                                           device_.stats()
+                                               .host_to_device_bytes += n;
+                                         }),
+                      cudaErrorLaunchFailure);
+        };
+        break;
+      }
+      case MemcpyKind::kDeviceToHost: {
+        BRIDGECL_ASSIGN_OR_RETURN(
+            std::byte * p, DeviceRange(reinterpret_cast<uint64_t>(src), size));
+        spec.kind = sched::CommandKind::kCopyD2H;
+        exec = [this, p, dst, size] {
+          return Seal(TransferWithFaults(device_.faults(), size,
+                                         [&](size_t n) {
+                                           std::memcpy(dst, p, n);
+                                           device_.ChargeCopy(n);
+                                           device_.stats()
+                                               .device_to_host_bytes += n;
+                                         }),
+                      cudaErrorLaunchFailure);
+        };
+        break;
+      }
+      case MemcpyKind::kDeviceToDevice: {
+        BRIDGECL_ASSIGN_OR_RETURN(
+            std::byte * ps, DeviceRange(reinterpret_cast<uint64_t>(src), size));
+        BRIDGECL_ASSIGN_OR_RETURN(
+            std::byte * pd, DeviceRange(reinterpret_cast<uint64_t>(dst), size));
+        spec.kind = sched::CommandKind::kCopyD2D;
+        exec = [this, ps, pd, size] {
+          return Seal(TransferWithFaults(device_.faults(), size,
+                                         [&](size_t n) {
+                                           std::memmove(pd, ps, n);
+                                           device_.ChargeCopy(n / 4);
+                                           device_.stats()
+                                               .device_to_device_bytes += n;
+                                         }),
+                      cudaErrorLaunchFailure);
+        };
+        break;
+      }
+      case MemcpyKind::kHostToHost:
+        break;  // handled above
+    }
+    if (!exec)
+      return span.Sealed(AsCuda(InvalidArgumentError("bad memcpy kind"),
+                                cudaErrorInvalidMemcpyDirection));
+    auto res = sched_.Enqueue(spec, blocking, queued, exec);
+    return span.Sealed(Seal(std::move(res.status), cudaErrorLaunchFailure));
+  }
+
+  Status LaunchImpl(const std::string& kernel, Dim3 grid, Dim3 block,
+                    size_t shared_bytes, std::span<const LaunchArg> args,
+                    uint64_t queue, bool blocking) {
+    auto span = Span(TraceKind::kKernelLaunch, "cudaLaunchKernel");
+    double queued = device_.now_us();
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    if (!sched_.HasQueue(queue))
+      return span.Sealed(AsCuda(InvalidArgumentError("unknown stream"),
+                                cudaErrorInvalidResourceHandle));
+    BRIDGECL_ASSIGN_OR_RETURN(Module * m, FindKernelModule(kernel));
+    if (grid.Count() == 0 || block.Count() == 0 ||
+        block.Count() >
+            static_cast<uint64_t>(device_.profile().max_threads_per_block))
+      return AsCuda(
+          InvalidArgumentError(StrFormat(
+              "launch configuration %s x %s is invalid for this device",
+              grid.ToString().c_str(), block.ToString().c_str())),
+          cudaErrorInvalidConfiguration);
+    interp::LaunchConfig cfg;
+    cfg.grid = grid;
+    cfg.block = block;
+    cfg.dynamic_shared_bytes = shared_bytes;
+    std::vector<KernelArg> kargs;
+    kargs.reserve(args.size());
+    for (const LaunchArg& a : args) kargs.push_back(KernelArg::Bytes(a.bytes));
+    sched::CommandSpec spec;
+    spec.kind = sched::CommandKind::kKernel;
+    spec.queue = queue;
+    spec.kernel = kernel;
+    interp::LaunchResult result{};
+    bool launched = false;
+    auto res = sched_.Enqueue(spec, blocking, queued, [&] {
+      Status st = RetryTransient(device_.faults(), [&] {
+        auto r = interp::LaunchKernel(device_, *m, kernel, cfg, kargs);
+        if (r.ok()) result = *r;
+        return r.status();
+      });
+      if (st.ok()) launched = true;
+      if (!st.ok() && st.code() == StatusCode::kInternal &&
+          st.message().find("assert") != std::string::npos)
+        return AsCuda(std::move(st), cudaErrorAssert);
+      // Per-block shared memory over the limit is the classic
+      // cudaErrorLaunchOutOfResources; device-side faults are the sticky
+      // "unspecified launch failure".
+      return Seal(std::move(st), cudaErrorLaunchOutOfResources);
+    });
+    if (launched)
+      span.SetKernel(kernel, m->RegistersFor(m->FindKernel(kernel)),
+                     result.occupancy);
+    return span.Sealed(
+        Seal(std::move(res.status), cudaErrorLaunchOutOfResources));
   }
 
   /// Validate a device-pointer range at the API boundary: a range the VM
@@ -534,7 +698,12 @@ class NativeCudaApi final : public CudaApi {
   std::unordered_map<uint64_t, ArrayRec> arrays_;
   std::unordered_map<std::string, TextureRec> textures_;
   uint64_t next_event_ = 0x6000'0000'0000'0000ull;
-  std::unordered_map<uint64_t, double> events_;
+  /// cudaEvent handle → scheduler event id; 0 = created but not recorded
+  /// (cudaEventElapsedTime on such an event is cudaErrorNotReady).
+  std::unordered_map<uint64_t, uint64_t> events_;
+  /// Stream/event bookkeeping + dual-engine timing placement; declared
+  /// after device_ and auto_trace_ (construction order).
+  sched::Scheduler sched_;
 };
 
 }  // namespace

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "lang/type.h"
@@ -42,6 +43,15 @@ struct ClKernel {
 struct ClEvent {
   uint64_t handle = 0;
 };
+/// Command-queue handle (cl_command_queue). Default-constructed it names
+/// the context's default in-order queue, which always exists — the legacy
+/// single-queue entry points below enqueue there.
+struct ClQueue {
+  uint64_t handle = 0;
+};
+
+/// clCreateCommandQueue property bits (docs/CONCURRENCY.md).
+inline constexpr uint64_t CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE = 1u << 0;
 
 enum class MemFlags {
   kReadWrite,  // CL_MEM_READ_WRITE
@@ -141,7 +151,60 @@ class OpenClApi {
   virtual Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
                                       const size_t* gws,
                                       const size_t* lws) = 0;
+  /// clFinish on the default queue. With multiple queues this acts as a
+  /// device-wide barrier (every queue drains) — the strongest reading,
+  /// kept for single-queue legacy apps.
   virtual Status Finish() = 0;
+
+  // -- command queues & asynchronous enqueues (§3, docs/CONCURRENCY.md) ----
+  /// clCreateCommandQueue. `properties` is a bit-or of the CL_QUEUE_*
+  /// constants above; out-of-order queues order commands only by event
+  /// wait lists and barriers.
+  virtual StatusOr<ClQueue> CreateCommandQueue(uint64_t properties) = 0;
+  /// clReleaseCommandQueue: implicit clFinish, then teardown. Releasing a
+  /// queue does not invalidate its events (they outlive the queue).
+  virtual Status ReleaseCommandQueue(ClQueue queue) = 0;
+  /// clEnqueueWriteBuffer / clEnqueueReadBuffer with the full signature:
+  /// target queue, blocking flag, event wait list, optional out event.
+  /// Non-blocking transfer failures are deferred: the enqueue reports
+  /// success and the error surfaces at the next synchronization point on
+  /// the queue (docs/ROBUSTNESS.md).
+  virtual Status EnqueueWriteBufferOn(ClQueue queue, ClMem mem, size_t offset,
+                                      size_t size, const void* src,
+                                      bool blocking,
+                                      std::span<const ClEvent> wait_events,
+                                      ClEvent* out_event) = 0;
+  virtual Status EnqueueReadBufferOn(ClQueue queue, ClMem mem, size_t offset,
+                                     size_t size, void* dst, bool blocking,
+                                     std::span<const ClEvent> wait_events,
+                                     ClEvent* out_event) = 0;
+  virtual Status EnqueueCopyBufferOn(ClQueue queue, ClMem src, ClMem dst,
+                                     size_t src_offset, size_t dst_offset,
+                                     size_t size,
+                                     std::span<const ClEvent> wait_events,
+                                     ClEvent* out_event) = 0;
+  virtual Status EnqueueNDRangeKernelOn(ClQueue queue, ClKernel kernel,
+                                        int work_dim, const size_t* gws,
+                                        const size_t* lws,
+                                        std::span<const ClEvent> wait_events,
+                                        ClEvent* out_event) = 0;
+  /// clEnqueueMarkerWithWaitList: an event that completes when the wait
+  /// list completes (empty list: when everything already enqueued on the
+  /// queue completes).
+  virtual StatusOr<ClEvent> EnqueueMarkerWithWaitList(
+      ClQueue queue, std::span<const ClEvent> wait_events) = 0;
+  /// clEnqueueBarrierWithWaitList (empty list): orders every later command
+  /// on the queue after everything enqueued so far.
+  virtual StatusOr<ClEvent> EnqueueBarrier(ClQueue queue) = 0;
+  /// clFlush: submission hint; completion is only guaranteed by Finish.
+  virtual Status Flush(ClQueue queue) = 0;
+  /// clFinish on one queue; surfaces the queue's deferred errors.
+  virtual Status Finish(ClQueue queue) = 0;
+  /// clWaitForEvents: blocks until all listed events complete; returns the
+  /// execution status of a failed event, if any.
+  virtual Status WaitForEvents(std::span<const ClEvent> events) = 0;
+  /// clReleaseEvent.
+  virtual Status ReleaseEvent(ClEvent event) = 0;
 
   /// clEnqueueNDRangeKernel with an event for profiling
   /// (clGetEventProfilingInfo's COMMAND_QUEUED/COMMAND_END pair).

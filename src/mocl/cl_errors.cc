@@ -13,6 +13,7 @@ const char* ClErrorName(int code) {
     case CL_BUILD_PROGRAM_FAILURE: return "CL_BUILD_PROGRAM_FAILURE";
     case CL_INVALID_VALUE: return "CL_INVALID_VALUE";
     case CL_INVALID_DEVICE: return "CL_INVALID_DEVICE";
+    case CL_INVALID_COMMAND_QUEUE: return "CL_INVALID_COMMAND_QUEUE";
     case CL_INVALID_MEM_OBJECT: return "CL_INVALID_MEM_OBJECT";
     case CL_INVALID_IMAGE_SIZE: return "CL_INVALID_IMAGE_SIZE";
     case CL_INVALID_SAMPLER: return "CL_INVALID_SAMPLER";

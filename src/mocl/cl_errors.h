@@ -19,6 +19,7 @@ inline constexpr int CL_OUT_OF_HOST_MEMORY = -6;
 inline constexpr int CL_BUILD_PROGRAM_FAILURE = -11;
 inline constexpr int CL_INVALID_VALUE = -30;
 inline constexpr int CL_INVALID_DEVICE = -33;
+inline constexpr int CL_INVALID_COMMAND_QUEUE = -36;
 inline constexpr int CL_INVALID_MEM_OBJECT = -38;
 inline constexpr int CL_INVALID_IMAGE_SIZE = -40;
 inline constexpr int CL_INVALID_SAMPLER = -41;

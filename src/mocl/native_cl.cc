@@ -1,11 +1,13 @@
 #include <cstring>
 #include <unordered_map>
+#include <vector>
 
 #include "interp/executor.h"
 #include "interp/image.h"
 #include "interp/module.h"
 #include "mocl/cl_api.h"
 #include "mocl/cl_errors.h"
+#include "sched/scheduler.h"
 #include "simgpu/fault_injector.h"
 #include "support/strings.h"
 #include "trace/session.h"
@@ -63,7 +65,8 @@ class NativeClApi final : public OpenClApi {
       : device_(device),
         // BRIDGECL_TRACE / BRIDGECL_TRACE_SUMMARY attach a recorder to the
         // device for this runtime's lifetime (docs/OBSERVABILITY.md).
-        auto_trace_(trace::TraceSession::MaybeAttachFromEnv(device)) {
+        auto_trace_(trace::TraceSession::MaybeAttachFromEnv(device)),
+        sched_(device, "mocl") {
     device_.set_bank_mode(device_.profile().opencl_bank_mode);
   }
 
@@ -187,53 +190,96 @@ class NativeClApi final : public OpenClApi {
 
   Status EnqueueWriteBuffer(ClMem mem, size_t offset, size_t size,
                             const void* src) override {
-    auto span = Span(TraceKind::kH2D, "clEnqueueWriteBuffer");
-    span.SetBytes(size);
-    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
-    device_.ChargeApiCall();
-    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
-    if (offset + size > b->size)
-      return span.Sealed(AsCl(OutOfRangeError("write beyond buffer end"),
-                              CL_INVALID_VALUE));
-    return span.Sealed(
-        Seal(CopyIn(b->va + offset, src, size), CL_OUT_OF_RESOURCES));
+    return EnqueueWriteBufferOn(ClQueue{}, mem, offset, size, src,
+                                /*blocking=*/true, {}, nullptr);
   }
 
   Status EnqueueReadBuffer(ClMem mem, size_t offset, size_t size,
                            void* dst) override {
-    auto span = Span(TraceKind::kD2H, "clEnqueueReadBuffer");
-    span.SetBytes(size);
-    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
-    device_.ChargeApiCall();
-    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
-    if (offset + size > b->size)
-      return span.Sealed(AsCl(OutOfRangeError("read beyond buffer end"),
-                              CL_INVALID_VALUE));
-    return span.Sealed(
-        Seal(CopyOut(dst, b->va + offset, size), CL_OUT_OF_RESOURCES));
+    return EnqueueReadBufferOn(ClQueue{}, mem, offset, size, dst,
+                               /*blocking=*/true, {}, nullptr);
   }
 
   Status EnqueueCopyBuffer(ClMem src, ClMem dst, size_t src_offset,
                            size_t dst_offset, size_t size) override {
+    // Legacy single-queue form: a blocking-ish copy on the default queue
+    // (the caller observes completion through the rolled clock).
     auto span = Span(TraceKind::kD2D, "clEnqueueCopyBuffer");
     span.SetBytes(size);
+    double queued = device_.now_us();
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
-    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
-    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * d, FindBuffer(dst));
-    if (src_offset + size > s->size || dst_offset + size > d->size)
-      return AsCl(OutOfRangeError("copy beyond buffer end"),
-                  CL_INVALID_VALUE);
-    auto sp = device_.vm().Resolve(s->va + src_offset, size);
-    if (!sp.ok()) return Seal(sp.status(), CL_OUT_OF_RESOURCES);
-    auto dp = device_.vm().Resolve(d->va + dst_offset, size);
-    if (!dp.ok()) return Seal(dp.status(), CL_OUT_OF_RESOURCES);
-    Status st = TransferWithFaults(device_.faults(), size, [&](size_t n) {
-      std::memmove(*dp, *sp, n);
-      device_.ChargeCopy(n / 4);  // on-device copies are faster
-      device_.stats().device_to_device_bytes += n;
+    return span.Sealed(CopyImpl(ClQueue{}, src, dst, src_offset, dst_offset,
+                                size, /*blocking=*/true, {}, nullptr,
+                                queued));
+  }
+
+  Status EnqueueWriteBufferOn(ClQueue queue, ClMem mem, size_t offset,
+                              size_t size, const void* src, bool blocking,
+                              std::span<const ClEvent> wait_events,
+                              ClEvent* out_event) override {
+    auto span = Span(TraceKind::kH2D, "clEnqueueWriteBuffer");
+    span.SetBytes(size);
+    double queued = device_.now_us();
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    BRIDGECL_RETURN_IF_ERROR(ValidateQueue(queue));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+    if (offset + size > b->size)
+      return span.Sealed(AsCl(OutOfRangeError("write beyond buffer end"),
+                              CL_INVALID_VALUE));
+    sched::CommandSpec spec;
+    spec.kind = sched::CommandKind::kCopyH2D;
+    spec.queue = queue.handle;
+    spec.bytes = size;
+    BRIDGECL_ASSIGN_OR_RETURN(spec.wait_events, WaitList(wait_events));
+    const uint64_t va = b->va + offset;
+    auto res = sched_.Enqueue(spec, blocking, queued, [&] {
+      return Seal(CopyIn(va, src, size), CL_OUT_OF_RESOURCES);
     });
-    return span.Sealed(Seal(std::move(st), CL_OUT_OF_RESOURCES));
+    if (out_event != nullptr) *out_event = ClEvent{res.event};
+    return span.Sealed(Seal(std::move(res.status), CL_OUT_OF_RESOURCES));
+  }
+
+  Status EnqueueReadBufferOn(ClQueue queue, ClMem mem, size_t offset,
+                             size_t size, void* dst, bool blocking,
+                             std::span<const ClEvent> wait_events,
+                             ClEvent* out_event) override {
+    auto span = Span(TraceKind::kD2H, "clEnqueueReadBuffer");
+    span.SetBytes(size);
+    double queued = device_.now_us();
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    BRIDGECL_RETURN_IF_ERROR(ValidateQueue(queue));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * b, FindBuffer(mem));
+    if (offset + size > b->size)
+      return span.Sealed(AsCl(OutOfRangeError("read beyond buffer end"),
+                              CL_INVALID_VALUE));
+    sched::CommandSpec spec;
+    spec.kind = sched::CommandKind::kCopyD2H;
+    spec.queue = queue.handle;
+    spec.bytes = size;
+    BRIDGECL_ASSIGN_OR_RETURN(spec.wait_events, WaitList(wait_events));
+    const uint64_t va = b->va + offset;
+    auto res = sched_.Enqueue(spec, blocking, queued, [&] {
+      return Seal(CopyOut(dst, va, size), CL_OUT_OF_RESOURCES);
+    });
+    if (out_event != nullptr) *out_event = ClEvent{res.event};
+    return span.Sealed(Seal(std::move(res.status), CL_OUT_OF_RESOURCES));
+  }
+
+  Status EnqueueCopyBufferOn(ClQueue queue, ClMem src, ClMem dst,
+                             size_t src_offset, size_t dst_offset, size_t size,
+                             std::span<const ClEvent> wait_events,
+                             ClEvent* out_event) override {
+    auto span = Span(TraceKind::kD2D, "clEnqueueCopyBuffer");
+    span.SetBytes(size);
+    double queued = device_.now_us();
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    return span.Sealed(CopyImpl(queue, src, dst, src_offset, dst_offset,
+                                size, /*blocking=*/false, wait_events,
+                                out_event, queued));
   }
 
   // -- images ----------------------------------------------------------------
@@ -453,9 +499,26 @@ class NativeClApi final : public OpenClApi {
 
   Status EnqueueNDRangeKernel(ClKernel kernel, int work_dim,
                               const size_t* gws, const size_t* lws) override {
+    return LaunchOn(ClQueue{}, kernel, work_dim, gws, lws, /*blocking=*/true,
+                    {}, nullptr);
+  }
+
+  Status EnqueueNDRangeKernelOn(ClQueue queue, ClKernel kernel, int work_dim,
+                                const size_t* gws, const size_t* lws,
+                                std::span<const ClEvent> wait_events,
+                                ClEvent* out_event) override {
+    return LaunchOn(queue, kernel, work_dim, gws, lws, /*blocking=*/false,
+                    wait_events, out_event);
+  }
+
+  Status LaunchOn(ClQueue queue, ClKernel kernel, int work_dim,
+                  const size_t* gws, const size_t* lws, bool blocking,
+                  std::span<const ClEvent> wait_events, ClEvent* out_event) {
     auto span = Span(TraceKind::kKernelLaunch, "clEnqueueNDRangeKernel");
+    double queued = device_.now_us();
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
+    BRIDGECL_RETURN_IF_ERROR(ValidateQueue(queue));
     auto it = kernels_.find(kernel.handle);
     if (it == kernels_.end())
       return AsCl(InvalidArgumentError("unknown kernel"), CL_INVALID_KERNEL);
@@ -496,24 +559,140 @@ class NativeClApi final : public OpenClApi {
     cfg.grid = grid;
     cfg.block = l;
     Module* module = programs_[k.program].module.get();
+    sched::CommandSpec spec;
+    spec.kind = sched::CommandKind::kKernel;
+    spec.queue = queue.handle;
+    spec.kernel = k.name;
+    BRIDGECL_ASSIGN_OR_RETURN(spec.wait_events, WaitList(wait_events));
     interp::LaunchResult result{};
-    Status st = RetryTransient(device_.faults(), [&] {
-      auto r = interp::LaunchKernel(device_, *module, k.name, cfg, k.args);
-      if (r.ok()) result = *r;
-      return r.status();
+    bool launched = false;
+    std::string name = k.name;
+    auto args = k.args;  // by value: `k` may dangle if the map rehashes
+    auto res = sched_.Enqueue(spec, blocking, queued, [&] {
+      Status st = RetryTransient(device_.faults(), [&] {
+        auto r = interp::LaunchKernel(device_, *module, name, cfg, args);
+        if (r.ok()) result = *r;
+        return r.status();
+      });
+      if (st.ok()) launched = true;
+      // Device-side failures (memory faults, traps, exhausted resources)
+      // surface at the launch/finish boundary as CL_OUT_OF_RESOURCES.
+      return Seal(std::move(st), CL_OUT_OF_RESOURCES);
     });
-    if (st.ok())
-      span.SetKernel(k.name, module->RegistersFor(module->FindKernel(k.name)),
+    if (launched)
+      span.SetKernel(name, module->RegistersFor(module->FindKernel(name)),
                      result.occupancy);
-    // Device-side failures (memory faults, traps, exhausted resources)
-    // surface at the launch/finish boundary as CL_OUT_OF_RESOURCES.
-    return span.Sealed(Seal(std::move(st), CL_OUT_OF_RESOURCES));
+    if (out_event != nullptr) *out_event = ClEvent{res.event};
+    return span.Sealed(Seal(std::move(res.status), CL_OUT_OF_RESOURCES));
   }
 
   Status Finish() override {
+    // Legacy form: device-wide drain (every queue), so single-queue apps
+    // keep their semantics when a wrapper adds internal queues underneath.
     auto span = Span(TraceKind::kApiCall, "clFinish");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
+    return span.Sealed(Seal(sched_.SynchronizeAll(), CL_OUT_OF_RESOURCES));
+  }
+
+  Status Finish(ClQueue queue) override {
+    auto span = Span(TraceKind::kApiCall, "clFinish");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    BRIDGECL_RETURN_IF_ERROR(ValidateQueue(queue));
+    return span.Sealed(
+        Seal(sched_.Synchronize(queue.handle), CL_OUT_OF_RESOURCES));
+  }
+
+  Status Flush(ClQueue queue) override {
+    // Commands execute (in simulated terms: are timed) at enqueue, so a
+    // flush is pure submission bookkeeping — completion and deferred
+    // errors still require Finish (docs/CONCURRENCY.md).
+    auto span = Span(TraceKind::kApiCall, "clFlush");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    return span.Sealed(ValidateQueue(queue));
+  }
+
+  StatusOr<ClQueue> CreateCommandQueue(uint64_t properties) override {
+    auto span = Span(TraceKind::kApiCall, "clCreateCommandQueue");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    if ((properties & ~CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE) != 0)
+      return span.Sealed(
+          AsCl(InvalidArgumentError("unknown command-queue property bits"),
+               CL_INVALID_VALUE));
+    const bool ooo =
+        (properties & CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE) != 0;
+    return ClQueue{sched_.CreateQueue(ooo)};
+  }
+
+  Status ReleaseCommandQueue(ClQueue queue) override {
+    auto span = Span(TraceKind::kApiCall, "clReleaseCommandQueue");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    if (queue.handle == sched::kDefaultQueue ||
+        !sched_.HasQueue(queue.handle))
+      return span.Sealed(
+          AsCl(InvalidArgumentError("unknown or default command queue"),
+               CL_INVALID_COMMAND_QUEUE));
+    return span.Sealed(
+        Seal(sched_.ReleaseQueue(queue.handle), CL_OUT_OF_RESOURCES));
+  }
+
+  StatusOr<ClEvent> EnqueueMarkerWithWaitList(
+      ClQueue queue, std::span<const ClEvent> wait_events) override {
+    auto span = Span(TraceKind::kApiCall, "clEnqueueMarkerWithWaitList");
+    double queued = device_.now_us();
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    BRIDGECL_RETURN_IF_ERROR(ValidateQueue(queue));
+    sched::CommandSpec spec;
+    spec.queue = queue.handle;
+    BRIDGECL_ASSIGN_OR_RETURN(spec.wait_events, WaitList(wait_events));
+    auto res = sched_.Enqueue(spec, /*blocking=*/false, queued,
+                              [] { return OkStatus(); });
+    BRIDGECL_RETURN_IF_ERROR(
+        span.Sealed(Seal(std::move(res.status), CL_OUT_OF_RESOURCES)));
+    return ClEvent{res.event};
+  }
+
+  StatusOr<ClEvent> EnqueueBarrier(ClQueue queue) override {
+    auto span = Span(TraceKind::kApiCall, "clEnqueueBarrierWithWaitList");
+    double queued = device_.now_us();
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    BRIDGECL_RETURN_IF_ERROR(ValidateQueue(queue));
+    sched::CommandSpec spec;
+    spec.kind = sched::CommandKind::kBarrier;
+    spec.queue = queue.handle;
+    auto res = sched_.Enqueue(spec, /*blocking=*/false, queued,
+                              [] { return OkStatus(); });
+    BRIDGECL_RETURN_IF_ERROR(
+        span.Sealed(Seal(std::move(res.status), CL_OUT_OF_RESOURCES)));
+    return ClEvent{res.event};
+  }
+
+  Status WaitForEvents(std::span<const ClEvent> events) override {
+    auto span = Span(TraceKind::kApiCall, "clWaitForEvents");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    std::vector<uint64_t> ids;
+    ids.reserve(events.size());
+    for (ClEvent e : events) ids.push_back(e.handle);
+    // An unknown handle comes back unannotated (NotFound) and maps to
+    // CL_INVALID_EVENT; a failed event's own status is already sealed
+    // with the code of the entry point that enqueued it.
+    return span.Sealed(AsCl(sched_.WaitForEvents(ids), CL_INVALID_EVENT));
+  }
+
+  Status ReleaseEvent(ClEvent event) override {
+    auto span = Span(TraceKind::kApiCall, "clReleaseEvent");
+    BRIDGECL_RETURN_IF_ERROR(CheckUsable());
+    device_.ChargeApiCall();
+    if (!sched_.ReleaseEvent(event.handle))
+      return span.Sealed(
+          AsCl(InvalidArgumentError("unknown event"), CL_INVALID_EVENT));
     return OkStatus();
   }
 
@@ -523,12 +702,10 @@ class NativeClApi final : public OpenClApi {
     // The COMMAND_QUEUED timestamp and the traced launch span share the
     // same clock; events_test.cc checks queued <= end and that both fall
     // inside the recorded span window.
-    double queued = device_.now_us();
-    BRIDGECL_RETURN_IF_ERROR(
-        EnqueueNDRangeKernel(kernel, work_dim, gws, lws));
-    uint64_t id = next_id_++;
-    events_[id] = {queued, device_.now_us()};
-    return ClEvent{id};
+    ClEvent ev;
+    BRIDGECL_RETURN_IF_ERROR(LaunchOn(ClQueue{}, kernel, work_dim, gws, lws,
+                                      /*blocking=*/true, {}, &ev));
+    return ev;
   }
 
   Status GetEventProfiling(ClEvent event, double* queued_us,
@@ -536,11 +713,11 @@ class NativeClApi final : public OpenClApi {
     auto span = Span(TraceKind::kApiCall, "clGetEventProfilingInfo");
     BRIDGECL_RETURN_IF_ERROR(CheckUsable());
     device_.ChargeApiCall();
-    auto it = events_.find(event.handle);
-    if (it == events_.end())
+    auto t = sched_.TimesOf(event.handle);
+    if (!t.ok())
       return AsCl(InvalidArgumentError("unknown event"), CL_INVALID_EVENT);
-    *queued_us = it->second.first;
-    *end_us = it->second.second;
+    *queued_us = t->queued_us;
+    *end_us = t->end_us;
     return OkStatus();
   }
 
@@ -617,6 +794,64 @@ class NativeClApi final : public OpenClApi {
   void ChargeQuery() {
     device_.ChargeApiCall();
     device_.AdvanceUs(device_.profile().device_query_us);
+  }
+
+  Status ValidateQueue(ClQueue queue) {
+    if (!sched_.HasQueue(queue.handle))
+      return AsCl(InvalidArgumentError("unknown command queue"),
+                  CL_INVALID_COMMAND_QUEUE);
+    return OkStatus();
+  }
+
+  /// Resolves a CL wait list to scheduler event ids, rejecting stale or
+  /// foreign handles up front (enqueue-time CL_INVALID_EVENT, per spec).
+  StatusOr<std::vector<uint64_t>> WaitList(
+      std::span<const ClEvent> wait_events) {
+    std::vector<uint64_t> ids;
+    ids.reserve(wait_events.size());
+    for (ClEvent e : wait_events) {
+      if (!sched_.KnowsEvent(e.handle))
+        return AsCl(InvalidArgumentError("unknown event in wait list"),
+                    CL_INVALID_EVENT);
+      ids.push_back(e.handle);
+    }
+    return ids;
+  }
+
+  /// Shared body of the legacy and queue-targeted buffer copies. Pointer
+  /// resolution happens at enqueue (immediate CL_INVALID_VALUE /
+  /// CL_OUT_OF_RESOURCES); the transfer itself is a scheduler command.
+  Status CopyImpl(ClQueue queue, ClMem src, ClMem dst, size_t src_offset,
+                  size_t dst_offset, size_t size, bool blocking,
+                  std::span<const ClEvent> wait_events, ClEvent* out_event,
+                  double queued) {
+    BRIDGECL_RETURN_IF_ERROR(ValidateQueue(queue));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * s, FindBuffer(src));
+    BRIDGECL_ASSIGN_OR_RETURN(BufferRec * d, FindBuffer(dst));
+    if (src_offset + size > s->size || dst_offset + size > d->size)
+      return AsCl(OutOfRangeError("copy beyond buffer end"),
+                  CL_INVALID_VALUE);
+    auto sp = device_.vm().Resolve(s->va + src_offset, size);
+    if (!sp.ok()) return Seal(sp.status(), CL_OUT_OF_RESOURCES);
+    auto dp = device_.vm().Resolve(d->va + dst_offset, size);
+    if (!dp.ok()) return Seal(dp.status(), CL_OUT_OF_RESOURCES);
+    sched::CommandSpec spec;
+    spec.kind = sched::CommandKind::kCopyD2D;
+    spec.queue = queue.handle;
+    spec.bytes = size;
+    BRIDGECL_ASSIGN_OR_RETURN(spec.wait_events, WaitList(wait_events));
+    void* sptr = *sp;
+    void* dptr = *dp;
+    auto res = sched_.Enqueue(spec, blocking, queued, [&] {
+      Status st = TransferWithFaults(device_.faults(), size, [&](size_t n) {
+        std::memmove(dptr, sptr, n);
+        device_.ChargeCopy(n / 4);  // on-device copies are faster
+        device_.stats().device_to_device_bytes += n;
+      });
+      return Seal(std::move(st), CL_OUT_OF_RESOURCES);
+    });
+    if (out_event != nullptr) *out_event = ClEvent{res.event};
+    return Seal(std::move(res.status), CL_OUT_OF_RESOURCES);
   }
 
   StatusOr<BufferRec*> FindBuffer(ClMem mem) {
@@ -718,7 +953,9 @@ class NativeClApi final : public OpenClApi {
   std::unordered_map<uint64_t, ImageRec> images_;
   std::unordered_map<uint64_t, ProgramRec> programs_;
   std::unordered_map<uint64_t, KernelRec> kernels_;
-  std::unordered_map<uint64_t, std::pair<double, double>> events_;
+  /// Queue/stream/event bookkeeping + the dual-engine timing placement;
+  /// declared after device_ and auto_trace_ (construction order).
+  sched::Scheduler sched_;
 };
 
 }  // namespace

@@ -6,9 +6,29 @@
 namespace bridgecl::simgpu {
 
 void Device::ChargeCopy(size_t bytes) {
-  clock_us_ += profile_.copy_latency_us +
-               static_cast<double>(bytes) /
-                   (profile_.copy_bandwidth_gbps * 1e3);  // GB/s → bytes/us
+  AdvanceUs(profile_.copy_latency_us +
+            static_cast<double>(bytes) /
+                (profile_.copy_bandwidth_gbps * 1e3));  // GB/s → bytes/us
+}
+
+double Device::ReserveEngine(EngineId e, double ready_us, double dur_us) {
+  const int self = static_cast<int>(e);
+  const int other = 1 - self;
+  const double start = std::max(ready_us, engine_free_us_[self]);
+  const double end = start + dur_us;
+  // Overlap accounting: intersect the new interval with the other
+  // engine's reservations. Its intervals are sorted, so walk from the
+  // back and stop once they end before our start.
+  const auto& peer = engine_intervals_[other];
+  for (auto it = peer.rbegin(); it != peer.rend(); ++it) {
+    if (it->second <= start) break;
+    engine_overlap_us_ +=
+        std::max(0.0, std::min(end, it->second) - std::max(start, it->first));
+  }
+  if (dur_us > 0) engine_intervals_[self].emplace_back(start, end);
+  engine_free_us_[self] = end;
+  engine_busy_us_[self] += dur_us;
+  return start;
 }
 
 double Device::OccupancyFor(int regs_per_thread) const {
@@ -33,7 +53,7 @@ void Device::ChargeKernel(double total_cycles, int regs_per_thread,
                  profile_.effective_lanes_per_cu * occupancy;
   double elapsed_cycles = total_cycles / std::max(1.0, lanes);
   double us = elapsed_cycles / (profile_.clock_ghz * 1e3);
-  clock_us_ += profile_.launch_overhead_us + us;
+  AdvanceUs(profile_.launch_overhead_us + us);
 }
 
 int Device::SharedAccessBankWords(uint64_t va, size_t bytes) const {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "simgpu/device_profile.h"
 #include "simgpu/dim3.h"
@@ -40,6 +41,14 @@ struct DeviceStats {
   uint64_t ops_executed = 0;
 };
 
+/// The two hardware engines of the dual-engine timing model
+/// (docs/CONCURRENCY.md): one DMA engine serializes all copies, one
+/// compute engine serializes all kernel launches. Commands on *different*
+/// engines with no dependency between them overlap in simulated time —
+/// the copy/compute overlap the paper's §3 queue semantics exist for.
+enum class EngineId { kCopy = 0, kCompute = 1 };
+inline constexpr int kEngineCount = 2;
+
 class Device {
  public:
   explicit Device(const DeviceProfile& profile)
@@ -67,12 +76,17 @@ class Device {
 
   // -- simulated time -----------------------------------------------------
   double now_us() const { return clock_us_; }
-  void AdvanceUs(double us) { clock_us_ += us; }
+  void AdvanceUs(double us) {
+    if (capturing_)
+      captured_us_ += us;
+    else
+      clock_us_ += us;
+  }
 
   /// Charge one host API call (the paper's wrapper-overhead unit).
   void ChargeApiCall(double multiplier = 1.0) {
     ++stats_.api_calls;
-    clock_us_ += profile_.api_overhead_us * multiplier;
+    AdvanceUs(profile_.api_overhead_us * multiplier);
   }
   /// Charge a host<->device or device<->device copy of `bytes`.
   void ChargeCopy(size_t bytes);
@@ -94,8 +108,49 @@ class Device {
   /// warp of doubles) but 1 word in 64-bit mode — the FT effect (§6.2).
   int SharedAccessBankWords(uint64_t va, size_t bytes) const;
 
+  // -- duration capture (command scheduler support) -----------------------
+  // While capturing, AdvanceUs accumulates into a side counter instead of
+  // the host clock: the scheduler runs a command's side effects eagerly,
+  // measures what the command *would* have cost, and then places that
+  // duration on an engine timeline. Stats updates are never captured —
+  // only time. Captures do not nest (the exec closures touch device
+  // primitives only, never other API entry points).
+  void BeginCapture() {
+    capturing_ = true;
+    captured_us_ = 0;
+  }
+  double EndCapture() {
+    capturing_ = false;
+    return captured_us_;
+  }
+  bool capturing() const { return capturing_; }
+
+  /// Reserve `dur_us` on engine `e`, starting no earlier than `ready_us`
+  /// (the command's dependency horizon) nor before the engine is free.
+  /// Returns the start time; the engine busy/overlap accounting updates
+  /// incrementally. Deterministic: reservations are made in enqueue order.
+  double ReserveEngine(EngineId e, double ready_us, double dur_us);
+
+  /// Total busy time reserved on an engine since the last ResetClock.
+  double EngineBusyUs(EngineId e) const {
+    return engine_busy_us_[static_cast<int>(e)];
+  }
+  /// Time during which both engines were simultaneously busy — the
+  /// overlap the dual-engine model buys (bench_ablation_overlap's ratio).
+  double EngineOverlapUs() const { return engine_overlap_us_; }
+
   void ResetStats() { stats_ = DeviceStats{}; }
-  void ResetClock() { clock_us_ = 0; }
+  void ResetClock() {
+    clock_us_ = 0;
+    captured_us_ = 0;
+    capturing_ = false;
+    engine_overlap_us_ = 0;
+    for (int e = 0; e < kEngineCount; ++e) {
+      engine_free_us_[e] = 0;
+      engine_busy_us_[e] = 0;
+      engine_intervals_[e].clear();
+    }
+  }
 
   /// The trace recorder attached to this device, or null. Owned by a
   /// trace::TraceSession (or equivalent), never by the device; recording
@@ -111,6 +166,15 @@ class Device {
   DeviceStats stats_;
   BankMode bank_mode_ = BankMode::k32Bit;
   double clock_us_ = 0;
+  bool capturing_ = false;
+  double captured_us_ = 0;
+  // Per-engine timeline state. Intervals are naturally sorted and
+  // non-overlapping: each reservation starts at max(ready, engine free),
+  // which is never before the previous reservation's end on that engine.
+  double engine_free_us_[kEngineCount] = {0, 0};
+  double engine_busy_us_[kEngineCount] = {0, 0};
+  double engine_overlap_us_ = 0;
+  std::vector<std::pair<double, double>> engine_intervals_[kEngineCount];
   trace::TraceRecorder* tracer_ = nullptr;
 };
 

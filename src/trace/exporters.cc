@@ -61,13 +61,20 @@ std::string ChromeTraceJson(const TraceRecorder& recorder) {
     const TraceEvent& e = events[i];
     std::string name = e.name;
     if (!e.kernel.empty()) name += "(" + e.kernel + ")";
+    // tid maps lanes to rows: 1 = host API spans, 2 = copy engine,
+    // 3 = compute engine — so chrome://tracing shows engine overlap as
+    // visually parallel tracks (lane-0 traces stay byte-identical to the
+    // pre-scheduler exporter).
     out += StrFormat(
-        "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"cat\":\"%s,%s\","
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"cat\":\"%s,%s\","
         "\"ts\":%s,\"dur\":%s,\"args\":{\"seq\":%zu,\"depth\":%d,"
         "\"parent\":%lld,\"failed\":%s",
-        JsonEscape(name).c_str(), e.layer, TraceKindName(e.kind),
+        e.lane + 1, JsonEscape(name).c_str(), e.layer, TraceKindName(e.kind),
         Us(e.begin_us).c_str(), Us(e.duration_us()).c_str(), i, e.depth,
         static_cast<long long>(e.parent), e.failed ? "true" : "false");
+    if (e.stream != 0)
+      out += StrFormat(",\"stream\":%llu",
+                       static_cast<unsigned long long>(e.stream));
     if (e.bytes != 0)
       out += StrFormat(",\"bytes\":%llu",
                        static_cast<unsigned long long>(e.bytes));

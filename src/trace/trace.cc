@@ -11,6 +11,8 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kD2H: return "d2h";
     case TraceKind::kD2D: return "d2d";
     case TraceKind::kKernelLaunch: return "kernel-launch";
+    case TraceKind::kDeviceCopy: return "device-copy";
+    case TraceKind::kDeviceCompute: return "device-compute";
   }
   return "?";
 }
@@ -65,6 +67,27 @@ void TraceRecorder::CloseSpan(size_t index, bool failed) {
   e.delta = StatsDelta(device_.stats(), snapshots_.back());
   open_.pop_back();
   snapshots_.pop_back();
+}
+
+void TraceRecorder::AppendCompleted(TraceKind kind, const char* layer,
+                                    const char* name, double begin_us,
+                                    double end_us, int lane, uint64_t stream,
+                                    uint64_t bytes, const std::string& kernel,
+                                    bool failed) {
+  TraceEvent e;
+  e.kind = kind;
+  e.layer = layer;
+  e.name = name;
+  e.kernel = kernel;
+  e.begin_us = begin_us;
+  e.end_us = end_us;
+  e.lane = lane;
+  e.stream = stream;
+  e.bytes = bytes;
+  e.failed = failed;
+  e.depth = static_cast<int>(open_.size());
+  e.parent = open_.empty() ? -1 : static_cast<int64_t>(open_.back());
+  events_.push_back(std::move(e));
 }
 
 void TraceRecorder::Clear() {

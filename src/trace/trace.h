@@ -30,11 +30,13 @@ namespace bridgecl::trace {
 /// Command taxonomy. Transfers get their own kinds so a trace can be
 /// sliced into compute vs. data movement without parsing entry names.
 enum class TraceKind {
-  kApiCall,       // any host API entry point
-  kH2D,           // host → device transfer
-  kD2H,           // device → host transfer
-  kD2D,           // device → device copy
-  kKernelLaunch,  // kernel execution command
+  kApiCall,        // any host API entry point
+  kH2D,            // host → device transfer
+  kD2H,            // device → host transfer
+  kD2D,            // device → device copy
+  kKernelLaunch,   // kernel execution command
+  kDeviceCopy,     // scheduler: copy-engine execution window
+  kDeviceCompute,  // scheduler: compute-engine execution window
 };
 
 const char* TraceKindName(TraceKind kind);
@@ -55,6 +57,8 @@ struct TraceEvent {
   int regs_per_thread = 0; // kernel-launch spans (occupancy input, §6.3)
   double occupancy = 0;    // kernel-launch spans
   bool failed = false;     // the command returned a non-ok Status
+  int lane = 0;            // display lane: 0 host, 1 copy engine, 2 compute
+  uint64_t stream = 0;     // device spans: owning queue/stream handle
   simgpu::DeviceStats delta;  // device counters accumulated inside the span
 
   double duration_us() const { return end_us - begin_us; }
@@ -79,6 +83,17 @@ class TraceRecorder {
   /// Closes the span opened last (LIFO; enforced): stamps end_us and the
   /// stats delta.
   void CloseSpan(size_t index, bool failed);
+
+  /// Appends an already-completed span (the scheduler's device-side
+  /// execution windows: engine placement is known only after the command
+  /// is timed, so these cannot use Open/Close). The span is parented
+  /// under the innermost currently-open span — the native API span of
+  /// the enqueue — preserving the wrapper-encloses-native invariant.
+  /// `lane` is 1 + the engine index; `stream` the owning queue handle.
+  void AppendCompleted(TraceKind kind, const char* layer, const char* name,
+                       double begin_us, double end_us, int lane,
+                       uint64_t stream, uint64_t bytes,
+                       const std::string& kernel, bool failed);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::vector<TraceEvent>& mutable_events() { return events_; }

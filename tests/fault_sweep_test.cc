@@ -314,6 +314,57 @@ TEST(FaultSweepTest, CudaOnClFreeFaultIsReportedThenRecovers) {
 }
 
 // ---------------------------------------------------------------------------
+// Asynchronous commands defer their faults: a non-blocking enqueue reports
+// success, the error parks on the queue and surfaces — once — at the next
+// synchronization point (docs/ROBUSTNESS.md, docs/CONCURRENCY.md).
+// ---------------------------------------------------------------------------
+TEST(FaultSweepTest, ClOnCudaAsyncFaultDefersToFinish) {
+  Cl2CuStack s;
+  s.device.faults().set_plan(OneShot(FaultSite::kTransfer, 0));
+  auto q = s.cl->CreateCommandQueue(0);
+  ASSERT_TRUE(q.ok());
+  auto buf = s.cl->CreateBuffer(MemFlags::kReadWrite, 64, nullptr);
+  ASSERT_TRUE(buf.ok());
+  std::vector<float> host(16, 1.0f);
+  // The transfer is faulted, but the enqueue is non-blocking: it reports
+  // success...
+  Status enq = s.cl->EnqueueWriteBufferOn(*q, *buf, 0, 64, host.data(),
+                                          /*blocking=*/false, {}, nullptr);
+  EXPECT_TRUE(enq.ok()) << enq.ToString();
+  // ...and the parked error surfaces at clFinish, in CL vocabulary.
+  Status st = s.cl->Finish(*q);
+  ASSERT_FALSE(st.ok());
+  const std::set<int> codes = {mocl::CL_MEM_OBJECT_ALLOCATION_FAILURE,
+                               mocl::CL_OUT_OF_RESOURCES};
+  EXPECT_TRUE(codes.count(st.api_code())) << st.ToString();
+  // Surfacing clears it: the queue is usable again.
+  EXPECT_TRUE(s.cl->Finish(*q).ok());
+  EXPECT_TRUE(s.cl->ReleaseCommandQueue(*q).ok());
+  EXPECT_TRUE(s.cl->ReleaseMemObject(*buf).ok());
+  EXPECT_EQ(s.device.vm().global_allocation_count(), 0u);
+}
+
+TEST(FaultSweepTest, CudaOnClAsyncFaultDefersToStreamSynchronize) {
+  Cu2ClStack s;
+  s.device.faults().set_plan(OneShot(FaultSite::kTransfer, 0));
+  auto stream = s.cuda->StreamCreate();
+  ASSERT_TRUE(stream.ok());
+  auto p = s.cuda->Malloc(64);
+  ASSERT_TRUE(p.ok());
+  std::vector<float> host(16, 1.0f);
+  Status enq = s.cuda->MemcpyAsync(*p, host.data(), 64,
+                                   MemcpyKind::kHostToDevice, *stream);
+  EXPECT_TRUE(enq.ok()) << enq.ToString();
+  Status st = s.cuda->StreamSynchronize(*stream);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.api_code(), mcuda::cudaErrorLaunchFailure) << st.ToString();
+  EXPECT_TRUE(s.cuda->StreamSynchronize(*stream).ok());
+  EXPECT_TRUE(s.cuda->StreamDestroy(*stream).ok());
+  EXPECT_TRUE(s.cuda->Free(*p).ok());
+  EXPECT_EQ(s.device.vm().global_allocation_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Sticky device loss: every call after the loss reports the one spec code
 // the API has for it, until the context is torn down; a fresh context on
 // the same device works.

@@ -1,0 +1,343 @@
+// Tests for the src/sched command scheduler (docs/CONCURRENCY.md):
+//   - in-order queues serialize commands, independent queues overlap a
+//     copy with a kernel on the dual-engine timing model;
+//   - event wait lists and barriers order commands across/within queues;
+//   - non-blocking failures park on the queue and surface, sticky, at the
+//     next synchronization point with their sealed error code;
+//   - events stay queryable after their queue is released, and releasing
+//     every event leaves no live records;
+//   - a traced out-of-order multi-queue run is deterministic: two fresh
+//     runs agree on the clock, the stats counters and the exported trace
+//     JSON byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mocl/cl_api.h"
+#include "mocl/cl_errors.h"
+#include "sched/scheduler.h"
+#include "simgpu/device.h"
+#include "support/status.h"
+#include "trace/exporters.h"
+#include "trace/session.h"
+
+namespace bridgecl {
+namespace {
+
+using mocl::ClMem;
+using mocl::MemFlags;
+using sched::CommandKind;
+using sched::CommandSpec;
+using sched::Scheduler;
+using simgpu::Device;
+using simgpu::EngineId;
+using simgpu::TitanProfile;
+
+CommandSpec CopySpec(uint64_t queue, uint64_t bytes,
+                     std::vector<uint64_t> waits = {}) {
+  CommandSpec s;
+  s.kind = CommandKind::kCopyH2D;
+  s.queue = queue;
+  s.bytes = bytes;
+  s.wait_events = std::move(waits);
+  return s;
+}
+
+CommandSpec KernelSpec(uint64_t queue, std::vector<uint64_t> waits = {}) {
+  CommandSpec s;
+  s.kind = CommandKind::kKernel;
+  s.queue = queue;
+  s.kernel = "k";
+  s.wait_events = std::move(waits);
+  return s;
+}
+
+/// Exec closure charging a copy of `bytes` against `dev`.
+std::function<Status()> ChargeCopy(Device& dev, size_t bytes) {
+  return [&dev, bytes] {
+    dev.ChargeCopy(bytes);
+    return OkStatus();
+  };
+}
+
+/// Exec closure charging a kernel against `dev`.
+std::function<Status()> ChargeKernel(Device& dev) {
+  return [&dev] {
+    dev.ChargeKernel(/*total_cycles=*/200000, /*regs_per_thread=*/32,
+                     /*work_items=*/1024);
+    return OkStatus();
+  };
+}
+
+TEST(SchedTest, InOrderQueueSerializesCommands) {
+  Device dev(TitanProfile());
+  Scheduler sch(dev, "test");
+  uint64_t q = sch.CreateQueue(/*out_of_order=*/false);
+  auto r1 = sch.Enqueue(CopySpec(q, 1 << 20), /*blocking=*/false,
+                        dev.now_us(), ChargeCopy(dev, 1 << 20));
+  auto r2 = sch.Enqueue(KernelSpec(q), /*blocking=*/false, dev.now_us(),
+                        ChargeKernel(dev));
+  ASSERT_TRUE(r1.status.ok() && r2.status.ok());
+  auto t1 = sch.TimesOf(r1.event);
+  auto t2 = sch.TimesOf(r2.event);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_GT(t1->end_us, t1->start_us);
+  // FIFO: the kernel starts no earlier than the copy ends...
+  EXPECT_GE(t2->start_us, t1->end_us);
+  // ...so the copy and compute engines never run simultaneously.
+  EXPECT_DOUBLE_EQ(dev.EngineOverlapUs(), 0.0);
+  ASSERT_TRUE(sch.Synchronize(q).ok());
+  EXPECT_GE(dev.now_us(), t2->end_us);
+}
+
+TEST(SchedTest, IndependentQueuesOverlapCopyAndCompute) {
+  Device dev(TitanProfile());
+  Scheduler sch(dev, "test");
+  uint64_t qa = sch.CreateQueue(false);
+  uint64_t qb = sch.CreateQueue(false);
+  auto rc = sch.Enqueue(CopySpec(qa, 1 << 20), false, dev.now_us(),
+                        ChargeCopy(dev, 1 << 20));
+  auto rk = sch.Enqueue(KernelSpec(qb), false, dev.now_us(),
+                        ChargeKernel(dev));
+  ASSERT_TRUE(rc.status.ok() && rk.status.ok());
+  ASSERT_TRUE(sch.SynchronizeAll().ok());
+  auto tc = sch.TimesOf(rc.event);
+  auto tk = sch.TimesOf(rk.event);
+  ASSERT_TRUE(tc.ok() && tk.ok());
+  // Both commands had no dependencies, so they share their windows: the
+  // total wall time is less than the serialized sum.
+  double dur_c = tc->end_us - tc->start_us;
+  double dur_k = tk->end_us - tk->start_us;
+  EXPECT_GT(dev.EngineOverlapUs(), 0.0);
+  EXPECT_LT(std::max(tc->end_us, tk->end_us) -
+                std::min(tc->start_us, tk->start_us),
+            dur_c + dur_k);
+}
+
+TEST(SchedTest, OutOfOrderQueueOverlapsWhereInOrderCannot) {
+  // The same two commands on one queue: in-order forces serialization,
+  // out-of-order lets the copy and the kernel share the window.
+  double ooo_overlap, io_overlap;
+  {
+    Device dev(TitanProfile());
+    Scheduler sch(dev, "test");
+    uint64_t q = sch.CreateQueue(/*out_of_order=*/true);
+    sch.Enqueue(CopySpec(q, 1 << 20), false, dev.now_us(),
+                ChargeCopy(dev, 1 << 20));
+    sch.Enqueue(KernelSpec(q), false, dev.now_us(), ChargeKernel(dev));
+    ASSERT_TRUE(sch.Synchronize(q).ok());
+    ooo_overlap = dev.EngineOverlapUs();
+  }
+  {
+    Device dev(TitanProfile());
+    Scheduler sch(dev, "test");
+    uint64_t q = sch.CreateQueue(/*out_of_order=*/false);
+    sch.Enqueue(CopySpec(q, 1 << 20), false, dev.now_us(),
+                ChargeCopy(dev, 1 << 20));
+    sch.Enqueue(KernelSpec(q), false, dev.now_us(), ChargeKernel(dev));
+    ASSERT_TRUE(sch.Synchronize(q).ok());
+    io_overlap = dev.EngineOverlapUs();
+  }
+  EXPECT_GT(ooo_overlap, 0.0);
+  EXPECT_DOUBLE_EQ(io_overlap, 0.0);
+}
+
+TEST(SchedTest, WaitListOrdersAcrossQueues) {
+  Device dev(TitanProfile());
+  Scheduler sch(dev, "test");
+  uint64_t qa = sch.CreateQueue(false);
+  uint64_t qb = sch.CreateQueue(false);
+  auto rc = sch.Enqueue(CopySpec(qa, 1 << 20), false, dev.now_us(),
+                        ChargeCopy(dev, 1 << 20));
+  auto rk = sch.Enqueue(KernelSpec(qb, {rc.event}), false, dev.now_us(),
+                        ChargeKernel(dev));
+  ASSERT_TRUE(rc.status.ok() && rk.status.ok());
+  auto tc = sch.TimesOf(rc.event);
+  auto tk = sch.TimesOf(rk.event);
+  ASSERT_TRUE(tc.ok() && tk.ok());
+  EXPECT_GE(tk->start_us, tc->end_us);
+  EXPECT_DOUBLE_EQ(dev.EngineOverlapUs(), 0.0);
+  // An unknown wait-list event is an immediate enqueue failure.
+  auto bad = sch.Enqueue(KernelSpec(qb, {0xdeadbeefULL}), false,
+                         dev.now_us(), ChargeKernel(dev));
+  EXPECT_FALSE(bad.status.ok());
+}
+
+TEST(SchedTest, BarrierOrdersLaterCommandsOnOutOfOrderQueue) {
+  Device dev(TitanProfile());
+  Scheduler sch(dev, "test");
+  uint64_t q = sch.CreateQueue(/*out_of_order=*/true);
+  auto rc = sch.Enqueue(CopySpec(q, 1 << 20), false, dev.now_us(),
+                        ChargeCopy(dev, 1 << 20));
+  CommandSpec bar;
+  bar.kind = CommandKind::kBarrier;
+  bar.queue = q;
+  auto rb = sch.Enqueue(bar, false, dev.now_us(), {});
+  auto rk = sch.Enqueue(KernelSpec(q), false, dev.now_us(),
+                        ChargeKernel(dev));
+  ASSERT_TRUE(rc.status.ok() && rb.status.ok() && rk.status.ok());
+  auto tc = sch.TimesOf(rc.event);
+  auto tb = sch.TimesOf(rb.event);
+  auto tk = sch.TimesOf(rk.event);
+  ASSERT_TRUE(tc.ok() && tb.ok() && tk.ok());
+  EXPECT_GE(tb->end_us, tc->end_us);
+  EXPECT_GE(tk->start_us, tb->end_us);
+  EXPECT_DOUBLE_EQ(dev.EngineOverlapUs(), 0.0);
+}
+
+TEST(SchedTest, DeferredErrorSurfacesStickyAtSynchronize) {
+  Device dev(TitanProfile());
+  Scheduler sch(dev, "test");
+  uint64_t q = sch.CreateQueue(false);
+  auto fail = [](const char* what, int code) {
+    return [what, code] {
+      Status st = InternalError(what);
+      st.set_api_code(code);
+      return st;
+    };
+  };
+  // Two failures: the first parks, the second is dropped (first wins).
+  auto r1 = sch.Enqueue(CopySpec(q, 64), false, dev.now_us(),
+                        fail("first", -5));
+  auto r2 = sch.Enqueue(CopySpec(q, 64), false, dev.now_us(),
+                        fail("second", -4));
+  EXPECT_TRUE(r1.status.ok());  // deferred: the enqueues report success
+  EXPECT_TRUE(r2.status.ok());
+  Status st = sch.Synchronize(q);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.api_code(), -5);  // the first failure's sealed code
+  // Surfacing clears the parked error.
+  EXPECT_TRUE(sch.Synchronize(q).ok());
+  // The failing command's event carries the failure by value.
+  EXPECT_FALSE(sch.EventSynchronize(r1.event).ok());
+}
+
+TEST(SchedTest, BlockingCommandSurfacesParkedErrorBeforeExecuting) {
+  Device dev(TitanProfile());
+  Scheduler sch(dev, "test");
+  uint64_t q = sch.CreateQueue(false);
+  sch.Enqueue(CopySpec(q, 64), false, dev.now_us(), [] {
+    Status st = InternalError("async fault");
+    st.set_api_code(-5);
+    return st;
+  });
+  int executed = 0;
+  auto r = sch.Enqueue(CopySpec(q, 64), /*blocking=*/true, dev.now_us(),
+                       [&executed] {
+                         ++executed;
+                         return OkStatus();
+                       });
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.api_code(), -5);
+  EXPECT_EQ(executed, 0);  // the parked error preempts the new command
+}
+
+TEST(SchedTest, EventsOutliveTheirQueue) {
+  Device dev(TitanProfile());
+  Scheduler sch(dev, "test");
+  uint64_t q = sch.CreateQueue(false);
+  auto r = sch.Enqueue(CopySpec(q, 1 << 16), false, dev.now_us(),
+                       ChargeCopy(dev, 1 << 16));
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_TRUE(sch.ReleaseQueue(q).ok());
+  EXPECT_FALSE(sch.HasQueue(q));
+  auto t = sch.TimesOf(r.event);  // still queryable: recorded by value
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(t->end_us, t->start_us);
+  EXPECT_TRUE(sch.ReleaseEvent(r.event));
+  EXPECT_EQ(sch.LiveEvents(), 0u);
+  EXPECT_FALSE(sch.ReleaseEvent(r.event));  // double release is rejected
+  // The default queue can never be released.
+  EXPECT_FALSE(sch.ReleaseQueue(sched::kDefaultQueue).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-level determinism: a traced out-of-order multi-queue workload
+// through the mocl binding, run twice on fresh devices.
+// ---------------------------------------------------------------------------
+
+constexpr char kSpin[] =
+    "__kernel void spin(__global float* g, int iters) {"
+    "  int i = get_global_id(0);"
+    "  float acc = g[i];"
+    "  for (int k = 0; k < iters; k++) acc = acc * 1.0001f + 0.5f;"
+    "  g[i] = acc;"
+    "}";
+
+struct RunResult {
+  double clock = 0;
+  uint64_t api_calls = 0;
+  uint64_t h2d_bytes = 0;
+  std::string json;
+};
+
+RunResult TracedOooRun() {
+  Device dev(TitanProfile());
+  RunResult r;
+  {
+    trace::TraceSession session(dev, {});
+    auto cl = mocl::CreateNativeClApi(dev);
+    auto run = [&]() -> Status {
+      BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl->CreateProgramWithSource(kSpin));
+      BRIDGECL_RETURN_IF_ERROR(cl->BuildProgram(prog));
+      BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl->CreateKernel(prog, "spin"));
+      BRIDGECL_ASSIGN_OR_RETURN(
+          auto ooo, cl->CreateCommandQueue(
+                        mocl::CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE));
+      BRIDGECL_ASSIGN_OR_RETURN(auto io, cl->CreateCommandQueue(0));
+      std::vector<float> h(256, 1.0f);
+      BRIDGECL_ASSIGN_OR_RETURN(
+          ClMem buf, cl->CreateBuffer(MemFlags::kReadWrite, 256 * 4, nullptr));
+      mocl::ClEvent w{};
+      BRIDGECL_RETURN_IF_ERROR(cl->EnqueueWriteBufferOn(
+          ooo, buf, 0, 256 * 4, h.data(), /*blocking=*/false, {}, &w));
+      int iters = 8;
+      BRIDGECL_RETURN_IF_ERROR(
+          cl->SetKernelArg(kernel, 0, sizeof(ClMem), &buf));
+      BRIDGECL_RETURN_IF_ERROR(cl->SetKernelArg(kernel, 1, sizeof(int),
+                                                &iters));
+      size_t gws = 256, lws = 32;
+      std::vector<mocl::ClEvent> wl = {w};
+      mocl::ClEvent kev{};
+      BRIDGECL_RETURN_IF_ERROR(
+          cl->EnqueueNDRangeKernelOn(ooo, kernel, 1, &gws, &lws, wl, &kev));
+      BRIDGECL_ASSIGN_OR_RETURN(auto bar, cl->EnqueueBarrier(ooo));
+      BRIDGECL_RETURN_IF_ERROR(cl->EnqueueReadBufferOn(
+          ooo, buf, 0, 256 * 4, h.data(), false, {}, nullptr));
+      BRIDGECL_RETURN_IF_ERROR(cl->EnqueueReadBufferOn(
+          io, buf, 0, 64, h.data(), false, {}, nullptr));
+      BRIDGECL_RETURN_IF_ERROR(cl->Flush(ooo));
+      BRIDGECL_RETURN_IF_ERROR(cl->Finish(ooo));
+      BRIDGECL_RETURN_IF_ERROR(cl->Finish(io));
+      std::vector<mocl::ClEvent> evs = {w, kev, bar};
+      BRIDGECL_RETURN_IF_ERROR(cl->WaitForEvents(evs));
+      for (const auto& e : evs) BRIDGECL_RETURN_IF_ERROR(cl->ReleaseEvent(e));
+      BRIDGECL_RETURN_IF_ERROR(cl->ReleaseCommandQueue(ooo));
+      BRIDGECL_RETURN_IF_ERROR(cl->ReleaseCommandQueue(io));
+      return cl->Finish();
+    };
+    Status st = run();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    r.json = trace::ChromeTraceJson(session.recorder());
+  }
+  r.clock = dev.now_us();
+  r.api_calls = dev.stats().api_calls;
+  r.h2d_bytes = dev.stats().host_to_device_bytes;
+  return r;
+}
+
+TEST(SchedTest, TracedOutOfOrderRunIsDeterministic) {
+  RunResult a = TracedOooRun();
+  RunResult b = TracedOooRun();
+  EXPECT_EQ(a.clock, b.clock);  // exact, not approximate
+  EXPECT_EQ(a.api_calls, b.api_calls);
+  EXPECT_EQ(a.h2d_bytes, b.h2d_bytes);
+  EXPECT_EQ(a.json, b.json);
+  // The trace carries the scheduler's engine lanes.
+  EXPECT_NE(a.json.find("copy-engine"), std::string::npos);
+  EXPECT_NE(a.json.find("compute-engine"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bridgecl

@@ -378,6 +378,62 @@ TEST(TraceTest, TracingIsInvisibleToClocksAndStats) {
   ExpectStatsEqual(plain.stats(), traced.stats());
 }
 
+TEST(TraceTest, AsyncWorkloadRecordsOverlappingEngineLanes) {
+  // Two streams through the native CUDA binding: a large async copy on
+  // one, a kernel on the other. The scheduler must record device-engine
+  // spans — copy on lane 1, compute on lane 2, each tagged with its
+  // stream — whose windows overlap (docs/CONCURRENCY.md).
+  Device dev(TitanProfile());
+  trace::TraceSession session(dev, {});
+  auto cu = mcuda::CreateNativeCudaApi(dev);
+  ASSERT_TRUE(cu->RegisterModule(kCudaKernel).ok());
+  std::vector<float> host(4096, 1.0f);
+  auto g = cu->Malloc(4096 * 4);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(cu->Memcpy(*g, host.data(), 4096 * 4,
+                         mcuda::MemcpyKind::kHostToDevice)
+                  .ok());
+  auto s1 = cu->StreamCreate();
+  auto s2 = cu->StreamCreate();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_TRUE(cu->MemcpyAsync(*g, host.data(), 4096 * 4,
+                              mcuda::MemcpyKind::kHostToDevice, *s1)
+                  .ok());
+  std::vector<mcuda::LaunchArg> args = {mcuda::LaunchArg::Ptr(*g),
+                                        mcuda::LaunchArg::Value<int>(64)};
+  ASSERT_TRUE(
+      cu->LaunchKernelOnStream("spin", Dim3(128), Dim3(32), 0, args, *s2)
+          .ok());
+  ASSERT_TRUE(cu->DeviceSynchronize().ok());
+
+  const TraceEvent* copy = nullptr;
+  const TraceEvent* compute = nullptr;
+  for (const TraceEvent& e : session.recorder().events()) {
+    if (e.kind == TraceKind::kDeviceCopy && e.lane == 1 && e.stream != 0)
+      copy = &e;
+    if (e.kind == TraceKind::kDeviceCompute && e.lane == 2 && e.stream != 0)
+      compute = &e;
+  }
+  ASSERT_NE(copy, nullptr);
+  ASSERT_NE(compute, nullptr);
+  EXPECT_NE(copy->stream, compute->stream);
+  EXPECT_EQ(copy->bytes, 4096u * 4u);
+  EXPECT_EQ(compute->kernel, "spin");
+  // The engine windows overlap: each starts before the other ends.
+  EXPECT_LT(copy->begin_us, compute->end_us);
+  EXPECT_LT(compute->begin_us, copy->end_us);
+  EXPECT_GT(dev.EngineOverlapUs(), 0.0);
+
+  // The exporter keeps the JSON well-formed with the lane/stream fields.
+  const std::string json = trace::ChromeTraceJson(session.recorder());
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"stream\""), std::string::npos);
+
+  ASSERT_TRUE(cu->StreamDestroy(*s1).ok());
+  ASSERT_TRUE(cu->StreamDestroy(*s2).ok());
+  ASSERT_TRUE(cu->Free(*g).ok());
+}
+
 TEST(TraceTest, FailedCommandIsMarkedFailed) {
   Device dev(TitanProfile());
   trace::TraceSession session(dev, {});

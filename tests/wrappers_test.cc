@@ -509,6 +509,195 @@ TEST(Cu2ClTest, AtomicEmulationMatchesNativeSemantics) {
   EXPECT_EQ(*r_wrapped, 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-direction queue semantics (docs/CONCURRENCY.md): stream- and
+// queue-based host drivers run under both bindings and must agree.
+// ---------------------------------------------------------------------------
+
+/// A two-stream CUDA pipeline with a cross-stream event dependency:
+/// uploads on separate streams, stream 2's kernel waits on stream 1's
+/// upload via cudaStreamWaitEvent, results drain with per-stream syncs.
+StatusOr<std::vector<float>> RunCuTwoStream(mcuda::CudaApi& cu, int n) {
+  BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(
+      "__global__ void scale(float* d, float f, int n) {"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;"
+      "  if (i < n) d[i] = d[i] * f;"
+      "}"));
+  std::vector<float> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = i + 1.0f;
+    y[i] = 2.0f * i + 1.0f;
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(void* dx, cu.Malloc(n * 4));
+  BRIDGECL_ASSIGN_OR_RETURN(void* dy, cu.Malloc(n * 4));
+  BRIDGECL_ASSIGN_OR_RETURN(void* s1, cu.StreamCreate());
+  BRIDGECL_ASSIGN_OR_RETURN(void* s2, cu.StreamCreate());
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.MemcpyAsync(dx, x.data(), n * 4, MemcpyKind::kHostToDevice, s1));
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.MemcpyAsync(dy, y.data(), n * 4, MemcpyKind::kHostToDevice, s2));
+  BRIDGECL_ASSIGN_OR_RETURN(void* up1, cu.EventCreate());
+  BRIDGECL_RETURN_IF_ERROR(cu.EventRecordOnStream(up1, s1));
+  BRIDGECL_RETURN_IF_ERROR(cu.StreamWaitEvent(s2, up1));
+  std::vector<LaunchArg> a1 = {LaunchArg::Ptr(dx),
+                               LaunchArg::Value<float>(0.5f),
+                               LaunchArg::Value<int>(n)};
+  std::vector<LaunchArg> a2 = {LaunchArg::Ptr(dy),
+                               LaunchArg::Value<float>(4.0f),
+                               LaunchArg::Value<int>(n)};
+  BRIDGECL_RETURN_IF_ERROR(cu.LaunchKernelOnStream(
+      "scale", Dim3((n + 31) / 32), Dim3(32), 0, a1, s1));
+  BRIDGECL_RETURN_IF_ERROR(cu.LaunchKernelOnStream(
+      "scale", Dim3((n + 31) / 32), Dim3(32), 0, a2, s2));
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.MemcpyAsync(x.data(), dx, n * 4, MemcpyKind::kDeviceToHost, s1));
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.MemcpyAsync(y.data(), dy, n * 4, MemcpyKind::kDeviceToHost, s2));
+  BRIDGECL_RETURN_IF_ERROR(cu.StreamSynchronize(s1));
+  BRIDGECL_RETURN_IF_ERROR(cu.StreamSynchronize(s2));
+  BRIDGECL_RETURN_IF_ERROR(cu.EventDestroy(up1));
+  BRIDGECL_RETURN_IF_ERROR(cu.StreamDestroy(s1));
+  BRIDGECL_RETURN_IF_ERROR(cu.StreamDestroy(s2));
+  BRIDGECL_RETURN_IF_ERROR(cu.Free(dx));
+  BRIDGECL_RETURN_IF_ERROR(cu.Free(dy));
+  x.insert(x.end(), y.begin(), y.end());
+  return x;
+}
+
+TEST(Cu2ClTest, TwoStreamPipelineMatchesNativeCuda) {
+  const int n = 64;
+  Device dev_native(TitanProfile());
+  auto native = mcuda::CreateNativeCudaApi(dev_native);
+  auto r_native = RunCuTwoStream(*native, n);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+
+  Device dev_wrapped(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev_wrapped);
+  auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+  auto r_wrapped = RunCuTwoStream(*wrapped, n);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+  EXPECT_FLOAT_EQ((*r_wrapped)[0], 0.5f);           // x[0] = 1 * 0.5
+  EXPECT_FLOAT_EQ((*r_wrapped)[n], 4.0f);           // y[0] = 1 * 4
+}
+
+/// vadd on an out-of-order queue: non-blocking uploads with out events,
+/// the kernel waits on both via its wait list, a barrier orders the
+/// non-blocking read, and clFinish drains the queue.
+StatusOr<std::vector<float>> RunClVaddOoo(mocl::OpenClApi& cl, int n) {
+  const char* src =
+      "__kernel void vadd(__global float* a, __global float* b,"
+      "                   __global float* c, int n) {"
+      "  int i = get_global_id(0);"
+      "  if (i < n) c[i] = a[i] + b[i];"
+      "}";
+  std::vector<float> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = 0.25f * i;
+    b[i] = 1.5f * i;
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(src));
+  BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+  BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl.CreateKernel(prog, "vadd"));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      auto q, cl.CreateCommandQueue(
+                  mocl::CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem ma, cl.CreateBuffer(MemFlags::kReadOnly, n * 4, nullptr));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem mb, cl.CreateBuffer(MemFlags::kReadOnly, n * 4, nullptr));
+  BRIDGECL_ASSIGN_OR_RETURN(
+      ClMem mc, cl.CreateBuffer(MemFlags::kWriteOnly, n * 4, nullptr));
+  mocl::ClEvent ea{}, eb{};
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueWriteBufferOn(
+      q, ma, 0, n * 4, a.data(), /*blocking=*/false, {}, &ea));
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueWriteBufferOn(
+      q, mb, 0, n * 4, b.data(), /*blocking=*/false, {}, &eb));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(ClMem), &ma));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 1, sizeof(ClMem), &mb));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 2, sizeof(ClMem), &mc));
+  BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 3, sizeof(int), &n));
+  size_t gws = n, lws = 32;
+  std::vector<mocl::ClEvent> deps = {ea, eb};
+  BRIDGECL_RETURN_IF_ERROR(
+      cl.EnqueueNDRangeKernelOn(q, kernel, 1, &gws, &lws, deps, nullptr));
+  BRIDGECL_ASSIGN_OR_RETURN(auto bar, cl.EnqueueBarrier(q));
+  BRIDGECL_RETURN_IF_ERROR(cl.EnqueueReadBufferOn(
+      q, mc, 0, n * 4, c.data(), /*blocking=*/false, {}, nullptr));
+  BRIDGECL_RETURN_IF_ERROR(cl.Finish(q));
+  BRIDGECL_RETURN_IF_ERROR(cl.ReleaseEvent(bar));
+  BRIDGECL_RETURN_IF_ERROR(cl.ReleaseEvent(ea));
+  BRIDGECL_RETURN_IF_ERROR(cl.ReleaseEvent(eb));
+  BRIDGECL_RETURN_IF_ERROR(cl.ReleaseCommandQueue(q));
+  return c;
+}
+
+TEST(Cl2CuTest, OutOfOrderQueueMatchesNativeOpenCl) {
+  const int n = 128;
+  Device dev_native(TitanProfile());
+  auto native = mocl::CreateNativeClApi(dev_native);
+  auto r_native = RunClVaddOoo(*native, n);
+  ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+
+  Device dev_wrapped(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev_wrapped);
+  auto wrapped = cl2cu::CreateClOnCudaApi(*cuda);
+  auto r_wrapped = RunClVaddOoo(*wrapped, n);
+  ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+  EXPECT_EQ(*r_native, *r_wrapped);
+  // And the out-of-order path agrees with the plain in-order driver.
+  auto r_inorder = RunClVadd(*native, n);
+  ASSERT_TRUE(r_inorder.ok());
+  EXPECT_EQ(*r_native, *r_inorder);
+}
+
+TEST(WrapperQueueTest, PerQueueAndDeviceWideSyncAgree) {
+  // clFinish(queue) / cudaStreamSynchronize and the device-wide drains
+  // (legacy clFinish / cudaDeviceSynchronize) are equivalent barriers for
+  // a fully enqueued workload — same results through every binding.
+  const int n = 64;
+  auto cu_variant = [&](mcuda::CudaApi& cu, bool device_wide)
+      -> StatusOr<std::vector<float>> {
+    BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(
+        "__global__ void scale(float* d, float f, int n) {"
+        "  int i = blockIdx.x * blockDim.x + threadIdx.x;"
+        "  if (i < n) d[i] = d[i] * f;"
+        "}"));
+    std::vector<float> x(n);
+    for (int i = 0; i < n; ++i) x[i] = i + 1.0f;
+    BRIDGECL_ASSIGN_OR_RETURN(void* dx, cu.Malloc(n * 4));
+    BRIDGECL_ASSIGN_OR_RETURN(void* s, cu.StreamCreate());
+    BRIDGECL_RETURN_IF_ERROR(
+        cu.MemcpyAsync(dx, x.data(), n * 4, MemcpyKind::kHostToDevice, s));
+    std::vector<LaunchArg> args = {LaunchArg::Ptr(dx),
+                                   LaunchArg::Value<float>(3.0f),
+                                   LaunchArg::Value<int>(n)};
+    BRIDGECL_RETURN_IF_ERROR(cu.LaunchKernelOnStream(
+        "scale", Dim3((n + 31) / 32), Dim3(32), 0, args, s));
+    BRIDGECL_RETURN_IF_ERROR(
+        cu.MemcpyAsync(x.data(), dx, n * 4, MemcpyKind::kDeviceToHost, s));
+    BRIDGECL_RETURN_IF_ERROR(device_wide ? cu.DeviceSynchronize()
+                                         : cu.StreamSynchronize(s));
+    BRIDGECL_RETURN_IF_ERROR(cu.StreamDestroy(s));
+    BRIDGECL_RETURN_IF_ERROR(cu.Free(dx));
+    return x;
+  };
+  for (bool device_wide : {false, true}) {
+    Device dev_native(TitanProfile());
+    auto native = mcuda::CreateNativeCudaApi(dev_native);
+    auto r_native = cu_variant(*native, device_wide);
+    ASSERT_TRUE(r_native.ok()) << r_native.status().ToString();
+    EXPECT_FLOAT_EQ((*r_native)[1], 6.0f);
+
+    Device dev_wrapped(TitanProfile());
+    auto cl = mocl::CreateNativeClApi(dev_wrapped);
+    auto wrapped = cu2cl::CreateCudaOnClApi(*cl);
+    auto r_wrapped = cu_variant(*wrapped, device_wide);
+    ASSERT_TRUE(r_wrapped.ok()) << r_wrapped.status().ToString();
+    EXPECT_EQ(*r_native, *r_wrapped) << "device_wide=" << device_wide;
+  }
+}
+
 TEST(Cu2ClTest, WrapperOverheadIsSmall) {
   // §6: "the overhead of wrapper functions is negligible" — compare total
   // simulated time of the same workload under native CUDA vs the wrapper
