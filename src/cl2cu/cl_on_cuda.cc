@@ -885,16 +885,27 @@ class ClOnCudaApi final : public OpenClApi {
     return &it->second;
   }
 
-  /// Lazily plants the absolute-time base: a CUDA event recorded on the
-  /// default stream and synchronized, so its completion instant is NowUs()
-  /// exactly. Asynchronous CL events report absolute end times as
+  /// Lazily plants the absolute-time base: a CUDA event recorded on a
+  /// private, freshly created (and therefore empty) stream and
+  /// synchronized, so its completion instant is NowUs() exactly.
+  /// Recording on the default stream instead would anchor t0 behind
+  /// everything already enqueued there — an over-synchronization that
+  /// dragged every first blocking transfer out to the default queue's
+  /// horizon (sched_test's FirstEventCommandDoesNotSyncDefaultQueue pins
+  /// the fix). Asynchronous CL events report absolute end times as
   /// t0_now_ + cuEventElapsedTime(t0, event).
   Status EnsureT0() {
     if (t0_ != nullptr) return OkStatus();
     BRIDGECL_ASSIGN_OR_RETURN(
         void* ev, Seal(cu_.EventCreate(), mocl::CL_OUT_OF_RESOURCES));
-    Status st = cu_.EventRecord(ev);
+    auto anchor = cu_.StreamCreate();
+    if (!anchor.ok()) {
+      (void)cu_.EventDestroy(ev);
+      return Seal(std::move(anchor).status(), mocl::CL_OUT_OF_RESOURCES);
+    }
+    Status st = cu_.EventRecordOnStream(ev, *anchor);
     if (st.ok()) st = cu_.EventSynchronize(ev);
+    (void)cu_.StreamDestroy(*anchor);
     if (!st.ok()) {
       (void)cu_.EventDestroy(ev);
       return Seal(std::move(st), mocl::CL_OUT_OF_RESOURCES);

@@ -708,6 +708,16 @@ class CudaOnClApi final : public CudaApi {
                : mocl::IsClCode(st.api_code())
                    ? CudaFromCl(st.api_code())
                    : mcuda::CudaCodeFor(st, fallback);
+    // CL_OUT_OF_RESOURCES is the CL catch-all for both resource
+    // exhaustion and execution faults, so CudaFromCl alone must pick the
+    // catch-all cudaErrorLaunchFailure. The StatusCode disambiguates: a
+    // genuine kResourceExhausted (register/shared-memory pressure, guard
+    // budget) is cudaErrorLaunchOutOfResources, not an "unspecified
+    // launch failure" — sync points must not collapse the distinction.
+    if (code == mcuda::cudaErrorLaunchFailure &&
+        st.api_code() == mocl::CL_OUT_OF_RESOURCES &&
+        st.code() == StatusCode::kResourceExhausted)
+      code = mcuda::cudaErrorLaunchOutOfResources;
     return AsCuda(std::move(st), code);
   }
 

@@ -1,12 +1,20 @@
 #include "interp/executor.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "interp/constants.h"
 #include "interp/image.h"
 #include "interp/value.h"
+#include "interp/worker_pool.h"
 #include "lang/builtins.h"
 #include "lang/sema.h"
 #include "simgpu/fiber.h"
@@ -72,7 +80,11 @@ struct LV {
 
 enum class FlowKind { kNormal, kReturn, kBreak, kContinue };
 
-/// State shared by all work-items of one launch.
+/// State shared by all work-items of one launch. The block-parallel
+/// engine copies this once per worker (rebasing the shared/private VAs to
+/// the worker's VM slot) and then points `stats` at a fresh per-block
+/// accumulator before each block, so workers never touch the device's
+/// shared counters during execution.
 struct LaunchState {
   simgpu::Device* device = nullptr;
   Module* module = nullptr;
@@ -84,10 +96,12 @@ struct LaunchState {
   uint64_t dynamic_shared_va = 0;  // CUDA extern __shared__ area
   size_t shared_total = 0;
   std::vector<Value> arg_values;   // decoded per param (dyn-local → pointer)
+  std::vector<size_t> local_arg_indices;  // args holding dyn-local pointers
 
   simgpu::FiberGroup* group = nullptr;
   Dim3 group_id;
-  double total_cycles = 0;
+  int slot = 0;  // VM worker slot owning this state's shared/private VAs
+  simgpu::DeviceStats* stats = nullptr;  // per-block accumulation sink
 };
 
 /// Collect every __local/__shared__ variable declared in a statement tree.
@@ -132,7 +146,7 @@ class Evaluator {
     const Dim3& blk = L.cfg.block;
     gid_ = Dim3(L.group_id.x * blk.x + lid.x, L.group_id.y * blk.y + lid.y,
                 L.group_id.z * blk.z + lid.z);
-    private_base_ = L.device->vm().private_base() +
+    private_base_ = L.device->vm().private_base(L.slot) +
                     static_cast<uint64_t>(linear_index) * kPrivateBytesPerItem;
     private_top_ = private_base_;
   }
@@ -164,13 +178,13 @@ class Evaluator {
   // -- cost accounting -----------------------------------------------------
   void ChargeOp(double c) {
     cycles_ += c;
-    ++L_.device->stats().ops_executed;
+    ++L_.stats->ops_executed;
   }
 
   Status ChargeAccess(uint64_t va, size_t bytes) {
     BRIDGECL_ASSIGN_OR_RETURN(Segment seg, L_.device->vm().SegmentOf(va));
     const auto& prof = L_.device->profile();
-    auto& st = L_.device->stats();
+    auto& st = *L_.stats;
     switch (seg) {
       case Segment::kGlobal:
         ++st.global_accesses;
@@ -1168,7 +1182,7 @@ StatusOr<Value> Evaluator::ReadTexel(const ImageDesc& d, int x, int y, int z,
   ScalarKind ek = static_cast<ScalarKind>(d.elem_kind);
   size_t esz = lang::ScalarByteSize(ek);
   BRIDGECL_ASSIGN_OR_RETURN(std::byte * p, L_.device->vm().Resolve(va, texel));
-  ++L_.device->stats().image_accesses;
+  ++L_.stats->image_accesses;
   cycles_ += L_.device->profile().cost_image_access;
   std::vector<ScalarVal> comps(4);
   for (uint32_t ch = 0; ch < 4; ++ch) {
@@ -1271,7 +1285,7 @@ StatusOr<Value> Evaluator::EvalImageWrite(const std::string& name,
                 static_cast<uint64_t>(x) * ImageTexelBytes(d);
   BRIDGECL_ASSIGN_OR_RETURN(std::byte * p,
                             L_.device->vm().Resolve(va, ImageTexelBytes(d)));
-  ++L_.device->stats().image_accesses;
+  ++L_.stats->image_accesses;
   cycles_ += L_.device->profile().cost_image_access;
   for (uint32_t ch = 0; ch < d.channels; ++ch) {
     Value comp = color.is_vector() ? color.Component(ch) : color;
@@ -1327,7 +1341,7 @@ StatusOr<Value> Evaluator::EvalAtomic(const std::string& name,
                        ? ptr.type()->pointee()
                        : Type::IntTy();
   uint64_t va = ptr.AsVa();
-  ++L_.device->stats().atomics;
+  ++L_.stats->atomics;
   cycles_ += L_.device->profile().cost_atomic;
   BRIDGECL_ASSIGN_OR_RETURN(Value old, LoadMem(va, elem));
   Value operand;
@@ -1439,7 +1453,7 @@ StatusOr<Value> Evaluator::CallBuiltin(const std::string& raw_name,
   // ---- synchronization ----
   if (name == "barrier" || name == "__syncthreads") {
     for (const auto& a : c.args) BRIDGECL_RETURN_IF_ERROR(Eval(*a).status());
-    ++L_.device->stats().barriers;
+    ++L_.stats->barriers;
     cycles_ += prof.cost_barrier;
     L_.group->Barrier();
     return Value::Void();
@@ -1767,7 +1781,498 @@ StatusOr<Value> Evaluator::CallBuiltin(const std::string& raw_name,
              std::string(lang::DialectName(L_.dialect)) + " device code");
 }
 
+// ---------------------------------------------------------------------------
+// Block-parallel grid scheduler support
+// ---------------------------------------------------------------------------
+
+/// Mirror of CallBuiltin's atomic dispatch predicate (including the
+/// __oc2cu_ wrapper-prefix strip). Kernels that reach an atomic builtin
+/// are executed serially: EvalAtomic models the op as a non-atomic
+/// read-modify-write whose cross-block interleaving (and returned old
+/// values) would otherwise depend on worker scheduling.
+bool IsAtomicBuiltinName(const std::string& raw_name) {
+  const std::string name =
+      StartsWith(raw_name, "__oc2cu_") ? raw_name.substr(8) : raw_name;
+  return StartsWith(name, "atomic_") || StartsWith(name, "atom_") ||
+         StartsWith(name, "atomic");
+}
+
+/// What a kernel may do to global memory, attributed to the kernel
+/// parameter each access flows from. The serial engine runs blocks in
+/// canonical order, so a kernel that *reads* a buffer another block
+/// *writes* in the same launch (srad2's in-place stencil, nw's in-place
+/// wavefront) observes that order; such launches must stay serial for the
+/// parallel engine to be bit-identical. Stores to a buffer no block
+/// reads are assumed block-disjoint, as data-race-free kernels on real
+/// devices are.
+struct GlobalAccessSummary {
+  uint64_t load_params = 0;   // bit i: loaded through kernel param i
+  uint64_t store_params = 0;  // bit i: stored through kernel param i
+  bool unknown_load = false;  // global load of unattributable provenance
+  bool unknown_store = false;
+  bool uses_atomics = false;
+};
+
+/// Which kernel parameters a pointer value may be derived from.
+struct Prov {
+  uint64_t mask = 0;     // bit i: possibly derived from kernel param i
+  bool unknown = false;  // possibly derived from something else entirely
+};
+
+Prov UnionProv(Prov a, const Prov& b) {
+  a.mask |= b.mask;
+  a.unknown |= b.unknown;
+  return a;
+}
+
+/// Flow-insensitive, inlining, address-taken-conservative scan of a
+/// kernel's global memory accesses. Local pointer variables accumulate
+/// the provenance of everything assigned to them (fixpoint over the
+/// body); pointers loaded from memory or returned by calls are unknown.
+class HazardScanner {
+ public:
+  GlobalAccessSummary Analyze(const FunctionDecl* kernel) {
+    std::vector<Prov> params(kernel->params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i < 64)
+        params[i].mask = 1ull << i;
+      else
+        params[i].unknown = true;
+    }
+    ScanFunction(kernel, std::move(params));
+    return sum_;
+  }
+
+ private:
+  using Env = std::unordered_map<const VarDecl*, Prov>;
+
+  GlobalAccessSummary sum_;
+  std::vector<const FunctionDecl*> call_stack_;
+  bool record_ = false;   // accesses recorded only on the settled pass
+  bool changed_ = false;  // an env entry grew this pass
+
+  void ScanFunction(const FunctionDecl* fn, std::vector<Prov> param_prov) {
+    if (std::find(call_stack_.begin(), call_stack_.end(), fn) !=
+        call_stack_.end()) {
+      // Recursive cycle: give up on attribution.
+      sum_.unknown_load = sum_.unknown_store = true;
+      return;
+    }
+    call_stack_.push_back(fn);
+    Env env;
+    for (size_t i = 0; i < fn->params.size() && i < param_prov.size(); ++i)
+      env[fn->params[i].get()] = param_prov[i];
+    bool outer_record = record_;
+    // Propagate provenance through local pointer vars to a fixpoint
+    // without recording, then one recording pass.
+    record_ = false;
+    for (int round = 0; round < 4; ++round) {
+      changed_ = false;
+      ScanStmt(fn->body.get(), env);
+      if (!changed_) break;
+    }
+    record_ = true;
+    ScanStmt(fn->body.get(), env);
+    record_ = outer_record;
+    call_stack_.pop_back();
+  }
+
+  void Bind(Env& env, const VarDecl* var, const Prov& p) {
+    Prov& slot = env[var];
+    Prov merged = UnionProv(slot, p);
+    if (merged.mask != slot.mask || merged.unknown != slot.unknown) {
+      slot = merged;
+      changed_ = true;
+    }
+  }
+
+  static bool IsPointer(const Expr* e) {
+    return e != nullptr && e->type != nullptr && e->type->is_pointer();
+  }
+
+  void Record(const Expr* ptr, Env& env, bool load, bool store) {
+    if (!record_ || !IsPointer(ptr)) return;
+    AddressSpace space = ptr->type->pointee_space();
+    // Local memory is per-slot, constant is read-only: neither can carry
+    // cross-block dependences.
+    if (space == AddressSpace::kLocal || space == AddressSpace::kConstant)
+      return;
+    Prov p = ProvOf(ptr, env);
+    if (space != AddressSpace::kGlobal && p.mask == 0 && !p.unknown)
+      return;  // provably private (e.g. &stack_var)
+    if (load) {
+      sum_.load_params |= p.mask;
+      sum_.unknown_load |= p.unknown;
+    }
+    if (store) {
+      sum_.store_params |= p.mask;
+      sum_.unknown_store |= p.unknown;
+    }
+  }
+
+  /// Provenance of the address of lvalue `e` (for &lvalue).
+  Prov ProvOfLvalueBase(const Expr* e, Env& env) {
+    if (e == nullptr) return {};
+    switch (e->kind) {
+      case ExprKind::kIndex:
+        return ProvOf(e->As<IndexExpr>()->base.get(), env);
+      case ExprKind::kMember: {
+        const auto* m = e->As<MemberExpr>();
+        return m->is_arrow ? ProvOf(m->base.get(), env)
+                           : ProvOfLvalueBase(m->base.get(), env);
+      }
+      case ExprKind::kUnary: {
+        const auto* u = e->As<UnaryExpr>();
+        if (u->op == UnaryOp::kDeref) return ProvOf(u->operand.get(), env);
+        return ProvOfLvalueBase(u->operand.get(), env);
+      }
+      case ExprKind::kParen:
+        return ProvOfLvalueBase(e->As<ParenExpr>()->inner.get(), env);
+      case ExprKind::kCast:
+        return ProvOfLvalueBase(e->As<CastExpr>()->operand.get(), env);
+      case ExprKind::kDeclRef: {
+        const auto* r = e->As<DeclRefExpr>();
+        // &local_scalar / &local_array: provably private. Taking the
+        // address of a tracked pointer defeats tracking -> poison it.
+        if (r->var != nullptr && IsPointer(e)) Bind(env, r->var, {0, true});
+        return {};
+      }
+      default:
+        return {0, true};
+    }
+  }
+
+  Prov ProvOf(const Expr* e, Env& env) {
+    if (e == nullptr) return {};
+    switch (e->kind) {
+      case ExprKind::kDeclRef: {
+        const auto* r = e->As<DeclRefExpr>();
+        if (r->var == nullptr) return IsPointer(e) ? Prov{0, true} : Prov{};
+        auto it = env.find(r->var);
+        if (it != env.end()) return it->second;
+        // Not a local of this function: a module-scope pointer, or a
+        // first-pass use before its decl has been scanned.
+        return IsPointer(e) ? Prov{0, true} : Prov{};
+      }
+      case ExprKind::kUnary: {
+        const auto* u = e->As<UnaryExpr>();
+        if (u->op == UnaryOp::kAddrOf)
+          return ProvOfLvalueBase(u->operand.get(), env);
+        if (u->op == UnaryOp::kDeref)
+          return IsPointer(e) ? Prov{0, true} : Prov{};
+        return ProvOf(u->operand.get(), env);
+      }
+      case ExprKind::kBinary: {
+        const auto* b = e->As<BinaryExpr>();
+        return UnionProv(ProvOf(b->lhs.get(), env),
+                         ProvOf(b->rhs.get(), env));
+      }
+      case ExprKind::kAssign:
+        return ProvOf(e->As<AssignExpr>()->rhs.get(), env);
+      case ExprKind::kConditional: {
+        const auto* c = e->As<ConditionalExpr>();
+        return UnionProv(ProvOf(c->then_expr.get(), env),
+                         ProvOf(c->else_expr.get(), env));
+      }
+      case ExprKind::kParen:
+        return ProvOf(e->As<ParenExpr>()->inner.get(), env);
+      case ExprKind::kCast:
+        return ProvOf(e->As<CastExpr>()->operand.get(), env);
+      case ExprKind::kIndex:
+      case ExprKind::kMember:
+      case ExprKind::kCall:
+        // Pointer values produced by a memory load or a call are
+        // unattributable.
+        return IsPointer(e) ? Prov{0, true} : Prov{};
+      default:
+        return {};
+    }
+  }
+
+  /// Scan `e` in store position. `load_too` for compound assigns and
+  /// increments, which read-modify-write the location.
+  void ScanLvalue(const Expr* e, Env& env, bool load_too) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::kIndex: {
+        const auto* i = e->As<IndexExpr>();
+        ScanExpr(i->index.get(), env);
+        if (IsPointer(i->base.get())) {
+          ScanExpr(i->base.get(), env);
+          Record(i->base.get(), env, load_too, /*store=*/true);
+        } else {
+          // Element of an aggregate lvalue (local array or p->arr[i]).
+          ScanLvalue(i->base.get(), env, load_too);
+        }
+        return;
+      }
+      case ExprKind::kMember: {
+        const auto* m = e->As<MemberExpr>();
+        if (m->is_arrow) {
+          ScanExpr(m->base.get(), env);
+          Record(m->base.get(), env, load_too, /*store=*/true);
+        } else {
+          ScanLvalue(m->base.get(), env, load_too);
+        }
+        return;
+      }
+      case ExprKind::kUnary: {
+        const auto* u = e->As<UnaryExpr>();
+        if (u->op == UnaryOp::kDeref) {
+          ScanExpr(u->operand.get(), env);
+          Record(u->operand.get(), env, load_too, /*store=*/true);
+          return;
+        }
+        ScanLvalue(u->operand.get(), env, load_too);
+        return;
+      }
+      case ExprKind::kParen:
+        ScanLvalue(e->As<ParenExpr>()->inner.get(), env, load_too);
+        return;
+      case ExprKind::kCast:
+        ScanLvalue(e->As<CastExpr>()->operand.get(), env, load_too);
+        return;
+      case ExprKind::kDeclRef:
+        return;  // plain local: no memory traffic
+      default:
+        ScanExpr(e, env);
+        return;
+    }
+  }
+
+  /// Strip parens/casts down to a DeclRef, or null.
+  static const DeclRefExpr* AsDeclRef(const Expr* e) {
+    while (e != nullptr) {
+      if (e->kind == ExprKind::kDeclRef) return e->As<DeclRefExpr>();
+      if (e->kind == ExprKind::kParen)
+        e = e->As<ParenExpr>()->inner.get();
+      else if (e->kind == ExprKind::kCast)
+        e = e->As<CastExpr>()->operand.get();
+      else
+        return nullptr;
+    }
+    return nullptr;
+  }
+
+  void ScanExpr(const Expr* e, Env& env) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::kAssign: {
+        const auto* a = e->As<AssignExpr>();
+        ScanExpr(a->rhs.get(), env);
+        if (const DeclRefExpr* r = AsDeclRef(a->lhs.get());
+            r != nullptr && r->var != nullptr && IsPointer(a->lhs.get())) {
+          // Pointer reseated: fold the source's provenance into the var.
+          Bind(env, r->var, a->compound ? Prov{0, true}
+                                        : ProvOf(a->rhs.get(), env));
+          return;
+        }
+        ScanLvalue(a->lhs.get(), env, /*load_too=*/a->compound);
+        return;
+      }
+      case ExprKind::kUnary: {
+        const auto* u = e->As<UnaryExpr>();
+        switch (u->op) {
+          case UnaryOp::kDeref:
+            ScanExpr(u->operand.get(), env);
+            Record(u->operand.get(), env, /*load=*/true, /*store=*/false);
+            return;
+          case UnaryOp::kPreInc:
+          case UnaryOp::kPreDec:
+          case UnaryOp::kPostInc:
+          case UnaryOp::kPostDec:
+            if (AsDeclRef(u->operand.get()) == nullptr)
+              ScanLvalue(u->operand.get(), env, /*load_too=*/true);
+            else
+              ScanExpr(u->operand.get(), env);
+            return;
+          case UnaryOp::kAddrOf:
+            (void)ProvOfLvalueBase(u->operand.get(), env);  // escape check
+            return;
+          default:
+            ScanExpr(u->operand.get(), env);
+            return;
+        }
+      }
+      case ExprKind::kBinary: {
+        const auto* b = e->As<BinaryExpr>();
+        ScanExpr(b->lhs.get(), env);
+        ScanExpr(b->rhs.get(), env);
+        return;
+      }
+      case ExprKind::kConditional: {
+        const auto* c = e->As<ConditionalExpr>();
+        ScanExpr(c->cond.get(), env);
+        ScanExpr(c->then_expr.get(), env);
+        ScanExpr(c->else_expr.get(), env);
+        return;
+      }
+      case ExprKind::kIndex: {
+        const auto* i = e->As<IndexExpr>();
+        ScanExpr(i->base.get(), env);
+        ScanExpr(i->index.get(), env);
+        if (IsPointer(i->base.get()))
+          Record(i->base.get(), env, /*load=*/true, /*store=*/false);
+        return;
+      }
+      case ExprKind::kMember: {
+        const auto* m = e->As<MemberExpr>();
+        ScanExpr(m->base.get(), env);
+        if (m->is_arrow)
+          Record(m->base.get(), env, /*load=*/true, /*store=*/false);
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto* c = e->As<CallExpr>();
+        for (const auto& a : c->args) ScanExpr(a.get(), env);
+        const DeclRefExpr* ref = AsDeclRef(c->callee.get());
+        const FunctionDecl* fn =
+            ref != nullptr && ref->function != nullptr &&
+                    ref->function->body != nullptr
+                ? ref->function
+                : nullptr;
+        if (fn != nullptr) {
+          if (record_) {
+            std::vector<Prov> callee_params(fn->params.size());
+            for (size_t i = 0; i < fn->params.size() && i < c->args.size();
+                 ++i)
+              callee_params[i] = ProvOf(c->args[i].get(), env);
+            ScanFunction(fn, std::move(callee_params));
+          }
+          return;
+        }
+        const std::string name = c->callee_name();
+        if (IsAtomicBuiltinName(name)) sum_.uses_atomics = true;
+        if (record_ && StartsWith(name, "write_image"))
+          sum_.unknown_store = true;
+        // Builtins taking pointers (vload/vstore, atomics, ...) may both
+        // read and write through them.
+        for (const auto& a : c->args)
+          if (IsPointer(a.get()))
+            Record(a.get(), env, /*load=*/true, /*store=*/true);
+        return;
+      }
+      case ExprKind::kParen:
+        ScanExpr(e->As<ParenExpr>()->inner.get(), env);
+        return;
+      case ExprKind::kCast:
+        ScanExpr(e->As<CastExpr>()->operand.get(), env);
+        return;
+      case ExprKind::kInitList:
+        for (const auto& el : e->As<InitListExpr>()->elems)
+          ScanExpr(el.get(), env);
+        return;
+      case ExprKind::kVectorLit:
+        for (const auto& el : e->As<VectorLitExpr>()->elems)
+          ScanExpr(el.get(), env);
+        return;
+      case ExprKind::kSizeof:
+        return;  // unevaluated operand
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kDeclRef:
+      case ExprKind::kStringLit:
+        return;
+    }
+  }
+
+  void ScanStmt(const Stmt* s, Env& env) {
+    if (s == nullptr) return;
+    switch (s->kind) {
+      case StmtKind::kCompound:
+        for (const auto& st : s->As<CompoundStmt>()->body)
+          ScanStmt(st.get(), env);
+        return;
+      case StmtKind::kDecl:
+        for (const auto& v : s->As<DeclStmt>()->vars) {
+          ScanExpr(v->init.get(), env);
+          if (v->type != nullptr && v->type->is_pointer())
+            Bind(env, v.get(), ProvOf(v->init.get(), env));
+        }
+        return;
+      case StmtKind::kExpr:
+        ScanExpr(s->As<ExprStmt>()->expr.get(), env);
+        return;
+      case StmtKind::kIf: {
+        const auto* i = s->As<IfStmt>();
+        ScanExpr(i->cond.get(), env);
+        ScanStmt(i->then_stmt.get(), env);
+        ScanStmt(i->else_stmt.get(), env);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto* f = s->As<ForStmt>();
+        ScanStmt(f->init.get(), env);
+        ScanExpr(f->cond.get(), env);
+        ScanExpr(f->step.get(), env);
+        ScanStmt(f->body.get(), env);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto* w = s->As<WhileStmt>();
+        ScanExpr(w->cond.get(), env);
+        ScanStmt(w->body.get(), env);
+        return;
+      }
+      case StmtKind::kDo: {
+        const auto* d = s->As<lang::DoStmt>();
+        ScanStmt(d->body.get(), env);
+        ScanExpr(d->cond.get(), env);
+        return;
+      }
+      case StmtKind::kReturn:
+        ScanExpr(s->As<ReturnStmt>()->value.get(), env);
+        return;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+      case StmtKind::kEmpty:
+        return;
+    }
+  }
+};
+
+GlobalAccessSummary AnalyzeKernelGlobalAccesses(const FunctionDecl* kernel) {
+  return HazardScanner().Analyze(kernel);
+}
+
+/// Field-wise merge of a block's counter delta into the device totals.
+/// Integer adds commute, but the reduction still runs in canonical block
+/// order so a future non-commutative counter cannot silently diverge.
+void AccumulateStats(simgpu::DeviceStats& into,
+                     const simgpu::DeviceStats& d) {
+  into.kernels_launched += d.kernels_launched;
+  into.work_items_executed += d.work_items_executed;
+  into.global_accesses += d.global_accesses;
+  into.shared_accesses += d.shared_accesses;
+  into.shared_bank_words += d.shared_bank_words;
+  into.constant_accesses += d.constant_accesses;
+  into.image_accesses += d.image_accesses;
+  into.atomics += d.atomics;
+  into.barriers += d.barriers;
+  into.host_to_device_bytes += d.host_to_device_bytes;
+  into.device_to_host_bytes += d.device_to_host_bytes;
+  into.device_to_device_bytes += d.device_to_device_bytes;
+  into.api_calls += d.api_calls;
+  into.ops_executed += d.ops_executed;
+}
+
+std::atomic<int> g_worker_override{0};
+
 }  // namespace
+
+int WorkerCount() {
+  int pinned = g_worker_override.load(std::memory_order_relaxed);
+  if (pinned > 0) return pinned;
+  static const int from_env = ResolveWorkerCountFromEnv();
+  return from_env;
+}
+
+void SetWorkerCount(int workers) {
+  if (workers > simgpu::VirtualMemory::kMaxWorkerSlots)
+    workers = simgpu::VirtualMemory::kMaxWorkerSlots;
+  g_worker_override.store(workers < 0 ? 0 : workers,
+                          std::memory_order_relaxed);
+}
 
 StatusOr<LaunchResult> LaunchKernel(simgpu::Device& device, Module& module,
                                     const std::string& kernel_name,
@@ -1827,6 +2332,7 @@ StatusOr<LaunchResult> LaunchKernel(simgpu::Device& device, Module& module,
       uint64_t va = device.vm().shared_base() + offset;
       offset += a.local_size;
       L.arg_values[i] = Value::Pointer(va, p->type);
+      L.local_arg_indices.push_back(i);
     } else {
       size_t want = p->type->ByteSize();
       if (p->type->is_named()) want = a.bytes.size();  // template param
@@ -1848,43 +2354,165 @@ StatusOr<LaunchResult> LaunchKernel(simgpu::Device& device, Module& module,
         "provides %zu",
         kernel_name.c_str(), L.shared_total, prof.shared_mem_per_block));
 
-  // ---- execute blocks sequentially ----
+  // ---- execute blocks on the worker pool ----
+  // Blocks are independent in this model (no cross-block synchronization
+  // primitive is exposed), so the grid is claimed block-by-block from an
+  // atomic counter by `workers` host threads. Each worker executes into a
+  // private VM slot and a private BlockResult; the reduction below then
+  // replays the serial engine's bookkeeping in canonical block order, so
+  // stats, cycle totals (flat FP fold), timestamps and traces are
+  // bit-identical for every worker count.
   uint64_t block_items = config.block.Count();
-  for (uint32_t bz = 0; bz < config.grid.z; ++bz) {
-    for (uint32_t by = 0; by < config.grid.y; ++by) {
-      for (uint32_t bx = 0; bx < config.grid.x; ++bx) {
-        // Per-block shared-memory mapping is an allocation event for the
-        // fault plan (FaultSite::kSharedAlloc).
-        if (device.faults().armed())
-          BRIDGECL_RETURN_IF_ERROR(
-              device.faults().OnSharedAlloc(std::max<size_t>(L.shared_total, 1)));
-        device.vm().MapShared(std::max<size_t>(L.shared_total, 1));
-        device.vm().MapPrivate(block_items * kPrivateBytesPerItem);
-        simgpu::FiberGroup group(kFiberStackBytes);
-        L.group = &group;
-        L.group_id = Dim3(bx, by, bz);
-        std::vector<std::unique_ptr<Evaluator>> evals(block_items);
-        Status st = group.Run(
-            static_cast<int>(block_items), [&](int idx) -> Status {
-              Dim3 lid(idx % config.block.x,
-                       (idx / config.block.x) % config.block.y,
-                       idx / (config.block.x * config.block.y));
-              evals[idx] = std::make_unique<Evaluator>(L, lid, idx);
-              return evals[idx]->Run();
-            });
-        for (auto& ev : evals)
-          if (ev) L.total_cycles += ev->TakeCycles();
-        if (!st.ok()) return st;
+  uint64_t total_blocks = config.grid.Count();
+  int workers = WorkerCount();
+  // Serialize when execution order is observable: an armed fault plan
+  // counts per-site consults in execution order; atomics are modeled as
+  // plain read-modify-writes; and a launch whose blocks read a buffer
+  // other blocks write (in-place stencils like srad2, wavefronts like
+  // nw) sees the serial engine's canonical block order through memory.
+  if (workers > 1) {
+    GlobalAccessSummary acc = AnalyzeKernelGlobalAccesses(kernel);
+    if (std::getenv("BRIDGECL_DEBUG_HAZARD") != nullptr)
+      fprintf(stderr,
+              "[hazard] %s load=%llx store=%llx uload=%d ustore=%d atom=%d\n",
+              kernel_name.c_str(),
+              (unsigned long long)acc.load_params,
+              (unsigned long long)acc.store_params, acc.unknown_load,
+              acc.unknown_store, acc.uses_atomics);
+    bool hazard = acc.uses_atomics || acc.unknown_store ||
+                  (acc.unknown_load && acc.store_params != 0);
+    if (!hazard && acc.store_params != 0) {
+      // Attribute each accessed param to its underlying allocation; a
+      // buffer both stored and loaded (same param, or two aliasing
+      // params), or stored through two params, is a cross-block hazard.
+      std::map<uint64_t, std::pair<int, int>> per_alloc;  // {stores, loads}
+      for (size_t i = 0; i < L.arg_values.size() && i < 64; ++i) {
+        uint64_t bit = 1ull << i;
+        if (((acc.load_params | acc.store_params) & bit) == 0) continue;
+        uint64_t va = L.arg_values[i].AsVa();
+        uint64_t key = device.vm().GlobalAllocationBaseOf(va);
+        if (key == 0) key = va;
+        auto& [stores, loads] = per_alloc[key];
+        if (acc.store_params & bit) ++stores;
+        if (acc.load_params & bit) ++loads;
+      }
+      for (const auto& [base, sl] : per_alloc)
+        if (sl.first > 0 && (sl.second > 0 || sl.first > 1)) hazard = true;
+    }
+    if (hazard) workers = 1;
+  }
+  if (device.faults().armed()) workers = 1;
+  if (static_cast<uint64_t>(workers) > total_blocks)
+    workers = static_cast<int>(total_blocks);
+  device.vm().EnsureWorkerSlots(workers);
+
+  struct BlockResult {
+    simgpu::DeviceStats delta;
+    std::vector<double> item_cycles;  // canonical per-item fold order
+    Status status;
+    bool executed = false;
+  };
+  std::vector<BlockResult> results(total_blocks);
+  std::atomic<uint64_t> next_block{0};
+  std::atomic<uint64_t> first_error_block{std::numeric_limits<uint64_t>::max()};
+
+  auto run_worker = [&](int w) {
+    // Per-worker launch state: same layout, rebased into VM slot `w`.
+    LaunchState W = L;
+    W.slot = w;
+    uint64_t delta = device.vm().shared_base(w) - device.vm().shared_base(0);
+    if (delta != 0) {
+      for (auto& [var, va] : W.shared_va) va += delta;
+      W.dynamic_shared_va += delta;
+      for (size_t ai : W.local_arg_indices)
+        W.arg_values[ai] = Value::Pointer(W.arg_values[ai].AsVa() + delta,
+                                          kernel->params[ai]->type);
+    }
+    for (;;) {
+      uint64_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= total_blocks) break;
+      // Blocks past an already-failed one will be discarded by the
+      // reduction; skip them instead of burning cycles.
+      if (b > first_error_block.load(std::memory_order_acquire)) continue;
+      BlockResult& r = results[b];
+      r.executed = true;
+      W.stats = &r.delta;
+      // Per-block shared-memory mapping is an allocation event for the
+      // fault plan (FaultSite::kSharedAlloc); only reachable serially.
+      if (device.faults().armed()) {
+        Status fs =
+            device.faults().OnSharedAlloc(std::max<size_t>(W.shared_total, 1));
+        if (!fs.ok()) {
+          r.status = std::move(fs);
+          uint64_t prev = first_error_block.load(std::memory_order_relaxed);
+          while (b < prev && !first_error_block.compare_exchange_weak(
+                                 prev, b, std::memory_order_release,
+                                 std::memory_order_relaxed)) {
+          }
+          continue;
+        }
+      }
+      device.vm().MapSharedSlot(w, std::max<size_t>(W.shared_total, 1));
+      device.vm().MapPrivateSlot(
+          w, static_cast<size_t>(block_items) * kPrivateBytesPerItem);
+      simgpu::FiberGroup group(kFiberStackBytes);
+      W.group = &group;
+      W.group_id = Dim3(static_cast<uint32_t>(b % config.grid.x),
+                        static_cast<uint32_t>((b / config.grid.x) %
+                                              config.grid.y),
+                        static_cast<uint32_t>(b / (uint64_t{config.grid.x} *
+                                                   config.grid.y)));
+      std::vector<std::unique_ptr<Evaluator>> evals(block_items);
+      Status st =
+          group.Run(static_cast<int>(block_items), [&](int idx) -> Status {
+            Dim3 lid(idx % config.block.x,
+                     (idx / config.block.x) % config.block.y,
+                     idx / (config.block.x * config.block.y));
+            evals[idx] = std::make_unique<Evaluator>(W, lid, idx);
+            return evals[idx]->Run();
+          });
+      r.item_cycles.assign(block_items, 0.0);
+      for (uint64_t i = 0; i < block_items; ++i)
+        if (evals[i]) r.item_cycles[i] = evals[i]->TakeCycles();
+      if (!st.ok()) {
+        r.status = std::move(st);
+        uint64_t prev = first_error_block.load(std::memory_order_relaxed);
+        while (b < prev &&
+               !first_error_block.compare_exchange_weak(
+                   prev, b, std::memory_order_release,
+                   std::memory_order_relaxed)) {
+        }
       }
     }
+  };
+  if (std::getenv("BRIDGECL_DEBUG_HAZARD") != nullptr)
+    fprintf(stderr, "[hazard] %s workers=%d blocks=%llu\n",
+            kernel_name.c_str(), workers,
+            (unsigned long long)total_blocks);
+  WorkerPool::Instance().Run(workers, run_worker);
+
+  // ---- canonical-order reduction ----
+  // Fold block results exactly as the serial loop would have: stats and
+  // per-item cycle contributions for blocks 0..b accumulate before block
+  // b's error (if any) is returned, matching the serial engine's
+  // early-return with partial stats.
+  double total_cycles = 0.0;
+  uint64_t err_block = first_error_block.load(std::memory_order_acquire);
+  for (uint64_t b = 0; b < total_blocks; ++b) {
+    if (b > err_block) break;
+    BlockResult& r = results[b];
+    if (!r.executed) break;  // unclaimed tail after an error
+    AccumulateStats(device.stats(), r.delta);
+    for (double c : r.item_cycles) total_cycles += c;
+    if (!r.status.ok()) return std::move(r.status);
   }
 
   int regs = module.RegistersFor(kernel);
   uint64_t total_items = config.grid.Count() * block_items;
   double before = device.now_us();
-  device.ChargeKernel(L.total_cycles, regs, total_items);
+  device.ChargeKernel(total_cycles, regs, total_items);
   LaunchResult result;
-  result.total_cycles = L.total_cycles;
+  result.total_cycles = total_cycles;
   result.occupancy = device.OccupancyFor(regs);
   result.work_items = total_items;
   result.kernel_time_us = device.now_us() - before;

@@ -1,7 +1,10 @@
 // Kernel launcher + AST evaluator. Executes a kernel over a grid on a
-// simulated device: one block at a time, the block's work-items as
-// cooperatively scheduled fibers (real barrier semantics), with every
-// operation charged to the device timing model.
+// simulated device: blocks claimed in parallel by a host worker pool
+// (docs/PERFORMANCE.md), each block's work-items as cooperatively
+// scheduled fibers (real barrier semantics), with every operation
+// charged to the device timing model. Per-block costs are reduced in
+// canonical block order, so results are bit-identical for any worker
+// count.
 #pragma once
 
 #include <cstdint>
@@ -76,5 +79,16 @@ StatusOr<LaunchResult> LaunchKernel(simgpu::Device& device, Module& module,
                                     const std::string& kernel_name,
                                     const LaunchConfig& config,
                                     std::span<const KernelArg> args);
+
+/// Host workers used for block-parallel launches: the SetWorkerCount
+/// override if pinned, else BRIDGECL_JOBS, else hardware_concurrency
+/// (see worker_pool.h). Launches that require serial execution (armed
+/// fault plans, kernels using atomics) ignore this and run with one
+/// worker.
+int WorkerCount();
+/// Pin the worker count for subsequent launches (tests, benches);
+/// `n == 0` restores the environment-derived default. Clamped to the
+/// VM's worker-slot capacity.
+void SetWorkerCount(int n);
 
 }  // namespace bridgecl::interp

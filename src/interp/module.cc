@@ -1,5 +1,9 @@
 #include "interp/module.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
 #include "interp/constants.h"
 #include "interp/value.h"
 #include "lang/parser.h"
@@ -101,18 +105,149 @@ Status EncodeInit(const VarDecl& v, std::byte* dst, size_t size) {
   return EncodeValue(val, dst);
 }
 
+// ---------------------------------------------------------------------------
+// Content-hashed module cache
+// ---------------------------------------------------------------------------
+// Compile results keyed by FNV-1a(source, dialect, build options). Entries
+// hold the analyzed TU (shared, immutable after sema) for successful
+// builds, and the failure Status for unsuccessful ones — plus the exact
+// diagnostic list either way, replayed into the caller's engine on a hit
+// so clGetProgramBuildInfo output is byte-identical whether or not the
+// front end actually ran.
+
+struct CacheEntry {
+  std::string full_key;  // composite key, guards against hash collisions
+  std::shared_ptr<lang::TranslationUnit> tu;  // null for failed builds
+  Status status;
+  std::vector<Diagnostic> diags;
+};
+
+std::mutex g_cache_mu;
+std::unordered_map<uint64_t, CacheEntry>& CacheMap() {
+  static auto* map = new std::unordered_map<uint64_t, CacheEntry>();
+  return *map;
+}
+std::atomic<uint64_t> g_cache_hits{0};
+std::atomic<uint64_t> g_cache_misses{0};
+std::atomic<int> g_cache_override{-1};
+
+std::string CompositeKey(const std::string& source, Dialect dialect,
+                         const std::string& build_options) {
+  std::string key;
+  key.reserve(source.size() + build_options.size() + 16);
+  key.append(source);
+  key.push_back('\0');
+  key.append(lang::DialectName(dialect));
+  key.push_back('\0');
+  key.append(build_options);
+  return key;
+}
+
+void ReplayDiags(const std::vector<Diagnostic>& stored,
+                 DiagnosticEngine& diags) {
+  for (const Diagnostic& d : stored) {
+    switch (d.severity) {
+      case DiagSeverity::kError: diags.Error(d.loc, d.message); break;
+      case DiagSeverity::kWarning: diags.Warning(d.loc, d.message); break;
+      case DiagSeverity::kNote: diags.Note(d.loc, d.message); break;
+    }
+  }
+}
+
 }  // namespace
 
-StatusOr<std::unique_ptr<Module>> Module::Compile(const std::string& source,
-                                                  Dialect dialect,
-                                                  DiagnosticEngine& diags) {
+ModuleCacheStats GetModuleCacheStats() {
+  return ModuleCacheStats{g_cache_hits.load(std::memory_order_relaxed),
+                          g_cache_misses.load(std::memory_order_relaxed)};
+}
+
+uint64_t ModuleCacheKey(const std::string& source, Dialect dialect,
+                        const std::string& build_options) {
+  // FNV-1a, 64-bit.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : CompositeKey(source, dialect, build_options)) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool ModuleCacheEnabled() {
+  int pinned = g_cache_override.load(std::memory_order_relaxed);
+  if (pinned >= 0) return pinned != 0;
+  static const bool from_env = [] {
+    const char* env = std::getenv("BRIDGECL_MODULE_CACHE");
+    return env == nullptr || std::string(env) != "0";
+  }();
+  return from_env;
+}
+
+void SetModuleCacheEnabled(int enabled) {
+  g_cache_override.store(enabled < 0 ? -1 : (enabled != 0),
+                         std::memory_order_relaxed);
+}
+
+StatusOr<std::unique_ptr<Module>> Module::Compile(
+    const std::string& source, Dialect dialect, DiagnosticEngine& diags,
+    const std::string& build_options, ModuleCacheOutcome* outcome) {
+  const bool cached = ModuleCacheEnabled();
+  if (outcome != nullptr)
+    *outcome = cached ? ModuleCacheOutcome::kMiss : ModuleCacheOutcome::kDisabled;
+  const std::string full_key =
+      cached ? CompositeKey(source, dialect, build_options) : std::string();
+  const uint64_t key =
+      cached ? ModuleCacheKey(source, dialect, build_options) : 0;
+
+  if (cached) {
+    std::lock_guard<std::mutex> lock(g_cache_mu);
+    auto it = CacheMap().find(key);
+    if (it != CacheMap().end() && it->second.full_key == full_key) {
+      g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      if (outcome != nullptr) *outcome = ModuleCacheOutcome::kHit;
+      ReplayDiags(it->second.diags, diags);
+      if (!it->second.status.ok()) return it->second.status;
+      auto m = std::unique_ptr<Module>(new Module());
+      m->tu_ = it->second.tu;
+      m->dialect_ = dialect;
+      m->source_ = source;
+      return m;
+    }
+  }
+
+  // Front end. Capture only the diagnostics this compile adds, so replay
+  // reproduces them exactly regardless of what the engine already holds.
+  const size_t diags_before = diags.diagnostics().size();
+  Status st = OkStatus();
+  std::shared_ptr<lang::TranslationUnit> tu;
   lang::ParseOptions popts;
   popts.dialect = dialect;
-  BRIDGECL_ASSIGN_OR_RETURN(auto tu,
-                            lang::ParseTranslationUnit(source, popts, diags));
-  lang::SemaOptions sopts;
-  sopts.dialect = dialect;
-  BRIDGECL_RETURN_IF_ERROR(lang::Analyze(*tu, sopts, diags));
+  auto parsed = lang::ParseTranslationUnit(source, popts, diags);
+  if (!parsed.ok()) {
+    st = parsed.status();
+  } else {
+    tu = std::shared_ptr<lang::TranslationUnit>(std::move(*parsed));
+    lang::SemaOptions sopts;
+    sopts.dialect = dialect;
+    st = lang::Analyze(*tu, sopts, diags);
+    if (!st.ok()) tu = nullptr;
+  }
+
+  if (cached) {
+    CacheEntry entry;
+    entry.full_key = full_key;
+    entry.tu = tu;
+    entry.status = st;
+    entry.diags.assign(diags.diagnostics().begin() + diags_before,
+                       diags.diagnostics().end());
+    std::lock_guard<std::mutex> lock(g_cache_mu);
+    g_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    auto it = CacheMap().find(key);
+    // Keep the first entry on a (vanishingly unlikely) FNV collision:
+    // colliding sources simply recompile every time.
+    if (it == CacheMap().end()) CacheMap().emplace(key, std::move(entry));
+  }
+
+  if (!st.ok()) return st;
   auto m = std::unique_ptr<Module>(new Module());
   m->tu_ = std::move(tu);
   m->dialect_ = dialect;

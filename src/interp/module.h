@@ -40,12 +40,45 @@ class KernelRegisterTable {
   std::unordered_map<std::string, Entry> entries_;
 };
 
+/// What the content-hashed module cache did for one Compile call.
+enum class ModuleCacheOutcome {
+  kDisabled,  // cache bypassed (BRIDGECL_MODULE_CACHE=0 or setter)
+  kMiss,      // front end ran; result inserted
+  kHit,       // front end skipped; diagnostics replayed from the cache
+};
+
+/// Cumulative process-wide cache counters (monotone; surfaced on build
+/// trace spans and in docs/PERFORMANCE.md tooling).
+struct ModuleCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+ModuleCacheStats GetModuleCacheStats();
+
+/// Cache keying: FNV-1a over source + dialect + build options. Exposed so
+/// tests can assert two sources collide/differ where expected.
+uint64_t ModuleCacheKey(const std::string& source, lang::Dialect dialect,
+                        const std::string& build_options);
+
+/// Whether Compile consults the cache. Defaults to the environment
+/// (BRIDGECL_MODULE_CACHE, "0" disables); SetModuleCacheEnabled(0/1)
+/// overrides, -1 restores the environment default.
+bool ModuleCacheEnabled();
+void SetModuleCacheEnabled(int enabled);
+
 class Module {
  public:
-  /// Parse + analyze `source` in the given dialect.
-  static StatusOr<std::unique_ptr<Module>> Compile(const std::string& source,
-                                                   lang::Dialect dialect,
-                                                   DiagnosticEngine& diags);
+  /// Parse + analyze `source` in the given dialect. Results (including
+  /// failures and their diagnostics) are cached process-wide under
+  /// ModuleCacheKey(source, dialect, build_options); a hit skips the
+  /// front end, replays the original diagnostics into `diags` so build
+  /// logs are byte-identical, and shares the analyzed translation unit.
+  /// Simulated build cost is charged by callers identically on hit and
+  /// miss — the cache saves wall-clock only, never simulated time.
+  static StatusOr<std::unique_ptr<Module>> Compile(
+      const std::string& source, lang::Dialect dialect,
+      DiagnosticEngine& diags, const std::string& build_options = "",
+      ModuleCacheOutcome* outcome = nullptr);
 
   /// Lay out and initialize module-scope memory on `device`:
   ///   * every __constant/__constant__ file-scope variable gets an offset
@@ -95,7 +128,9 @@ class Module {
  private:
   Module() = default;
 
-  std::unique_ptr<lang::TranslationUnit> tu_;
+  // Shared with the module cache and with sibling modules compiled from
+  // identical source: the TU is immutable after sema.
+  std::shared_ptr<lang::TranslationUnit> tu_;
   lang::Dialect dialect_ = lang::Dialect::kOpenCL;
   std::string source_;
   simgpu::Device* loaded_device_ = nullptr;

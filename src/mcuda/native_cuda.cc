@@ -57,7 +57,14 @@ class NativeCudaApi final : public CudaApi {
     // Static compilation: no run-time build cost is charged (CUDA embeds
     // compiled device code in the executable, §3.4).
     DiagnosticEngine diags;
-    auto m = Module::Compile(cuda_source, lang::Dialect::kCUDA, diags);
+    interp::ModuleCacheOutcome cache_outcome;
+    auto m = Module::Compile(cuda_source, lang::Dialect::kCUDA, diags,
+                             /*build_options=*/"", &cache_outcome);
+    if (cache_outcome != interp::ModuleCacheOutcome::kDisabled) {
+      auto stats = interp::GetModuleCacheStats();
+      span.SetModuleCache(cache_outcome == interp::ModuleCacheOutcome::kHit,
+                          stats.hits, stats.misses);
+    }
     if (!m.ok())
       return AsCuda(Status(m.status().code(),
                            m.status().message() + "\n" + diags.ToString()),

@@ -390,8 +390,17 @@ class NativeClApi final : public OpenClApi {
       return AsCl(InvalidArgumentError("unknown program"),
                   CL_INVALID_PROGRAM);
     DiagnosticEngine diags;
-    auto m = Module::Compile(it->second.source, lang::Dialect::kOpenCL, diags);
+    interp::ModuleCacheOutcome cache_outcome;
+    auto m = Module::Compile(it->second.source, lang::Dialect::kOpenCL, diags,
+                             /*build_options=*/"", &cache_outcome);
+    if (cache_outcome != interp::ModuleCacheOutcome::kDisabled) {
+      auto stats = interp::GetModuleCacheStats();
+      span.SetModuleCache(cache_outcome == interp::ModuleCacheOutcome::kHit,
+                          stats.hits, stats.misses);
+    }
     it->second.build_log = diags.ToString();
+    // The simulated build cost is charged identically on cache hit and
+    // miss: the cache saves host wall-clock, never simulated device time.
     // Whatever the compiler's failure class, clBuildProgram reports a
     // source that does not compile as CL_BUILD_PROGRAM_FAILURE.
     if (!m.ok()) return AsCl(m.status(), CL_BUILD_PROGRAM_FAILURE);

@@ -38,7 +38,7 @@ StatusOr<uint64_t> VirtualMemory::AllocGlobal(size_t bytes) {
   uint64_t base = (next_global_ + kGranule - 1) & ~uint64_t{kGranule - 1};
   Region r;
   r.user_size = bytes;
-  r.generation = ++next_generation_;
+  r.generation = next_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (guarded_) {
     // Strict span plus poisoned redzones on both sides of the user bytes.
     r.span = bytes;
@@ -91,13 +91,31 @@ void VirtualMemory::MapConstant(size_t bytes) {
   constant_.storage.assign(bytes, std::byte{0});
   constant_.user_size = constant_.span = bytes;
 }
-void VirtualMemory::MapShared(size_t bytes) {
-  shared_.storage.assign(bytes, std::byte{0});
-  shared_.user_size = shared_.span = bytes;
+void VirtualMemory::MapSharedSlot(int slot, size_t bytes) {
+  Region& r = shared_slots_[static_cast<size_t>(slot)];
+  r.storage.assign(bytes, std::byte{0});
+  r.user_size = r.span = bytes;
 }
-void VirtualMemory::MapPrivate(size_t bytes) {
-  private_.storage.assign(bytes, std::byte{0});
-  private_.user_size = private_.span = bytes;
+void VirtualMemory::MapPrivateSlot(int slot, size_t bytes) {
+  Region& r = private_slots_[static_cast<size_t>(slot)];
+  r.storage.assign(bytes, std::byte{0});
+  r.user_size = r.span = bytes;
+}
+
+void VirtualMemory::EnsureWorkerSlots(int slots) {
+  size_t n = static_cast<size_t>(
+      std::min(std::max(slots, 1), kMaxWorkerSlots));
+  if (shared_slots_.size() < n) shared_slots_.resize(n);
+  if (private_slots_.size() < n) private_slots_.resize(n);
+}
+
+uint64_t VirtualMemory::GlobalAllocationBaseOf(uint64_t va) const {
+  auto it = global_allocs_.upper_bound(va);
+  if (it == global_allocs_.begin()) return 0;
+  auto prev = std::prev(it);
+  const Region& r = prev->second;
+  if (!r.freed && va < prev->first + r.span) return prev->first;
+  return 0;
 }
 
 StatusOr<std::byte*> VirtualMemory::ResolveGlobal(uint64_t va, size_t len) {
@@ -144,24 +162,48 @@ StatusOr<std::byte*> VirtualMemory::ResolveGlobal(uint64_t va, size_t len) {
       len, static_cast<unsigned long long>(va)));
 }
 
-StatusOr<std::byte*> VirtualMemory::Resolve(uint64_t va, size_t len) {
-  if (injector_ != nullptr && injector_->armed())
-    BRIDGECL_RETURN_IF_ERROR(injector_->OnMemoryAccess(va, len));
-  auto fixed = [&](uint64_t base, Region& r,
-                   Segment seg) -> StatusOr<std::byte*> {
+StatusOr<std::byte*> VirtualMemory::ResolveSlotted(uint64_t va, size_t len,
+                                                   uint64_t seg_base,
+                                                   std::vector<Region>& slots,
+                                                   Segment seg) {
+  uint64_t slot = (va - seg_base) / kWorkerSlotStride;
+  uint64_t base = seg_base + slot * kWorkerSlotStride;
+  if (slot < slots.size()) {
+    Region& r = slots[static_cast<size_t>(slot)];
     if (va + len <= base + r.span) return r.storage.data() + (va - base);
     return InternalError(StrFormat(
         "device memory fault: access of %zu bytes at 0x%llx overruns the"
         " %s segment [0x%llx, +%zu)",
         len, static_cast<unsigned long long>(va), SegmentName(seg),
         static_cast<unsigned long long>(base), r.span));
-  };
+  }
+  return InternalError(StrFormat(
+      "device memory fault: access of %zu bytes at 0x%llx (segment %s,"
+      " unmapped worker slot %llu)",
+      len, static_cast<unsigned long long>(va), SegmentName(seg),
+      static_cast<unsigned long long>(slot)));
+}
+
+StatusOr<std::byte*> VirtualMemory::Resolve(uint64_t va, size_t len) {
+  if (injector_ != nullptr && injector_->armed())
+    BRIDGECL_RETURN_IF_ERROR(injector_->OnMemoryAccess(va, len));
   // Order: constant (highest base) > shared > private > global.
-  if (va >= kConstantBase) return fixed(kConstantBase, constant_,
-                                        Segment::kConstant);
-  if (va >= kSharedBase) return fixed(kSharedBase, shared_, Segment::kShared);
-  if (va >= kPrivateBase) return fixed(kPrivateBase, private_,
-                                       Segment::kPrivate);
+  if (va >= kConstantBase) {
+    Region& r = constant_;
+    if (va + len <= kConstantBase + r.span)
+      return r.storage.data() + (va - kConstantBase);
+    return InternalError(StrFormat(
+        "device memory fault: access of %zu bytes at 0x%llx overruns the"
+        " constant segment [0x%llx, +%zu)",
+        len, static_cast<unsigned long long>(va),
+        static_cast<unsigned long long>(kConstantBase), r.span));
+  }
+  if (va >= kSharedBase)
+    return ResolveSlotted(va, len, kSharedBase, shared_slots_,
+                          Segment::kShared);
+  if (va >= kPrivateBase)
+    return ResolveSlotted(va, len, kPrivateBase, private_slots_,
+                          Segment::kPrivate);
   if (va >= kGlobalBase) return ResolveGlobal(va, len);
   return InternalError(
       StrFormat("device memory fault: access of %zu bytes at 0x%llx"

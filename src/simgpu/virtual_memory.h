@@ -24,6 +24,7 @@
 //     (the device-side half of a cuda-memcheck-style tool).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -47,6 +48,18 @@ class VirtualMemory {
   static constexpr uint64_t kConstantBase = 0x0000'7F00'0000'0000ull;
   static constexpr uint64_t kSharedBase = 0x0000'7E00'0000'0000ull;
   static constexpr uint64_t kPrivateBase = 0x0000'7D00'0000'0000ull;
+
+  /// Worker slots: the block-parallel launcher gives each host worker its
+  /// own shared/private window inside the 1 TiB segment span, at
+  /// `segment base + slot * kWorkerSlotStride`. The stride is a power of
+  /// two and a multiple of every bank-word size, so a VA rebased into
+  /// slot w keeps its offset modulo any bank word — bank-conflict counts
+  /// are bit-identical across slots (SharedAccessBankWords depends only
+  /// on va modulo the word size). Slot 0 is the legacy single-threaded
+  /// window.
+  static constexpr uint64_t kWorkerSlotStride = 1ull << 33;  // 8 GiB
+  static constexpr int kMaxWorkerSlots =
+      static_cast<int>((kSharedBase - kPrivateBase) / kWorkerSlotStride);
 
   /// Allocation granule: base alignment and the unit backing stores are
   /// padded to in unguarded mode.
@@ -74,15 +87,29 @@ class VirtualMemory {
   Status FreeGlobal(uint64_t va);
 
   /// (Re)map the fixed regions. Shared/private are remapped per block by
-  /// the launcher; constant is mapped once per loaded module.
+  /// the launcher; constant is mapped once per loaded module. The
+  /// slot-less forms map worker slot 0 (the serial engine's window).
   void MapConstant(size_t bytes);
-  void MapShared(size_t bytes);
-  void MapPrivate(size_t bytes);
+  void MapShared(size_t bytes) { MapSharedSlot(0, bytes); }
+  void MapPrivate(size_t bytes) { MapPrivateSlot(0, bytes); }
+  void MapSharedSlot(int slot, size_t bytes);
+  void MapPrivateSlot(int slot, size_t bytes);
+
+  /// Pre-size the per-slot region tables so that workers can remap their
+  /// own slots without synchronization. Must be called before (never
+  /// during) a parallel phase; existing slot contents are preserved.
+  void EnsureWorkerSlots(int slots);
+  int worker_slots() const { return static_cast<int>(shared_slots_.size()); }
 
   /// Resolve `va..va+len` to host memory. Fails on unmapped or
   /// out-of-bounds accesses (the simulated segfault); in guarded mode the
   /// failure names the allocation, its extent and generation.
   StatusOr<std::byte*> Resolve(uint64_t va, size_t len);
+
+  /// Base VA of the live global allocation containing `va`, or 0 if none.
+  /// Used by the block-parallel launcher to detect kernel arguments that
+  /// alias the same buffer (read-write hazard -> serial execution).
+  uint64_t GlobalAllocationBaseOf(uint64_t va) const;
   /// Segment of a mapped address (for access-cost classification).
   StatusOr<Segment> SegmentOf(uint64_t va) const;
 
@@ -92,8 +119,12 @@ class VirtualMemory {
   size_t global_allocation_count() const { return live_global_count_; }
 
   uint64_t constant_base() const { return kConstantBase; }
-  uint64_t shared_base() const { return kSharedBase; }
-  uint64_t private_base() const { return kPrivateBase; }
+  uint64_t shared_base(int slot = 0) const {
+    return kSharedBase + static_cast<uint64_t>(slot) * kWorkerSlotStride;
+  }
+  uint64_t private_base(int slot = 0) const {
+    return kPrivateBase + static_cast<uint64_t>(slot) * kWorkerSlotStride;
+  }
 
  private:
   struct Region {
@@ -106,6 +137,8 @@ class VirtualMemory {
   };
 
   StatusOr<std::byte*> ResolveGlobal(uint64_t va, size_t len);
+  StatusOr<std::byte*> ResolveSlotted(uint64_t va, size_t len, uint64_t seg_base,
+                                      std::vector<Region>& slots, Segment seg);
 
   bool guarded_ = false;
   FaultInjector* injector_ = nullptr;
@@ -113,11 +146,17 @@ class VirtualMemory {
   size_t global_in_use_ = 0;
   size_t live_global_count_ = 0;
   uint64_t next_global_ = kGlobalBase;
-  uint64_t next_generation_ = 0;
+  // Atomic so that future device-side allocation events stay safe under
+  // the block-parallel engine (generation tags are part of the guarded
+  // use-after-free diagnostics and must never tear).
+  std::atomic<uint64_t> next_generation_{0};
   std::map<uint64_t, Region> global_allocs_;  // base VA -> region
   Region constant_;
-  Region shared_;
-  Region private_;
+  // Worker-slot shared/private windows; index = slot. Sized by
+  // EnsureWorkerSlots before a parallel phase so workers touch only their
+  // own element.
+  std::vector<Region> shared_slots_ = std::vector<Region>(1);
+  std::vector<Region> private_slots_ = std::vector<Region>(1);
 };
 
 }  // namespace bridgecl::simgpu

@@ -333,6 +333,123 @@ TEST(WrapperConformanceTest, CudaOnClAgreesWithNativeCuda) {
 }
 
 // ---------------------------------------------------------------------------
+// Sync-point error fidelity (both wrapper directions): a failure parked
+// on a stream/queue must keep its identity when it surfaces at the next
+// synchronization point. Historically the cu2cl boundary collapsed every
+// CL_OUT_OF_RESOURCES annotation into cudaErrorLaunchFailure, losing the
+// resource-exhaustion / execution-fault distinction CUDA callers rely on.
+// ---------------------------------------------------------------------------
+
+// Dynamic shared memory is sized at launch: requesting more than the
+// device budget is resource exhaustion, not an unspecified launch fault.
+const char* kSharedHogCu =
+    "__global__ void hog(float* out) {\n"
+    "  extern __shared__ float tile[];\n"
+    "  tile[threadIdx.x] = (float)threadIdx.x;\n"
+    "  __syncthreads();\n"
+    "  out[threadIdx.x] = tile[threadIdx.x];\n"
+    "}\n";
+
+TEST(WrapperConformanceTest, CudaOnClSyncPointKeepsResourceExhaustion) {
+  Device dev(TitanProfile());
+  auto cl = mocl::CreateNativeClApi(dev);
+  auto cu = cu2cl::CreateCudaOnClApi(*cl, {});
+  ASSERT_TRUE(cu->RegisterModule(kSharedHogCu).ok());
+  auto out = cu->Malloc(64 * sizeof(float));
+  ASSERT_TRUE(out.ok());
+  auto stream = cu->StreamCreate();
+  ASSERT_TRUE(stream.ok());
+  std::vector<LaunchArg> args = {LaunchArg::Ptr(*out)};
+  // The over-budget launch is asynchronous, so its failure parks on the
+  // stream's queue and the enqueue itself reports success...
+  ASSERT_TRUE(cu->LaunchKernelOnStream(
+                    "hog", Dim3(1, 1, 1), Dim3(64, 1, 1),
+                    dev.profile().shared_mem_per_block + 4096, args, *stream)
+                  .ok());
+  // ...and the sync point must report launch resource exhaustion, not
+  // the cudaErrorLaunchFailure catch-all it used to collapse into.
+  Status st = cu->StreamSynchronize(*stream);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.api_code(), mcuda::cudaErrorLaunchOutOfResources)
+      << st.ToString();
+  EXPECT_TRUE(cu->StreamDestroy(*stream).ok());
+  EXPECT_TRUE(cu->Free(*out).ok());
+}
+
+TEST(WrapperConformanceTest, CudaOnClSyncPointKeepsExecutionFault) {
+  // The counterpart: a device-side execution fault (guarded-memory
+  // violation) shares the CL_OUT_OF_RESOURCES annotation but must stay
+  // the cudaErrorLaunchFailure catch-all — the refinement keys on the
+  // StatusCode, not just the CL code.
+  const char* src =
+      "__global__ void store(float* c) {\n"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+      "  c[i] = (float)i;\n"
+      "}\n";
+  Device dev(TitanProfile());
+  dev.vm().set_guarded(true);
+  auto cl = mocl::CreateNativeClApi(dev);
+  auto cu = cu2cl::CreateCudaOnClApi(*cl, {});
+  ASSERT_TRUE(cu->RegisterModule(src).ok());
+  auto buf = cu->Malloc(25 * sizeof(float));
+  ASSERT_TRUE(buf.ok());
+  auto stream = cu->StreamCreate();
+  ASSERT_TRUE(stream.ok());
+  std::vector<LaunchArg> args = {LaunchArg::Ptr(*buf)};
+  // 26 work-items store into a 25-float allocation: item 25 hits the
+  // redzone; the failure parks and surfaces at the sync point.
+  ASSERT_TRUE(cu->LaunchKernelOnStream("store", Dim3(2, 1, 1),
+                                       Dim3(13, 1, 1), 0, args, *stream)
+                  .ok());
+  Status st = cu->StreamSynchronize(*stream);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.api_code(), mcuda::cudaErrorLaunchFailure) << st.ToString();
+  EXPECT_NE(st.message().find("guarded-memory fault"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(cu->StreamDestroy(*stream).ok());
+}
+
+TEST(WrapperConformanceTest, ClOnCudaSyncPointSealsLaunchFailures) {
+  // Reverse direction: both inner-CUDA flavors — launch resource
+  // exhaustion and the launch-failure catch-all — must surface at a
+  // cl2cu sync point as CL_OUT_OF_RESOURCES (the CL 1.2 catch-all),
+  // never collapsed into CL_INVALID_VALUE by the unannotated fallback.
+  const char* src =
+      "__kernel void hog(__global float* out, __local float* tile) {"
+      "  int l = get_local_id(0);"
+      "  tile[l] = (float)l;"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  out[get_global_id(0)] = tile[l];"
+      "}";
+  Device dev(TitanProfile());
+  auto cuda = mcuda::CreateNativeCudaApi(dev);
+  auto cl = cl2cu::CreateClOnCudaApi(*cuda);
+  auto prog = cl->CreateProgramWithSource(src);
+  ASSERT_TRUE(prog.ok());
+  ASSERT_TRUE(cl->BuildProgram(*prog).ok());
+  auto kernel = cl->CreateKernel(*prog, "hog");
+  ASSERT_TRUE(kernel.ok());
+  auto out = cl->CreateBuffer(MemFlags::kReadWrite, 64 * 4, nullptr);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(cl->SetKernelArg(*kernel, 0, sizeof(ClMem), &*out).ok());
+  // Over-budget __local allocation, requested through the arg-size form.
+  ASSERT_TRUE(cl->SetKernelArg(*kernel, 1,
+                               dev.profile().shared_mem_per_block + 4096,
+                               nullptr)
+                  .ok());
+  auto queue = cl->CreateCommandQueue(0);
+  ASSERT_TRUE(queue.ok());
+  size_t gws = 64, lws = 64;
+  ASSERT_TRUE(cl->EnqueueNDRangeKernelOn(*queue, *kernel, 1, &gws, &lws, {},
+                                         nullptr)
+                  .ok());
+  Status st = cl->Finish(*queue);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.api_code(), mocl::CL_OUT_OF_RESOURCES) << st.ToString();
+  EXPECT_TRUE(cl->ReleaseCommandQueue(*queue).ok());
+}
+
+// ---------------------------------------------------------------------------
 // BRIDGECL_CHECK: dereferencing a failed StatusOr aborts loudly, in
 // release builds too.
 // ---------------------------------------------------------------------------

@@ -11,9 +11,13 @@
 //     JSON byte-for-byte.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "cl2cu/cl_on_cuda.h"
+#include "interp/module.h"
+#include "mcuda/cuda_api.h"
 #include "mocl/cl_api.h"
 #include "mocl/cl_errors.h"
 #include "sched/scheduler.h"
@@ -327,9 +331,82 @@ RunResult TracedOooRun() {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// cl2cu blocking-transfer over-synchronization regression: the wrapper's
+// lazy absolute-time base (EnsureT0) must anchor on an empty private
+// stream. Anchoring on the default stream made the first event-producing
+// command wait out everything already enqueued there — detected here
+// through the trace span windows.
+// ---------------------------------------------------------------------------
+TEST(SchedTest, FirstEventCommandDoesNotSyncDefaultQueue) {
+  Device dev(TitanProfile());
+  trace::TraceSession session(dev, {});
+  auto cu = mcuda::CreateNativeCudaApi(dev);
+  auto cl = cl2cu::CreateClOnCudaApi(*cu);
+  double after_write_enqueue = 0;
+  auto run = [&]() -> Status {
+    BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl->CreateProgramWithSource(kSpin));
+    BRIDGECL_RETURN_IF_ERROR(cl->BuildProgram(prog));
+    BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl->CreateKernel(prog, "spin"));
+    std::vector<float> h(256, 1.0f);
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem buf, cl->CreateBuffer(MemFlags::kReadWrite, 256 * 4, h.data()));
+    BRIDGECL_RETURN_IF_ERROR(cl->SetKernelArg(kernel, 0, sizeof(ClMem), &buf));
+    int iters = 2000;
+    BRIDGECL_RETURN_IF_ERROR(
+        cl->SetKernelArg(kernel, 1, sizeof(int), &iters));
+    // A long kernel pending on the DEFAULT queue (the CUDA default
+    // stream), enqueued without an event so t0 is not planted yet.
+    size_t gws = 256, lws = 32;
+    BRIDGECL_RETURN_IF_ERROR(cl->EnqueueNDRangeKernelOn(
+        mocl::ClQueue{0}, kernel, 1, &gws, &lws, {}, nullptr));
+    double kernel_enqueued = dev.now_us();
+    // First event-producing command, on an independent queue: triggers
+    // EnsureT0. It must not wait for the default queue's horizon.
+    BRIDGECL_ASSIGN_OR_RETURN(auto qb, cl->CreateCommandQueue(0));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        ClMem small, cl->CreateBuffer(MemFlags::kReadWrite, 1024, nullptr));
+    mocl::ClEvent wev{};
+    BRIDGECL_RETURN_IF_ERROR(cl->EnqueueWriteBufferOn(
+        qb, small, 0, 1024, h.data(), /*blocking=*/false, {}, &wev));
+    after_write_enqueue = dev.now_us();
+    EXPECT_GE(after_write_enqueue, kernel_enqueued);
+    BRIDGECL_RETURN_IF_ERROR(cl->Finish());
+    BRIDGECL_RETURN_IF_ERROR(cl->Finish(qb));
+    BRIDGECL_RETURN_IF_ERROR(cl->ReleaseEvent(wev));
+    return cl->ReleaseCommandQueue(qb);
+  };
+  Status st = run();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  // Span-window checks against the long kernel's compute-engine window.
+  double compute_end = -1.0, copy_begin = -1.0;
+  for (const trace::TraceEvent& e : session.recorder().events()) {
+    if (e.kind == trace::TraceKind::kDeviceCompute)
+      compute_end = std::max(compute_end, e.end_us);
+    if (e.kind == trace::TraceKind::kDeviceCopy && e.bytes == 1024)
+      copy_begin = e.begin_us;
+  }
+  ASSERT_GE(compute_end, 0.0) << "no compute-engine span recorded";
+  ASSERT_GE(copy_begin, 0.0) << "no copy-engine span for the small write";
+  // Over-sync would have parked the host behind the default queue before
+  // issuing the write (EnsureT0's anchor event waiting out the kernel),
+  // pushing both the enqueue's return and the copy window past the
+  // kernel's end.
+  EXPECT_LT(after_write_enqueue, compute_end)
+      << "the write enqueue waited out the default queue's kernel";
+  EXPECT_LT(copy_begin, compute_end)
+      << "the independent queue's write serialized behind the default "
+         "queue's kernel";
+}
+
 TEST(SchedTest, TracedOutOfOrderRunIsDeterministic) {
+  // Byte-identity across fresh runs: pin the module cache off so the
+  // repeat run recompiles instead of recording a cache hit (the hit/miss
+  // outcome is span metadata and would legitimately differ).
+  interp::SetModuleCacheEnabled(0);
   RunResult a = TracedOooRun();
   RunResult b = TracedOooRun();
+  interp::SetModuleCacheEnabled(-1);
   EXPECT_EQ(a.clock, b.clock);  // exact, not approximate
   EXPECT_EQ(a.api_calls, b.api_calls);
   EXPECT_EQ(a.h2d_bytes, b.h2d_bytes);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cu2cl/cuda_on_cl.h"
+#include "interp/module.h"
 #include "mcuda/cuda_api.h"
 #include "mocl/cl_api.h"
 #include "simgpu/device.h"
@@ -315,6 +316,10 @@ std::string TracedClRunJson() {
 }
 
 TEST(TraceTest, ChromeJsonRoundTripsMonotonicAndDeterministic) {
+  // Byte-identity across fresh runs: pin the module cache off so the
+  // repeat run recompiles instead of recording a cache hit (the hit/miss
+  // outcome is span metadata and would legitimately differ).
+  interp::SetModuleCacheEnabled(0);
   Device dev(TitanProfile());
   trace::TraceSession session(dev, {});
   auto cl = mocl::CreateNativeClApi(dev);
@@ -336,6 +341,7 @@ TEST(TraceTest, ChromeJsonRoundTripsMonotonicAndDeterministic) {
 
   // Determinism: an identical fresh run exports byte-identical JSON.
   EXPECT_EQ(json, TracedClRunJson());
+  interp::SetModuleCacheEnabled(-1);
 }
 
 /// Full DeviceStats equality, field by field.
