@@ -179,6 +179,29 @@ class CudaApi {
   /// Device::tracer(); wrapper bindings forward to the inner runtime so a
   /// wrapped stack records into one shared trace.
   virtual trace::TraceRecorder* Tracer() const { return nullptr; }
+
+  // -- snapshot/restore extension (src/snapshot, docs/SNAPSHOT.md) ----------
+  /// bridgeclSnapshot: serialize the whole context — device memory with
+  /// guard metadata, module cache, stream topology, event records, fault
+  /// ordinals, and this binding's handle tables — into a versioned image
+  /// at `path`. Charges no simulated time and works even after device
+  /// loss. Wrapper bindings forward to the inner runtime, so the image
+  /// records the native layer actually driving the device.
+  virtual Status Snapshot(const std::string& path) {
+    (void)path;
+    return UnimplementedError(
+        "bridgeclSnapshot is not supported by this CUDA binding");
+  }
+  /// bridgeclRestore: replace the whole context with the image at `path`.
+  /// Corrupt/truncated images fail with cudaErrorInvalidValue before any
+  /// state changes; an image whose live memory exceeds this device's
+  /// capacity fails with cudaErrorMemoryAllocation (cross-profile
+  /// migration onto a smaller device).
+  virtual Status Restore(const std::string& path) {
+    (void)path;
+    return UnimplementedError(
+        "bridgeclRestore is not supported by this CUDA binding");
+  }
 };
 
 /// Native binding over a simulated device.

@@ -1,0 +1,123 @@
+// Bounds-checked little-endian byte serialization for snapshot images
+// (docs/SNAPSHOT.md). Every multi-byte value is encoded byte-by-byte so
+// images are bit-identical across host endianness and padding rules —
+// the determinism guarantee the whole subsystem rests on. Readers never
+// trust the input: every Take* reports a truncated image as an error
+// instead of reading past the end.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace bridgecl::snapshot {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  /// u32 byte length + UTF-8 bytes.
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(reinterpret_cast<const std::byte*>(s.data()), s.size());
+  }
+  /// u64 byte length + raw bytes (region contents, arbitrary payloads).
+  void Blob(std::span<const std::byte> b) {
+    U64(b.size());
+    Raw(b.data(), b.size());
+  }
+  void Raw(const std::byte* p, size_t n) { out_.insert(out_.end(), p, p + n); }
+
+  const std::vector<std::byte>& bytes() const { return out_; }
+  std::vector<std::byte> Take() { return std::move(out_); }
+
+ private:
+  std::vector<std::byte> out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  StatusOr<uint8_t> U8() {
+    BRIDGECL_RETURN_IF_ERROR(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  StatusOr<uint32_t> U32() {
+    BRIDGECL_RETURN_IF_ERROR(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  StatusOr<uint64_t> U64() {
+    BRIDGECL_RETURN_IF_ERROR(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  StatusOr<int32_t> I32() {
+    BRIDGECL_ASSIGN_OR_RETURN(uint32_t v, U32());
+    return static_cast<int32_t>(v);
+  }
+  StatusOr<int64_t> I64() {
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t v, U64());
+    return static_cast<int64_t>(v);
+  }
+  StatusOr<double> F64() {
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t v, U64());
+    return std::bit_cast<double>(v);
+  }
+  StatusOr<bool> Bool() {
+    BRIDGECL_ASSIGN_OR_RETURN(uint8_t v, U8());
+    return v != 0;
+  }
+  StatusOr<std::string> String() {
+    BRIDGECL_ASSIGN_OR_RETURN(uint32_t n, U32());
+    BRIDGECL_RETURN_IF_ERROR(Need(n));
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  StatusOr<std::vector<std::byte>> Blob() {
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t n, U64());
+    BRIDGECL_RETURN_IF_ERROR(Need(n));
+    std::vector<std::byte> b(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(uint64_t n) {
+    // Compare against the remaining span (never pos_ + n: a hostile
+    // length near UINT64_MAX must not wrap the bounds check).
+    if (n > data_.size() - pos_)
+      return InvalidArgumentError("truncated snapshot image");
+    return OkStatus();
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace bridgecl::snapshot

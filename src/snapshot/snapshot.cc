@@ -1,0 +1,593 @@
+#include "snapshot/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "interp/module.h"
+#include "support/strings.h"
+
+namespace bridgecl::snapshot {
+
+namespace {
+
+// Section tags (exactly 4 characters each; see the header comment).
+constexpr const char* kDevcTag = "DEVC";
+constexpr const char* kVmemTag = "VMEM";
+constexpr const char* kFaltTag = "FALT";
+constexpr const char* kModcTag = "MODC";
+constexpr const char* kSchdTag = "SCHD";
+
+Status CorruptImage(const char* what) {
+  return InvalidArgumentError(
+      StrFormat("corrupt snapshot image: %s", what));
+}
+
+}  // namespace
+
+uint64_t Fnv1a(std::span<const std::byte> bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : bytes) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// -- ImageWriter -------------------------------------------------------------
+
+void ImageWriter::AddSection(const std::string& tag,
+                             std::vector<std::byte> payload) {
+  sections_.emplace_back(tag, std::move(payload));
+}
+
+std::vector<std::byte> ImageWriter::Serialize(const std::string& profile) const {
+  // Body first: concatenated payloads, offsets recorded as we go.
+  std::vector<std::byte> body;
+  std::vector<SectionInfo> table;
+  table.reserve(sections_.size());
+  for (const auto& [tag, payload] : sections_) {
+    table.push_back(SectionInfo{tag, body.size(), payload.size()});
+    body.insert(body.end(), payload.begin(), payload.end());
+  }
+
+  ByteWriter w;
+  w.Raw(reinterpret_cast<const std::byte*>(kMagic), sizeof(kMagic));
+  w.U32(kFormatVersion);
+  w.String(profile);
+  w.U64(Fnv1a(body));
+  w.U32(static_cast<uint32_t>(table.size()));
+  for (const SectionInfo& s : table) {
+    w.Raw(reinterpret_cast<const std::byte*>(s.tag.data()), 4);
+    w.U64(s.offset);
+    w.U64(s.size);
+  }
+  w.Raw(body.data(), body.size());
+  return w.Take();
+}
+
+Status ImageWriter::WriteFile(const std::string& path,
+                              const std::string& profile) const {
+  const std::vector<std::byte> image = Serialize(profile);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    return InvalidArgumentError(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  out.flush();
+  if (!out)
+    return InternalError(
+        StrFormat("short write while saving snapshot '%s'", path.c_str()));
+  return OkStatus();
+}
+
+// -- parsing -----------------------------------------------------------------
+
+namespace {
+
+struct ParsedImage {
+  ImageInfo info;
+  std::vector<std::byte> body;
+};
+
+StatusOr<std::vector<std::byte>> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in)
+    return InvalidArgumentError(
+        StrFormat("cannot open snapshot image '%s'", path.c_str()));
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size))
+    return InvalidArgumentError(
+        StrFormat("cannot read snapshot image '%s'", path.c_str()));
+  return bytes;
+}
+
+/// Header + table + body split, structural validation only (magic, table
+/// bounds). Version and checksum are reported in `info` for the caller to
+/// judge — the inspector wants to dump mismatched images, Open does not.
+StatusOr<ParsedImage> Parse(const std::string& path) {
+  BRIDGECL_ASSIGN_OR_RETURN(std::vector<std::byte> bytes, ReadWholeFile(path));
+  const std::span<const std::byte> data(bytes);
+  ByteReader r(data);
+
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return CorruptImage("bad magic (not a BridgeCL snapshot)");
+  // Consume the magic we just validated.
+  for (size_t i = 0; i < sizeof(kMagic); ++i) (void)r.U8();
+
+  ParsedImage p;
+  BRIDGECL_ASSIGN_OR_RETURN(p.info.version, r.U32());
+  BRIDGECL_ASSIGN_OR_RETURN(p.info.profile, r.String());
+  BRIDGECL_ASSIGN_OR_RETURN(p.info.checksum, r.U64());
+  BRIDGECL_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  p.info.sections.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SectionInfo s;
+    char tag[4];
+    for (char& c : tag) {
+      BRIDGECL_ASSIGN_OR_RETURN(uint8_t b, r.U8());
+      c = static_cast<char>(b);
+    }
+    s.tag.assign(tag, 4);
+    BRIDGECL_ASSIGN_OR_RETURN(s.offset, r.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(s.size, r.U64());
+    p.info.sections.push_back(std::move(s));
+  }
+
+  p.body.assign(bytes.begin() + (bytes.size() - r.remaining()), bytes.end());
+  p.info.body_size = p.body.size();
+  for (const SectionInfo& s : p.info.sections) {
+    // Overflow-safe containment check (offset + size could wrap).
+    if (s.offset > p.body.size() || s.size > p.body.size() - s.offset)
+      return CorruptImage("section table entry points past the body");
+  }
+  p.info.checksum_ok =
+      Fnv1a(std::span<const std::byte>(p.body)) == p.info.checksum;
+  return p;
+}
+
+}  // namespace
+
+StatusOr<ImageReader> ImageReader::Open(const std::string& path) {
+  BRIDGECL_ASSIGN_OR_RETURN(ParsedImage p, Parse(path));
+  if (p.info.version != kFormatVersion)
+    return FailedPreconditionError(StrFormat(
+        "snapshot image format version %u is not supported (this build "
+        "reads version %u)",
+        p.info.version, kFormatVersion));
+  if (!p.info.checksum_ok)
+    return CorruptImage("body checksum mismatch");
+  ImageReader reader;
+  reader.info_ = std::move(p.info);
+  reader.body_ = std::move(p.body);
+  return reader;
+}
+
+bool ImageReader::HasSection(const std::string& tag) const {
+  for (const SectionInfo& s : info_.sections)
+    if (s.tag == tag) return true;
+  return false;
+}
+
+StatusOr<std::span<const std::byte>> ImageReader::Section(
+    const std::string& tag) const {
+  for (const SectionInfo& s : info_.sections)
+    if (s.tag == tag)
+      return std::span<const std::byte>(body_.data() + s.offset, s.size);
+  return NotFoundError(
+      StrFormat("snapshot image has no '%s' section", tag.c_str()));
+}
+
+StatusOr<ImageInfo> Inspect(const std::string& path) {
+  BRIDGECL_ASSIGN_OR_RETURN(ParsedImage p, Parse(path));
+  return p.info;
+}
+
+// -- Status codec ------------------------------------------------------------
+
+void PutStatus(ByteWriter& w, const Status& st) {
+  w.U32(static_cast<uint32_t>(st.code()));
+  w.String(st.ok() ? std::string() : st.message());
+  w.I32(st.api_code());
+}
+
+Status TakeStatus(ByteReader& r, Status* out) {
+  BRIDGECL_ASSIGN_OR_RETURN(uint32_t code, r.U32());
+  BRIDGECL_ASSIGN_OR_RETURN(std::string message, r.String());
+  BRIDGECL_ASSIGN_OR_RETURN(int32_t api_code, r.I32());
+  if (code > static_cast<uint32_t>(StatusCode::kDeviceLost))
+    return CorruptImage("unknown status code");
+  if (code == 0) {
+    *out = OkStatus();
+  } else {
+    *out = Status(static_cast<StatusCode>(code), std::move(message));
+    out->set_api_code(api_code);
+  }
+  return OkStatus();
+}
+
+// -- module layout -----------------------------------------------------------
+
+void PutModuleLayout(ByteWriter& w, const interp::Module& m) {
+  std::vector<interp::Module::SymbolBinding> symbols;
+  symbols.reserve(m.symbols().size());
+  for (const auto& [name, sym] : m.symbols())
+    symbols.push_back({name, sym});
+  std::sort(symbols.begin(), symbols.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  w.U32(static_cast<uint32_t>(symbols.size()));
+  for (const auto& s : symbols) {
+    w.String(s.name);
+    w.U64(s.symbol.va);
+    w.U64(s.symbol.size);
+    w.U8(static_cast<uint8_t>(s.symbol.space));
+  }
+
+  std::vector<std::pair<std::string, int>> regs(m.register_overrides().begin(),
+                                                m.register_overrides().end());
+  std::sort(regs.begin(), regs.end());
+  w.U32(static_cast<uint32_t>(regs.size()));
+  for (const auto& [kernel, n] : regs) {
+    w.String(kernel);
+    w.I32(n);
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> tex(
+      m.texture_bindings().begin(), m.texture_bindings().end());
+  std::sort(tex.begin(), tex.end());
+  w.U32(static_cast<uint32_t>(tex.size()));
+  for (const auto& [name, va] : tex) {
+    w.String(name);
+    w.U64(va);
+  }
+}
+
+Status TakeModuleLayout(ByteReader& r, ModuleLayout* out) {
+  BRIDGECL_ASSIGN_OR_RETURN(uint32_t ns, r.U32());
+  out->symbols.resize(ns);
+  for (uint32_t i = 0; i < ns; ++i) {
+    interp::Module::SymbolBinding& s = out->symbols[i];
+    BRIDGECL_ASSIGN_OR_RETURN(s.name, r.String());
+    BRIDGECL_ASSIGN_OR_RETURN(s.symbol.va, r.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(uint64_t size, r.U64());
+    s.symbol.size = size;
+    BRIDGECL_ASSIGN_OR_RETURN(uint8_t space, r.U8());
+    if (space > static_cast<uint8_t>(lang::AddressSpace::kConstant))
+      return CorruptImage("unknown address space in symbol binding");
+    s.symbol.space = static_cast<lang::AddressSpace>(space);
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(uint32_t nr, r.U32());
+  out->register_overrides.resize(nr);
+  for (uint32_t i = 0; i < nr; ++i) {
+    BRIDGECL_ASSIGN_OR_RETURN(out->register_overrides[i].first, r.String());
+    BRIDGECL_ASSIGN_OR_RETURN(out->register_overrides[i].second, r.I32());
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(uint32_t nt, r.U32());
+  out->texture_bindings.resize(nt);
+  for (uint32_t i = 0; i < nt; ++i) {
+    BRIDGECL_ASSIGN_OR_RETURN(out->texture_bindings[i].first, r.String());
+    BRIDGECL_ASSIGN_OR_RETURN(out->texture_bindings[i].second, r.U64());
+  }
+  return OkStatus();
+}
+
+Status ApplyModuleLayout(interp::Module& m, simgpu::Device& device,
+                         const ModuleLayout& layout) {
+  BRIDGECL_RETURN_IF_ERROR(m.RestoreLayout(device, layout.symbols));
+  for (const auto& [kernel, regs] : layout.register_overrides)
+    m.SetRegisterOverride(kernel, regs);
+  for (const auto& [name, va] : layout.texture_bindings)
+    BRIDGECL_RETURN_IF_ERROR(m.BindTexture(name, va));
+  return OkStatus();
+}
+
+// -- DEVC / VMEM / FALT ------------------------------------------------------
+
+namespace {
+
+void PutRegion(ByteWriter& w, const simgpu::VirtualMemory::RegionState& r) {
+  w.U64(r.base);
+  w.Blob(std::span<const std::byte>(r.storage));
+  w.U64(r.user_size);
+  w.U64(r.span);
+  w.U64(r.front_pad);
+  w.U64(r.generation);
+  w.Bool(r.freed);
+}
+
+Status TakeRegion(ByteReader& r, simgpu::VirtualMemory::RegionState* out) {
+  BRIDGECL_ASSIGN_OR_RETURN(out->base, r.U64());
+  BRIDGECL_ASSIGN_OR_RETURN(out->storage, r.Blob());
+  BRIDGECL_ASSIGN_OR_RETURN(out->user_size, r.U64());
+  BRIDGECL_ASSIGN_OR_RETURN(out->span, r.U64());
+  BRIDGECL_ASSIGN_OR_RETURN(out->front_pad, r.U64());
+  BRIDGECL_ASSIGN_OR_RETURN(out->generation, r.U64());
+  BRIDGECL_ASSIGN_OR_RETURN(out->freed, r.Bool());
+  return OkStatus();
+}
+
+}  // namespace
+
+void AppendDeviceSections(const simgpu::Device& device, ImageWriter& w) {
+  {
+    const simgpu::Device::ExecState s = device.ExportExecState();
+    ByteWriter b;
+    b.U64(s.stats.kernels_launched);
+    b.U64(s.stats.work_items_executed);
+    b.U64(s.stats.global_accesses);
+    b.U64(s.stats.shared_accesses);
+    b.U64(s.stats.shared_bank_words);
+    b.U64(s.stats.constant_accesses);
+    b.U64(s.stats.image_accesses);
+    b.U64(s.stats.atomics);
+    b.U64(s.stats.barriers);
+    b.U64(s.stats.host_to_device_bytes);
+    b.U64(s.stats.device_to_host_bytes);
+    b.U64(s.stats.device_to_device_bytes);
+    b.U64(s.stats.api_calls);
+    b.U64(s.stats.ops_executed);
+    b.U8(static_cast<uint8_t>(s.bank_mode));
+    b.F64(s.clock_us);
+    b.F64(s.engine_overlap_us);
+    for (int e = 0; e < simgpu::kEngineCount; ++e) {
+      b.F64(s.engine_free_us[e]);
+      b.F64(s.engine_busy_us[e]);
+      b.U32(static_cast<uint32_t>(s.engine_intervals[e].size()));
+      for (const auto& [start, end] : s.engine_intervals[e]) {
+        b.F64(start);
+        b.F64(end);
+      }
+    }
+    w.AddSection(kDevcTag, b.Take());
+  }
+  {
+    const simgpu::VirtualMemory::State s = device.vm().ExportState();
+    ByteWriter b;
+    b.Bool(s.guarded);
+    b.U64(s.global_in_use);
+    b.U64(s.live_global_count);
+    b.U64(s.next_global);
+    b.U64(s.next_generation);
+    b.U32(static_cast<uint32_t>(s.global_allocs.size()));
+    for (const auto& region : s.global_allocs) PutRegion(b, region);
+    PutRegion(b, s.constant);
+    w.AddSection(kVmemTag, b.Take());
+  }
+  {
+    const simgpu::FaultInjector::State s = device.faults().ExportState();
+    ByteWriter b;
+    b.U32(static_cast<uint32_t>(s.plan.points.size()));
+    for (const simgpu::FaultPoint& p : s.plan.points) {
+      b.U8(static_cast<uint8_t>(p.site));
+      b.U64(p.nth);
+      b.U8(static_cast<uint8_t>(p.kind));
+      b.Bool(p.transient);
+      b.U64(p.truncate_to);
+    }
+    for (uint64_t c : s.counters) b.U64(c);
+    b.Bool(s.lost);
+    b.Bool(s.last_fault_transient);
+    w.AddSection(kFaltTag, b.Take());
+  }
+}
+
+Status RestoreDeviceSections(const ImageReader& r, simgpu::Device& device) {
+  // Parse all three sections into plain state first, then import — a
+  // corrupt image must not leave the device half-restored.
+  BRIDGECL_ASSIGN_OR_RETURN(std::span<const std::byte> devc,
+                            r.Section(kDevcTag));
+  BRIDGECL_ASSIGN_OR_RETURN(std::span<const std::byte> vmem,
+                            r.Section(kVmemTag));
+  BRIDGECL_ASSIGN_OR_RETURN(std::span<const std::byte> falt,
+                            r.Section(kFaltTag));
+
+  simgpu::Device::ExecState exec;
+  {
+    ByteReader b(devc);
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.kernels_launched, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.work_items_executed, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.global_accesses, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.shared_accesses, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.shared_bank_words, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.constant_accesses, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.image_accesses, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.atomics, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.barriers, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.host_to_device_bytes, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.device_to_host_bytes, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.device_to_device_bytes, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.api_calls, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.stats.ops_executed, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(uint8_t bank_mode, b.U8());
+    if (bank_mode > static_cast<uint8_t>(simgpu::BankMode::k64Bit))
+      return CorruptImage("unknown bank mode");
+    exec.bank_mode = static_cast<simgpu::BankMode>(bank_mode);
+    BRIDGECL_ASSIGN_OR_RETURN(exec.clock_us, b.F64());
+    BRIDGECL_ASSIGN_OR_RETURN(exec.engine_overlap_us, b.F64());
+    for (int e = 0; e < simgpu::kEngineCount; ++e) {
+      BRIDGECL_ASSIGN_OR_RETURN(exec.engine_free_us[e], b.F64());
+      BRIDGECL_ASSIGN_OR_RETURN(exec.engine_busy_us[e], b.F64());
+      BRIDGECL_ASSIGN_OR_RETURN(uint32_t n, b.U32());
+      exec.engine_intervals[e].reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        double start, end;
+        BRIDGECL_ASSIGN_OR_RETURN(start, b.F64());
+        BRIDGECL_ASSIGN_OR_RETURN(end, b.F64());
+        exec.engine_intervals[e].emplace_back(start, end);
+      }
+    }
+    if (!b.AtEnd()) return CorruptImage("trailing bytes in DEVC section");
+  }
+
+  simgpu::VirtualMemory::State vm;
+  {
+    ByteReader b(vmem);
+    BRIDGECL_ASSIGN_OR_RETURN(vm.guarded, b.Bool());
+    BRIDGECL_ASSIGN_OR_RETURN(vm.global_in_use, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(vm.live_global_count, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(vm.next_global, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(vm.next_generation, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(uint32_t n, b.U32());
+    vm.global_allocs.resize(n);
+    for (uint32_t i = 0; i < n; ++i)
+      BRIDGECL_RETURN_IF_ERROR(TakeRegion(b, &vm.global_allocs[i]));
+    BRIDGECL_RETURN_IF_ERROR(TakeRegion(b, &vm.constant));
+    if (!b.AtEnd()) return CorruptImage("trailing bytes in VMEM section");
+  }
+
+  simgpu::FaultInjector::State faults;
+  {
+    ByteReader b(falt);
+    BRIDGECL_ASSIGN_OR_RETURN(uint32_t n, b.U32());
+    faults.plan.points.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      simgpu::FaultPoint& p = faults.plan.points[i];
+      BRIDGECL_ASSIGN_OR_RETURN(uint8_t site, b.U8());
+      if (site > static_cast<uint8_t>(simgpu::FaultSite::kInstruction))
+        return CorruptImage("unknown fault site");
+      p.site = static_cast<simgpu::FaultSite>(site);
+      BRIDGECL_ASSIGN_OR_RETURN(p.nth, b.U64());
+      BRIDGECL_ASSIGN_OR_RETURN(uint8_t kind, b.U8());
+      if (kind > static_cast<uint8_t>(simgpu::FaultKind::kDeviceLost))
+        return CorruptImage("unknown fault kind");
+      p.kind = static_cast<simgpu::FaultKind>(kind);
+      BRIDGECL_ASSIGN_OR_RETURN(p.transient, b.Bool());
+      BRIDGECL_ASSIGN_OR_RETURN(uint64_t truncate_to, b.U64());
+      p.truncate_to = truncate_to;
+    }
+    for (uint64_t& c : faults.counters) {
+      BRIDGECL_ASSIGN_OR_RETURN(c, b.U64());
+    }
+    BRIDGECL_ASSIGN_OR_RETURN(faults.lost, b.Bool());
+    BRIDGECL_ASSIGN_OR_RETURN(faults.last_fault_transient, b.Bool());
+    if (!b.AtEnd()) return CorruptImage("trailing bytes in FALT section");
+  }
+
+  // VMEM import is the only step that can fail (capacity); do it first so
+  // a cross-profile overflow leaves exec/fault state untouched.
+  BRIDGECL_RETURN_IF_ERROR(device.vm().ImportState(vm));
+  device.ImportExecState(exec);
+  device.faults().ImportState(faults);
+  return OkStatus();
+}
+
+// -- SCHD --------------------------------------------------------------------
+
+void AppendSchedulerSection(const sched::Scheduler& sched, ImageWriter& w) {
+  const sched::Scheduler::State s = sched.ExportState();
+  ByteWriter b;
+  b.U64(s.next_queue);
+  b.U64(s.next_event);
+  b.U32(static_cast<uint32_t>(s.queues.size()));
+  for (const sched::Scheduler::QueueState& q : s.queues) {
+    b.U64(q.id);
+    b.Bool(q.ooo);
+    b.F64(q.last_end);
+    b.F64(q.barrier_end);
+    b.F64(q.max_end);
+    PutStatus(b, q.pending);
+  }
+  b.U32(static_cast<uint32_t>(s.events.size()));
+  for (const sched::Scheduler::EventState& e : s.events) {
+    b.U64(e.id);
+    b.F64(e.times.queued_us);
+    b.F64(e.times.start_us);
+    b.F64(e.times.end_us);
+    PutStatus(b, e.status);
+  }
+  w.AddSection(kSchdTag, b.Take());
+}
+
+Status RestoreSchedulerSection(const ImageReader& r, sched::Scheduler& sched) {
+  BRIDGECL_ASSIGN_OR_RETURN(std::span<const std::byte> sec,
+                            r.Section(kSchdTag));
+  ByteReader b(sec);
+  sched::Scheduler::State s;
+  BRIDGECL_ASSIGN_OR_RETURN(s.next_queue, b.U64());
+  BRIDGECL_ASSIGN_OR_RETURN(s.next_event, b.U64());
+  BRIDGECL_ASSIGN_OR_RETURN(uint32_t nq, b.U32());
+  s.queues.resize(nq);
+  for (uint32_t i = 0; i < nq; ++i) {
+    sched::Scheduler::QueueState& q = s.queues[i];
+    BRIDGECL_ASSIGN_OR_RETURN(q.id, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(q.ooo, b.Bool());
+    BRIDGECL_ASSIGN_OR_RETURN(q.last_end, b.F64());
+    BRIDGECL_ASSIGN_OR_RETURN(q.barrier_end, b.F64());
+    BRIDGECL_ASSIGN_OR_RETURN(q.max_end, b.F64());
+    BRIDGECL_RETURN_IF_ERROR(TakeStatus(b, &q.pending));
+  }
+  BRIDGECL_ASSIGN_OR_RETURN(uint32_t ne, b.U32());
+  s.events.resize(ne);
+  for (uint32_t i = 0; i < ne; ++i) {
+    sched::Scheduler::EventState& e = s.events[i];
+    BRIDGECL_ASSIGN_OR_RETURN(e.id, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(e.times.queued_us, b.F64());
+    BRIDGECL_ASSIGN_OR_RETURN(e.times.start_us, b.F64());
+    BRIDGECL_ASSIGN_OR_RETURN(e.times.end_us, b.F64());
+    BRIDGECL_RETURN_IF_ERROR(TakeStatus(b, &e.status));
+  }
+  if (!b.AtEnd()) return CorruptImage("trailing bytes in SCHD section");
+  sched.ImportState(s);
+  return OkStatus();
+}
+
+// -- MODC --------------------------------------------------------------------
+
+void AppendModuleCacheSection(ImageWriter& w) {
+  const std::vector<interp::ModuleCacheEntryState> entries =
+      interp::ExportModuleCache();
+  ByteWriter b;
+  b.U32(static_cast<uint32_t>(entries.size()));
+  for (const interp::ModuleCacheEntryState& e : entries) {
+    b.U64(e.key);
+    b.String(e.source);
+    b.U8(static_cast<uint8_t>(e.dialect));
+    b.String(e.build_options);
+    b.Bool(e.ok);
+    b.U32(static_cast<uint32_t>(e.diags.size()));
+    for (const Diagnostic& d : e.diags) {
+      b.U8(static_cast<uint8_t>(d.severity));
+      b.U32(d.loc.line);
+      b.U32(d.loc.column);
+      b.String(d.message);
+    }
+  }
+  w.AddSection(kModcTag, b.Take());
+}
+
+Status RestoreModuleCacheSection(const ImageReader& r) {
+  BRIDGECL_ASSIGN_OR_RETURN(std::span<const std::byte> sec,
+                            r.Section(kModcTag));
+  ByteReader b(sec);
+  BRIDGECL_ASSIGN_OR_RETURN(uint32_t n, b.U32());
+  std::vector<interp::ModuleCacheEntryState> entries(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    interp::ModuleCacheEntryState& e = entries[i];
+    BRIDGECL_ASSIGN_OR_RETURN(e.key, b.U64());
+    BRIDGECL_ASSIGN_OR_RETURN(e.source, b.String());
+    BRIDGECL_ASSIGN_OR_RETURN(uint8_t dialect, b.U8());
+    if (dialect > static_cast<uint8_t>(lang::Dialect::kCUDA))
+      return CorruptImage("unknown dialect in module cache entry");
+    e.dialect = static_cast<lang::Dialect>(dialect);
+    BRIDGECL_ASSIGN_OR_RETURN(e.build_options, b.String());
+    BRIDGECL_ASSIGN_OR_RETURN(e.ok, b.Bool());
+    BRIDGECL_ASSIGN_OR_RETURN(uint32_t nd, b.U32());
+    e.diags.resize(nd);
+    for (uint32_t j = 0; j < nd; ++j) {
+      Diagnostic& d = e.diags[j];
+      BRIDGECL_ASSIGN_OR_RETURN(uint8_t sev, b.U8());
+      d.severity = static_cast<DiagSeverity>(sev);
+      BRIDGECL_ASSIGN_OR_RETURN(d.loc.line, b.U32());
+      BRIDGECL_ASSIGN_OR_RETURN(d.loc.column, b.U32());
+      BRIDGECL_ASSIGN_OR_RETURN(d.message, b.String());
+    }
+  }
+  if (!b.AtEnd()) return CorruptImage("trailing bytes in MODC section");
+  return interp::ImportModuleCache(entries);
+}
+
+}  // namespace bridgecl::snapshot

@@ -1,0 +1,145 @@
+// Device snapshot/restore: a versioned, deterministic serialization
+// format capturing a full simulated-GPU context image, plus the section
+// codecs for the state every API layer shares (docs/SNAPSHOT.md).
+//
+// Image layout (all integers little-endian, see serializer.h):
+//
+//   magic            8 bytes  "BCLSNAP\0"
+//   format version   u32      kFormatVersion
+//   device profile   string   DeviceProfile::name the image was taken on
+//   body checksum    u64      FNV-1a over the body bytes
+//   section count    u32
+//   section table    entries of { tag: 4 bytes, offset: u64, size: u64 }
+//                    (offsets relative to the body start)
+//   body             concatenated section payloads
+//
+// Shared sections (one writer/reader pair per subsystem):
+//   DEVC  simgpu::Device clock/stats/engine timelines/bank mode
+//   VMEM  virtual-memory contents + allocation table + guard metadata
+//   FALT  fault-injector plan, ordinal counters, sticky-loss state
+//   MODC  content-hashed module cache (keys, sources, diagnostics)
+//   SCHD  scheduler queue topology + completed-event timing records
+// The native bindings add one layer section each (MOCL / MCUD) holding
+// their private handle tables; wrappers forward to the inner binding.
+//
+// Determinism guarantee: serialization iterates every container in a
+// sorted or already-deterministic order, so snapshot → restore →
+// snapshot reproduces the image byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "interp/module.h"
+#include "sched/scheduler.h"
+#include "simgpu/device.h"
+#include "snapshot/serializer.h"
+#include "support/status.h"
+
+namespace bridgecl::snapshot {
+
+inline constexpr char kMagic[8] = {'B', 'C', 'L', 'S', 'N', 'A', 'P', '\0'};
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Conventional file extension for snapshot images (gitignored; the repo
+/// hygiene check rejects committed images).
+inline constexpr const char* kImageExtension = ".sgsnap";
+
+struct SectionInfo {
+  std::string tag;  // 4 characters
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+/// Header + section table of an image, as the tools/ inspector prints it.
+struct ImageInfo {
+  uint32_t version = 0;
+  std::string profile;
+  uint64_t checksum = 0;
+  bool checksum_ok = false;
+  uint64_t body_size = 0;
+  std::vector<SectionInfo> sections;
+};
+
+/// FNV-1a over arbitrary bytes (the body checksum).
+uint64_t Fnv1a(std::span<const std::byte> bytes);
+
+/// Assembles an image: sections are appended in call order (the layer
+/// decides the order; keep it fixed for deterministic images).
+class ImageWriter {
+ public:
+  /// `tag` must be exactly 4 characters and unique within the image.
+  void AddSection(const std::string& tag, std::vector<std::byte> payload);
+  /// Serialize header + table + body and write the file atomically-ish
+  /// (single buffered write). `profile` is the source device's name.
+  Status WriteFile(const std::string& path, const std::string& profile) const;
+  /// The serialized image bytes (tests compare these for bit-identity).
+  std::vector<std::byte> Serialize(const std::string& profile) const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::byte>>> sections_;
+};
+
+/// Validated view of an image file: magic, version and checksum are
+/// checked at Open (kInvalidArgument on corruption/truncation,
+/// kFailedPrecondition on a format-version mismatch).
+class ImageReader {
+ public:
+  static StatusOr<ImageReader> Open(const std::string& path);
+
+  const ImageInfo& info() const { return info_; }
+  bool HasSection(const std::string& tag) const;
+  StatusOr<std::span<const std::byte>> Section(const std::string& tag) const;
+
+ private:
+  ImageInfo info_;
+  std::vector<std::byte> body_;
+};
+
+/// Header + section table only, without requiring a supported version —
+/// the tools/ inspector uses this to dump any structurally sound image.
+StatusOr<ImageInfo> Inspect(const std::string& path);
+
+// -- shared section codecs --------------------------------------------------
+
+/// DEVC + VMEM + FALT: the whole simgpu::Device state.
+void AppendDeviceSections(const simgpu::Device& device, ImageWriter& w);
+/// Restore the device sections. The target device keeps its own profile
+/// and capacity (cross-profile migration recomputes occupancy and timing
+/// from the target profile); fails with kResourceExhausted when the image
+/// holds more live global memory than the target device has.
+Status RestoreDeviceSections(const ImageReader& r, simgpu::Device& device);
+
+/// SCHD: queue/stream topology and completed-event records.
+void AppendSchedulerSection(const sched::Scheduler& sched, ImageWriter& w);
+Status RestoreSchedulerSection(const ImageReader& r, sched::Scheduler& sched);
+
+/// MODC: the process-wide content-hashed module cache.
+void AppendModuleCacheSection(ImageWriter& w);
+/// Recompiles each captured entry and verifies its diagnostics replay
+/// byte-identically (build-log determinism).
+Status RestoreModuleCacheSection(const ImageReader& r);
+
+/// Status codec shared with the layer sections (code, message, api_code).
+void PutStatus(ByteWriter& w, const Status& st);
+Status TakeStatus(ByteReader& r, Status* out);
+
+/// Module-layout codec shared by the layer sections: the loaded module's
+/// symbol table (sorted by name), register overrides and texture bindings.
+/// Restore recompiles the module from source and adopts this layout via
+/// Module::RestoreLayout instead of re-running LoadOn (which would
+/// re-allocate and clobber the restored memory image).
+struct ModuleLayout {
+  std::vector<interp::Module::SymbolBinding> symbols;
+  std::vector<std::pair<std::string, int>> register_overrides;
+  std::vector<std::pair<std::string, uint64_t>> texture_bindings;
+};
+void PutModuleLayout(ByteWriter& w, const interp::Module& m);
+Status TakeModuleLayout(ByteReader& r, ModuleLayout* out);
+/// RestoreLayout + overrides + texture bindings in one step.
+Status ApplyModuleLayout(interp::Module& m, simgpu::Device& device,
+                         const ModuleLayout& layout);
+
+}  // namespace bridgecl::snapshot

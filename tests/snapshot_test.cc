@@ -1,0 +1,666 @@
+// Device snapshot/restore and cross-profile migration (src/snapshot,
+// docs/SNAPSHOT.md): image round trips are byte-identical, a restored
+// mid-workload context replays the remainder bit-identically (stats,
+// clock, memory), a titan image restores onto the HD7970 and completes,
+// and every malformed-image path fails with the documented spec code
+// *before* mutating the target context.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "cl2cu/cl_on_cuda.h"
+#include "cu2cl/cuda_on_cl.h"
+#include "mcuda/cuda_api.h"
+#include "mcuda/cuda_errors.h"
+#include "mocl/cl_api.h"
+#include "mocl/cl_errors.h"
+#include "simgpu/device.h"
+#include "simgpu/fault_injector.h"
+#include "snapshot/snapshot.h"
+
+namespace bridgecl {
+namespace {
+
+using mcuda::LaunchArg;
+using mcuda::MemcpyKind;
+using mocl::ClMem;
+using mocl::MemFlags;
+using simgpu::Device;
+using simgpu::DeviceProfile;
+using simgpu::Dim3;
+using simgpu::FaultKind;
+using simgpu::FaultPlan;
+using simgpu::FaultPoint;
+using simgpu::FaultSite;
+using simgpu::HD7970Profile;
+using simgpu::TitanProfile;
+
+/// Per-process unique image path: the guarded/plain suite registrations
+/// can run concurrently under `ctest -j` and must not share files.
+std::string SnapPath(const std::string& stem) {
+  return ::testing::TempDir() + "bridgecl_" + stem + "_" +
+         std::to_string(::getpid()) + snapshot::kImageExtension;
+}
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Workloads. The CUDA one keeps all state in __device__ globals so a
+// restored context needs no host-side handles to resume; the OpenCL one
+// exercises buffers, programs, and kernels (the MOCL handle tables).
+// ---------------------------------------------------------------------------
+constexpr int kSteps = 32;
+constexpr int kSnapAt = 12;
+constexpr char kStepSource[] = R"(
+__device__ int step_count;
+__device__ int acc[256];
+__global__ void step() {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  acc[i] = acc[i] + i + 1;
+  if (i == 0) step_count = step_count + 1;
+}
+)";
+
+Status StartSteps(mcuda::CudaApi& cu) {
+  BRIDGECL_RETURN_IF_ERROR(cu.RegisterModule(kStepSource));
+  const std::vector<int> zeros(256, 0);
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.MemcpyToSymbol("step_count", zeros.data(), sizeof(int)));
+  return cu.MemcpyToSymbol("acc", zeros.data(), zeros.size() * sizeof(int));
+}
+
+Status RunSteps(mcuda::CudaApi& cu, int from, int to) {
+  for (int s = from; s < to; ++s)
+    BRIDGECL_RETURN_IF_ERROR(
+        cu.LaunchKernel("step", Dim3(4), Dim3(64), 0, {}));
+  return cu.DeviceSynchronize();
+}
+
+StatusOr<std::vector<int>> ReadAcc(mcuda::CudaApi& cu) {
+  std::vector<int> acc(256);
+  BRIDGECL_RETURN_IF_ERROR(
+      cu.MemcpyFromSymbol(acc.data(), "acc", acc.size() * sizeof(int)));
+  return acc;
+}
+
+struct ClWorkload {
+  ClMem in, out;
+  static constexpr int kN = 64;
+
+  Status Run(mocl::OpenClApi& cl) {
+    const char* src =
+        "__kernel void twice(__global int* a, __global int* b) {"
+        "  int i = get_global_id(0);"
+        "  b[i] = a[i] * 2;"
+        "}";
+    std::vector<int> host(kN);
+    for (int i = 0; i < kN; ++i) host[i] = i * 3 + 1;
+    BRIDGECL_ASSIGN_OR_RETURN(auto prog, cl.CreateProgramWithSource(src));
+    BRIDGECL_RETURN_IF_ERROR(cl.BuildProgram(prog));
+    BRIDGECL_ASSIGN_OR_RETURN(auto kernel, cl.CreateKernel(prog, "twice"));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        in, cl.CreateBuffer(MemFlags::kReadOnly, kN * 4, host.data()));
+    BRIDGECL_ASSIGN_OR_RETURN(
+        out, cl.CreateBuffer(MemFlags::kWriteOnly, kN * 4, nullptr));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 0, sizeof(ClMem), &in));
+    BRIDGECL_RETURN_IF_ERROR(cl.SetKernelArg(kernel, 1, sizeof(ClMem), &out));
+    size_t gws = kN, lws = 16;
+    BRIDGECL_RETURN_IF_ERROR(cl.EnqueueNDRangeKernel(kernel, 1, &gws, &lws));
+    std::vector<int> got(kN);
+    BRIDGECL_RETURN_IF_ERROR(
+        cl.EnqueueReadBuffer(out, 0, kN * 4, got.data()));
+    for (int i = 0; i < kN; ++i)
+      if (got[i] != host[i] * 2)
+        return InternalError("twice produced a wrong result");
+    return OkStatus();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Structural inspection.
+// ---------------------------------------------------------------------------
+TEST(SnapshotTest, InspectReportsHeaderAndSectionTable) {
+  Device device{TitanProfile()};
+  auto cu = mcuda::CreateNativeCudaApi(device);
+  ASSERT_TRUE(StartSteps(*cu).ok());
+  const std::string path = SnapPath("inspect");
+  ASSERT_TRUE(cu->Snapshot(path).ok());
+
+  auto info = snapshot::Inspect(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, snapshot::kFormatVersion);
+  EXPECT_EQ(info->profile, device.profile().name);
+  EXPECT_TRUE(info->checksum_ok);
+  std::set<std::string> tags;
+  for (const auto& s : info->sections) tags.insert(s.tag);
+  for (const char* tag : {"DEVC", "VMEM", "FALT", "MODC", "SCHD", "MCUD"})
+    EXPECT_TRUE(tags.count(tag)) << "missing section " << tag;
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Round trips: snapshot -> restore -> snapshot must reproduce the image
+// byte for byte (the serialized form is a fixed point of restore).
+// ---------------------------------------------------------------------------
+TEST(SnapshotTest, MoclRoundTripIsByteIdentical) {
+  const std::string p1 = SnapPath("cl_rt1"), p2 = SnapPath("cl_rt2");
+  {
+    Device device{TitanProfile()};
+    auto cl = mocl::CreateNativeClApi(device);
+    ClWorkload w;
+    ASSERT_TRUE(w.Run(*cl).ok());
+    ASSERT_TRUE(cl->Snapshot(p1).ok());
+  }
+  {
+    Device device{TitanProfile()};
+    auto cl = mocl::CreateNativeClApi(device);
+    ASSERT_TRUE(cl->Restore(p1).ok());
+    ASSERT_TRUE(cl->Snapshot(p2).ok());
+  }
+  EXPECT_EQ(ReadAllBytes(p1), ReadAllBytes(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(SnapshotTest, McudaRoundTripIsByteIdentical) {
+  const std::string p1 = SnapPath("cu_rt1"), p2 = SnapPath("cu_rt2");
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(StartSteps(*cu).ok());
+    ASSERT_TRUE(RunSteps(*cu, 0, 5).ok());
+    ASSERT_TRUE(cu->Snapshot(p1).ok());
+  }
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(cu->Restore(p1).ok());
+    ASSERT_TRUE(cu->Snapshot(p2).ok());
+  }
+  EXPECT_EQ(ReadAllBytes(p1), ReadAllBytes(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+/// Same-process bit-identity over the apps corpus: every Rodinia app
+/// with an OpenCL host program leaves a context whose image survives a
+/// restore round trip byte-identically.
+TEST(SnapshotTest, RodiniaCorpusRoundTripsByteIdentical) {
+  int covered = 0;
+  for (const auto& app : apps::RodiniaApps()) {
+    Device device{TitanProfile()};
+    auto cl = mocl::CreateNativeClApi(device);
+    double checksum = 0;
+    Status st = app->RunCl(*cl, &checksum);
+    if (st.code() == StatusCode::kUnimplemented) continue;
+    ASSERT_TRUE(st.ok()) << app->name() << ": " << st.ToString();
+    SCOPED_TRACE(app->name());
+    const std::string p1 = SnapPath("app_" + app->name() + "_1");
+    const std::string p2 = SnapPath("app_" + app->name() + "_2");
+    ASSERT_TRUE(cl->Snapshot(p1).ok());
+    Device fresh_device{TitanProfile()};
+    auto fresh = mocl::CreateNativeClApi(fresh_device);
+    ASSERT_TRUE(fresh->Restore(p1).ok());
+    ASSERT_TRUE(fresh->Snapshot(p2).ok());
+    EXPECT_EQ(ReadAllBytes(p1), ReadAllBytes(p2));
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+    ++covered;
+  }
+  EXPECT_GT(covered, 0) << "corpus provided no OpenCL host programs";
+}
+
+// ---------------------------------------------------------------------------
+// Mid-workload resume: the interrupted half plus the restored half must
+// equal the uninterrupted run in *all* observable state — proven by
+// byte-comparing end-of-run images, which embed stats, clock, memory,
+// scheduler history, and fault ordinals.
+// ---------------------------------------------------------------------------
+TEST(SnapshotTest, MidWorkloadResumeIsBitIdentical) {
+  const std::string mid = SnapPath("resume_mid");
+  const std::string end_a = SnapPath("resume_end_a");
+  const std::string end_b = SnapPath("resume_end_b");
+  std::vector<int> acc_a;
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(StartSteps(*cu).ok());
+    ASSERT_TRUE(RunSteps(*cu, 0, kSnapAt).ok());
+    ASSERT_TRUE(cu->Snapshot(mid).ok());
+    ASSERT_TRUE(RunSteps(*cu, kSnapAt, kSteps).ok());
+    auto acc = ReadAcc(*cu);
+    ASSERT_TRUE(acc.ok());
+    acc_a = *acc;
+    ASSERT_TRUE(cu->Snapshot(end_a).ok());
+  }
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(cu->Restore(mid).ok());
+    EXPECT_EQ(device.stats().kernels_launched,
+              static_cast<uint64_t>(kSnapAt));
+    ASSERT_TRUE(RunSteps(*cu, kSnapAt, kSteps).ok());
+    auto acc = ReadAcc(*cu);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_EQ(*acc, acc_a);
+    ASSERT_TRUE(cu->Snapshot(end_b).ok());
+  }
+  EXPECT_EQ(ReadAllBytes(end_a), ReadAllBytes(end_b))
+      << "resumed run diverged from the uninterrupted run";
+  std::remove(mid.c_str());
+  std::remove(end_a.c_str());
+  std::remove(end_b.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-profile migration: a titan image restores onto the HD7970 —
+// memory, modules, and progress preserved; bank mode and timing follow
+// the new device's model.
+// ---------------------------------------------------------------------------
+TEST(SnapshotTest, TitanImageMigratesOntoHd7970AndCompletes) {
+  const std::string mid = SnapPath("migrate_mid");
+  std::vector<int> acc_titan;
+  double titan_clock = 0;
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(StartSteps(*cu).ok());
+    ASSERT_TRUE(RunSteps(*cu, 0, kSnapAt).ok());
+    ASSERT_TRUE(cu->Snapshot(mid).ok());
+    ASSERT_TRUE(RunSteps(*cu, kSnapAt, kSteps).ok());
+    auto acc = ReadAcc(*cu);
+    ASSERT_TRUE(acc.ok());
+    acc_titan = *acc;
+    titan_clock = cu->NowUs();
+  }
+  {
+    Device device{HD7970Profile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(cu->Restore(mid).ok());
+    // Migration re-applies the *target* profile's CUDA bank mode rather
+    // than carrying the titan's over (docs/SNAPSHOT.md).
+    EXPECT_EQ(device.bank_mode(), HD7970Profile().cuda_bank_mode);
+    EXPECT_EQ(device.stats().kernels_launched,
+              static_cast<uint64_t>(kSnapAt));
+    ASSERT_TRUE(RunSteps(*cu, kSnapAt, kSteps).ok());
+    // The computation is deterministic, so migrated memory contents
+    // match the titan run exactly; the clock follows the HD7970's
+    // timing model instead.
+    auto acc = ReadAcc(*cu);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_EQ(*acc, acc_titan);
+    EXPECT_NE(cu->NowUs(), titan_clock);
+  }
+  std::remove(mid.c_str());
+}
+
+/// The other direction: an HD7970 image migrates back onto the titan.
+TEST(SnapshotTest, Hd7970ImageMigratesOntoTitanAndCompletes) {
+  const std::string mid = SnapPath("migrate_back");
+  std::vector<int> acc_hd;
+  {
+    Device device{HD7970Profile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(StartSteps(*cu).ok());
+    ASSERT_TRUE(RunSteps(*cu, 0, kSnapAt).ok());
+    ASSERT_TRUE(cu->Snapshot(mid).ok());
+    ASSERT_TRUE(RunSteps(*cu, kSnapAt, kSteps).ok());
+    auto acc = ReadAcc(*cu);
+    ASSERT_TRUE(acc.ok());
+    acc_hd = *acc;
+  }
+  Device device{TitanProfile()};
+  auto cu = mcuda::CreateNativeCudaApi(device);
+  ASSERT_TRUE(cu->Restore(mid).ok());
+  EXPECT_EQ(device.bank_mode(), TitanProfile().cuda_bank_mode);
+  ASSERT_TRUE(RunSteps(*cu, kSnapAt, kSteps).ok());
+  auto acc = ReadAcc(*cu);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_EQ(*acc, acc_hd);
+  std::remove(mid.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// __device__ symbol state survives the image.
+// ---------------------------------------------------------------------------
+TEST(SnapshotTest, DeviceSymbolContentsRoundTrip) {
+  const std::string path = SnapPath("symbols");
+  std::vector<int> want(256);
+  for (int i = 0; i < 256; ++i) want[i] = i * i - 7;
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(StartSteps(*cu).ok());
+    ASSERT_TRUE(cu->MemcpyToSymbol("acc", want.data(),
+                                   want.size() * sizeof(int))
+                    .ok());
+    ASSERT_TRUE(cu->Snapshot(path).ok());
+  }
+  Device device{TitanProfile()};
+  auto cu = mcuda::CreateNativeCudaApi(device);
+  ASSERT_TRUE(cu->Restore(path).ok());
+  auto acc = ReadAcc(*cu);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_EQ(*acc, want);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Error paths (docs/SNAPSHOT.md error-code table). Every failure must
+// leave the target context untouched and usable.
+// ---------------------------------------------------------------------------
+
+/// A context with a known workload whose health we can re-verify after a
+/// failed restore.
+struct ClVictim {
+  Device device{TitanProfile()};
+  std::unique_ptr<mocl::OpenClApi> cl = mocl::CreateNativeClApi(device);
+  ClWorkload w;
+
+  void SetUpOrDie() { ASSERT_TRUE(w.Run(*cl).ok()); }
+  void ExpectIntact() {
+    std::vector<int> got(ClWorkload::kN);
+    ASSERT_TRUE(
+        cl->EnqueueReadBuffer(w.out, 0, ClWorkload::kN * 4, got.data())
+            .ok());
+    for (int i = 0; i < ClWorkload::kN; ++i)
+      EXPECT_EQ(got[i], (i * 3 + 1) * 2);
+  }
+};
+
+TEST(SnapshotTest, RestoreOfMissingFileFailsClean) {
+  ClVictim v;
+  v.SetUpOrDie();
+  Status st = v.cl->Restore(SnapPath("does_not_exist"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.api_code(), mocl::CL_INVALID_VALUE) << st.ToString();
+  v.ExpectIntact();
+
+  Device device{TitanProfile()};
+  auto cu = mcuda::CreateNativeCudaApi(device);
+  Status cst = cu->Restore(SnapPath("does_not_exist"));
+  ASSERT_FALSE(cst.ok());
+  EXPECT_EQ(cst.api_code(), mcuda::cudaErrorInvalidValue) << cst.ToString();
+}
+
+TEST(SnapshotTest, TruncatedImageFailsClean) {
+  ClVictim v;
+  v.SetUpOrDie();
+  const std::string path = SnapPath("truncated");
+  ASSERT_TRUE(v.cl->Snapshot(path).ok());
+  std::vector<char> bytes = ReadAllBytes(path);
+  bytes.resize(bytes.size() / 2);
+  WriteAllBytes(path, bytes);
+
+  Status st = v.cl->Restore(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.api_code(), mocl::CL_INVALID_VALUE) << st.ToString();
+  v.ExpectIntact();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CorruptedBodyFailsChecksum) {
+  ClVictim v;
+  v.SetUpOrDie();
+  const std::string path = SnapPath("corrupt");
+  ASSERT_TRUE(v.cl->Snapshot(path).ok());
+  std::vector<char> bytes = ReadAllBytes(path);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);
+  WriteAllBytes(path, bytes);
+
+  // The inspector flags the mismatch structurally...
+  auto info = snapshot::Inspect(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_FALSE(info->checksum_ok);
+  // ...and restore refuses before mutating anything.
+  Status st = v.cl->Restore(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.api_code(), mocl::CL_INVALID_VALUE) << st.ToString();
+  EXPECT_NE(st.message().find("checksum"), std::string::npos)
+      << st.ToString();
+  v.ExpectIntact();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, VersionMismatchIsFailedPrecondition) {
+  ClVictim v;
+  v.SetUpOrDie();
+  const std::string path = SnapPath("version");
+  ASSERT_TRUE(v.cl->Snapshot(path).ok());
+  // The u32 format version sits right after the 8-byte magic; it is
+  // deliberately outside the body checksum so version skew reports as
+  // version skew, not corruption.
+  std::vector<char> bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[8] = static_cast<char>(0xfe);
+  WriteAllBytes(path, bytes);
+
+  Status st = v.cl->Restore(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(st.api_code(), mocl::CL_INVALID_OPERATION) << st.ToString();
+  v.ExpectIntact();
+
+  Device device{TitanProfile()};
+  auto cu = mcuda::CreateNativeCudaApi(device);
+  Status cst = cu->Restore(path);
+  ASSERT_FALSE(cst.ok());
+  EXPECT_EQ(cst.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cst.api_code(), mcuda::cudaErrorInvalidValue) << cst.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, WrongLayerImageIsRejected) {
+  const std::string cu_path = SnapPath("layer_cu");
+  const std::string cl_path = SnapPath("layer_cl");
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(StartSteps(*cu).ok());
+    ASSERT_TRUE(cu->Snapshot(cu_path).ok());
+  }
+  {
+    ClVictim v;
+    v.SetUpOrDie();
+    ASSERT_TRUE(v.cl->Snapshot(cl_path).ok());
+    Status st = v.cl->Restore(cu_path);  // CUDA image into a CL context
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.api_code(), mocl::CL_INVALID_VALUE) << st.ToString();
+    v.ExpectIntact();
+  }
+  Device device{TitanProfile()};
+  auto cu = mcuda::CreateNativeCudaApi(device);
+  Status st = cu->Restore(cl_path);  // CL image into a CUDA context
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.api_code(), mcuda::cudaErrorInvalidValue) << st.ToString();
+  std::remove(cu_path.c_str());
+  std::remove(cl_path.c_str());
+}
+
+/// Migrating onto a device whose global memory can't hold the image's
+/// live allocations: kResourceExhausted with the layer's memory code,
+/// and the target context keeps its own state (fail-before-mutate).
+TEST(SnapshotTest, CapacityOverflowFailsBeforeMutation) {
+  DeviceProfile tiny = TitanProfile();
+  tiny.name = "SimGPU Tiny";
+  tiny.global_mem_size = 64 * 1024;
+
+  const std::string cl_path = SnapPath("capacity_cl");
+  {
+    Device device{TitanProfile()};
+    auto cl = mocl::CreateNativeClApi(device);
+    auto big = cl->CreateBuffer(MemFlags::kReadWrite, 1 << 20, nullptr);
+    ASSERT_TRUE(big.ok());
+    ASSERT_TRUE(cl->Snapshot(cl_path).ok());
+  }
+  {
+    Device device{tiny};
+    auto cl = mocl::CreateNativeClApi(device);
+    std::vector<int> host(16, 42);
+    auto keep = cl->CreateBuffer(MemFlags::kReadWrite, 64, host.data());
+    ASSERT_TRUE(keep.ok());
+    Status st = cl->Restore(cl_path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(st.api_code(), mocl::CL_OUT_OF_RESOURCES) << st.ToString();
+    std::vector<int> got(16);
+    ASSERT_TRUE(cl->EnqueueReadBuffer(*keep, 0, 64, got.data()).ok());
+    EXPECT_EQ(got, host);
+  }
+  std::remove(cl_path.c_str());
+
+  const std::string cu_path = SnapPath("capacity_cu");
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    auto big = cu->Malloc(1 << 20);
+    ASSERT_TRUE(big.ok());
+    ASSERT_TRUE(cu->Snapshot(cu_path).ok());
+  }
+  {
+    Device device{tiny};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    Status st = cu->Restore(cu_path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(st.api_code(), mcuda::cudaErrorMemoryAllocation)
+        << st.ToString();
+    // Still usable after the refusal.
+    auto p = cu->Malloc(64);
+    EXPECT_TRUE(p.ok());
+  }
+  std::remove(cu_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Wrapper forwarding: both wrappers expose the extension pair, forward
+// to the inner native layer, and re-seal errors into their own API's
+// vocabulary.
+// ---------------------------------------------------------------------------
+TEST(SnapshotTest, Cl2CuForwardsAndSealsIntoClVocabulary) {
+  Device device{TitanProfile()};
+  auto cu = mcuda::CreateNativeCudaApi(device);
+  auto cl = cl2cu::CreateClOnCudaApi(*cu);
+
+  auto buf = cl->CreateBuffer(MemFlags::kReadWrite, 256, nullptr);
+  ASSERT_TRUE(buf.ok());
+  std::vector<int> host(64);
+  for (int i = 0; i < 64; ++i) host[i] = 5 * i;
+  ASSERT_TRUE(cl->EnqueueWriteBuffer(*buf, 0, 256, host.data()).ok());
+
+  const std::string path = SnapPath("cl2cu");
+  ASSERT_TRUE(cl->Snapshot(path).ok());
+  // The image records the inner native CUDA layer.
+  auto info = snapshot::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  bool has_mcud = false;
+  for (const auto& s : info->sections) has_mcud |= (s.tag == "MCUD");
+  EXPECT_TRUE(has_mcud);
+
+  // Same-stack restore: handles stay valid, contents come back.
+  std::vector<int> other(64, -1);
+  ASSERT_TRUE(cl->EnqueueWriteBuffer(*buf, 0, 256, other.data()).ok());
+  ASSERT_TRUE(cl->Restore(path).ok());
+  std::vector<int> got(64);
+  ASSERT_TRUE(cl->EnqueueReadBuffer(*buf, 0, 256, got.data()).ok());
+  EXPECT_EQ(got, host);
+
+  // Errors arrive in CL vocabulary.
+  Status st = cl->Restore(SnapPath("cl2cu_missing"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(mocl::IsClCode(st.api_code())) << st.ToString();
+  EXPECT_EQ(st.api_code(), mocl::CL_INVALID_VALUE) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, Cu2ClForwardsAndSealsIntoCudaVocabulary) {
+  Device device{TitanProfile()};
+  auto cl = mocl::CreateNativeClApi(device);
+  auto cu = cu2cl::CreateCudaOnClApi(*cl, {});
+
+  auto p = cu->Malloc(256);
+  ASSERT_TRUE(p.ok());
+  std::vector<int> host(64);
+  for (int i = 0; i < 64; ++i) host[i] = 9 - i;
+  ASSERT_TRUE(
+      cu->Memcpy(*p, host.data(), 256, MemcpyKind::kHostToDevice).ok());
+
+  const std::string path = SnapPath("cu2cl");
+  ASSERT_TRUE(cu->Snapshot(path).ok());
+  auto info = snapshot::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  bool has_mocl = false;
+  for (const auto& s : info->sections) has_mocl |= (s.tag == "MOCL");
+  EXPECT_TRUE(has_mocl);
+
+  std::vector<int> other(64, -1);
+  ASSERT_TRUE(
+      cu->Memcpy(*p, other.data(), 256, MemcpyKind::kHostToDevice).ok());
+  ASSERT_TRUE(cu->Restore(path).ok());
+  std::vector<int> got(64);
+  ASSERT_TRUE(
+      cu->Memcpy(got.data(), *p, 256, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(got, host);
+
+  Status st = cu->Restore(SnapPath("cu2cl_missing"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(mcuda::IsCudaCode(st.api_code())) << st.ToString();
+  EXPECT_EQ(st.api_code(), mcuda::cudaErrorInvalidValue) << st.ToString();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// A lost device can still be imaged (post-mortem snapshots), and the
+// loss is part of the image: the restored context is lost too until its
+// context is reset.
+// ---------------------------------------------------------------------------
+TEST(SnapshotTest, DeviceLossSurvivesTheImage) {
+  const std::string path = SnapPath("lost");
+  {
+    Device device{TitanProfile()};
+    auto cu = mcuda::CreateNativeCudaApi(device);
+    ASSERT_TRUE(StartSteps(*cu).ok());
+    FaultPlan plan;
+    plan.points.push_back(FaultPoint{FaultSite::kTransfer, 0,
+                                     FaultKind::kDeviceLost, false, 0});
+    device.faults().set_plan(plan);
+    int v = 1;
+    Status st = cu->MemcpyToSymbol("step_count", &v, sizeof(v));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kDeviceLost);
+    ASSERT_TRUE(cu->Snapshot(path).ok()) << "post-mortem snapshot failed";
+  }
+  Device device{TitanProfile()};
+  auto cu = mcuda::CreateNativeCudaApi(device);
+  ASSERT_TRUE(cu->Restore(path).ok());
+  auto p = cu->Malloc(64);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kDeviceLost);
+  device.faults().ResetContext();
+  EXPECT_TRUE(cu->Malloc(64).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bridgecl

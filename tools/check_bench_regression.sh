@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Bench regression guard: rerun the ablation benches that have canonical
+# baselines checked in at the repo root (BENCH_overlap.json,
+# BENCH_parallel_exec.json) and compare the simulated metrics against
+# them within a relative tolerance. Registered as CI's bench_regression
+# job.
+#
+# Host wall-clock metrics are skipped: anything whose name contains
+# "wall", plus a config's "speedup" when that config also reports
+# wall-clock metrics (then the speedup is wall-derived too). Everything
+# else in these reports is simulated time or a ratio of simulated times,
+# which is deterministic — the tolerance only absorbs float formatting.
+#
+# Usage: check_bench_regression.sh [build_dir] [tolerance_pct]
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+tol="${2:-2}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench_regression: python3 not available, skipping"
+  exit 0
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail=0
+for name in overlap parallel_exec; do
+  base="$root/BENCH_$name.json"
+  bin="$build/bench/bench_ablation_$name"
+  if [ ! -f "$base" ]; then
+    echo "bench_regression: FAIL — missing baseline $base"
+    fail=1
+    continue
+  fi
+  if [ ! -x "$bin" ]; then
+    echo "bench_regression: FAIL — missing bench binary $bin (build first)"
+    fail=1
+    continue
+  fi
+  if ! BRIDGECL_BENCH_DIR="$tmp" "$bin" >/dev/null 2>&1; then
+    echo "bench_regression: FAIL — $bin did not run cleanly"
+    fail=1
+    continue
+  fi
+  python3 - "$base" "$tmp/BENCH_$name.json" "$tol" <<'PYEOF' || fail=1
+import json
+import sys
+
+base_path, fresh_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base = json.load(open(base_path))
+fresh = json.load(open(fresh_path))
+name = base.get("bench", "?")
+
+bad = False
+for config, metrics in base["results"].items():
+    got = fresh["results"].get(config)
+    if got is None:
+        print(f"bench_regression: FAIL — {name}/{config} missing from fresh run")
+        bad = True
+        continue
+    wall_config = any("wall" in m for m in metrics)
+    for metric, want in metrics.items():
+        if "wall" in metric or (metric == "speedup" and wall_config):
+            continue
+        have = got.get(metric)
+        if have is None:
+            print(f"bench_regression: FAIL — {name}/{config}/{metric} missing")
+            bad = True
+            continue
+        limit = abs(want) * tol_pct / 100.0
+        if abs(have - want) > limit:
+            print(
+                f"bench_regression: FAIL — {name}/{config}/{metric}: "
+                f"baseline {want} vs fresh {have} "
+                f"(tolerance {tol_pct}%)"
+            )
+            bad = True
+if bad:
+    sys.exit(1)
+print(f"bench_regression: OK — {name} matches baseline within {tol_pct}%")
+PYEOF
+done
+
+exit "$fail"

@@ -31,5 +31,31 @@ if ! grep -q '^build\*/' .gitignore 2>/dev/null; then
   exit 1
 fi
 
-echo "repo_hygiene: OK — no build trees tracked"
+# Snapshot images (docs/SNAPSHOT.md) are run artifacts, never sources.
+snaps=$(git ls-files '*.sgsnap' | head -20)
+if [ -n "$snaps" ]; then
+  echo "repo_hygiene: FAIL — snapshot images are tracked by git:"
+  echo "$snaps"
+  echo "(run: git rm --cached <file> and keep *.sgsnap in .gitignore)"
+  exit 1
+fi
+if ! grep -q '^\*\.sgsnap' .gitignore 2>/dev/null; then
+  echo "repo_hygiene: FAIL — .gitignore no longer ignores *.sgsnap"
+  exit 1
+fi
+
+# Bench reports are tracked only as the canonical baselines at the repo
+# root (tools/check_bench_regression.sh); stray reports from local runs
+# must stay untracked.
+stray=$(git ls-files 'BENCH_*.json' '*/BENCH_*.json' |
+  grep -v -e '^BENCH_overlap\.json$' -e '^BENCH_parallel_exec\.json$' |
+  head -20)
+if [ -n "$stray" ]; then
+  echo "repo_hygiene: FAIL — non-baseline bench reports are tracked:"
+  echo "$stray"
+  echo "(only /BENCH_overlap.json and /BENCH_parallel_exec.json belong in git)"
+  exit 1
+fi
+
+echo "repo_hygiene: OK — no build trees, snapshots, or stray reports tracked"
 exit 0
